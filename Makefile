@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench panels lowerbounds arch report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass (tables, figures, substrates, ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation artifacts.
+panels:
+	$(GO) run ./cmd/smbsim
+
+lowerbounds:
+	$(GO) run ./cmd/lowerbound
+
+arch:
+	$(GO) run ./cmd/smbsim -experiment arch
+
+# Regenerate EXPERIMENTS.md from a fresh evaluation run.
+report:
+	$(GO) run ./cmd/report > EXPERIMENTS.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/heteroservices
+	$(GO) run ./examples/valuetiers
+	$(GO) run ./examples/adversarial
+	$(GO) run ./examples/theorem7
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,40 @@
+// Command lowerbound executes the paper's lower-bound constructions
+// (Theorems 1–6, 9–11) and reports, per theorem, the measured ratio of
+// the proof's scripted OPT strategy to the attacked policy alongside the
+// proof's finite-parameter prediction and the stated asymptotic bound.
+//
+// Usage:
+//
+//	lowerbound                 # run every construction at defaults
+//	lowerbound -theorem 4      # run one construction
+//	lowerbound -theorem 4 -k 400 -B 8000   # override parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smbm/internal/adversary"
+	"smbm/internal/cli"
+)
+
+func main() {
+	var (
+		theorem = flag.String("theorem", "", "theorem number to run (1-6, 9-11); empty runs all")
+		k       = flag.Int("k", 0, "override the maximum work/value label k")
+		b       = flag.Int("B", 0, "override the buffer size B")
+		rounds  = flag.Int("rounds", 0, "override the number of measured rounds")
+		warmup  = flag.Int("warmup", 0, "override the number of warm-up rounds")
+	)
+	flag.Parse()
+
+	err := cli.LowerBounds(os.Stdout, cli.LowerBoundOptions{
+		Theorem: *theorem,
+		Params:  adversary.Params{K: *k, B: *b, Rounds: *rounds, Warmup: *warmup},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}

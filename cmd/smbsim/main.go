@@ -1,0 +1,69 @@
+// Command smbsim regenerates the paper's simulation study (Fig. 5): for
+// each panel it sweeps the panel's parameter (k, B or speedup C) over
+// MMPP traffic and prints the mean empirical competitive ratio of every
+// policy against the OPT proxy (a single priority queue with n·C cores).
+// The "arch" experiment additionally compares the shared-memory switch
+// against the Fig. 1 single-queue architecture.
+//
+// Usage:
+//
+//	smbsim                          # run all nine panels at default scale
+//	smbsim -experiment fig5.1       # one panel
+//	smbsim -experiment arch         # architecture comparison
+//	smbsim -slots 2000000 -seeds 5  # paper-scale run
+//	smbsim -plot                    # append ASCII charts
+//	smbsim -csv > panels.csv        # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smbm/internal/cli"
+	"smbm/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to run (fig5.1 ... fig5.9, arch, latency); empty runs the nine panels")
+		slots      = flag.Int("slots", 0, "trace length per replication (default 4000; paper uses 2000000)")
+		seeds      = flag.Int("seeds", 0, "replications per point (default 3)")
+		sources    = flag.Int("sources", 0, "MMPP on-off sources (default 100; paper uses 500)")
+		flushEvery = flag.Int("flush", 0, "slots between periodic flushouts (default 1000)")
+		seed       = flag.Int64("seed", 0, "base RNG seed (default 1)")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (default GOMAXPROCS)")
+		asPlot     = flag.Bool("plot", false, "render each panel as an ASCII chart as well")
+		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		specPath   = flag.String("spec", "", "run a custom JSON experiment spec instead of the paper's panels")
+	)
+	flag.Parse()
+
+	opts := cli.PanelOptions{
+		Experiment: *experiment,
+		Opts: experiments.Options{
+			Slots:       *slots,
+			Seeds:       *seeds,
+			Sources:     *sources,
+			FlushEvery:  *flushEvery,
+			BaseSeed:    *seed,
+			Parallelism: *workers,
+		},
+		Plot: *asPlot,
+		CSV:  *asCSV,
+	}
+	var err error
+	if *specPath != "" {
+		var f *os.File
+		if f, err = os.Open(*specPath); err == nil {
+			err = cli.RunSpec(os.Stdout, f, opts)
+			f.Close()
+		}
+	} else {
+		err = cli.Panels(os.Stdout, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smbsim:", err)
+		os.Exit(1)
+	}
+}

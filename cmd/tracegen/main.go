@@ -1,0 +1,67 @@
+// Command tracegen generates, inspects and replays the synthetic MMPP
+// traces of the simulation study.
+//
+// Usage:
+//
+//	tracegen -slots 10000 -ports 16 -mode work > trace.txt
+//	tracegen -stats < trace.txt
+//	tracegen -replay LWD -ports 16 -mode work -buffer 256 < trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smbm/internal/cli"
+)
+
+func main() {
+	var (
+		slots    = flag.Int("slots", 10000, "trace length in slots")
+		ports    = flag.Int("ports", 16, "number of output ports")
+		maxLabel = flag.Int("k", 0, "max work/value label (default: ports)")
+		sources  = flag.Int("sources", 100, "MMPP on-off sources")
+		rate     = flag.Float64("rate", 0, "mean packets per slot (default: 1.5x ports)")
+		mode     = flag.String("mode", "work", `labeling: "work" (processing model, contiguous works), "value" (uniform values), "value-by-port"`)
+		affinity = flag.Bool("affinity", true, "pin each source to one port")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		binFmt   = flag.Bool("binary", false, "emit the compact binary trace format")
+		stats    = flag.Bool("stats", false, "read a trace from stdin and print summary statistics instead")
+		replay   = flag.String("replay", "", "read a trace from stdin and replay it under the named policy")
+		buffer   = flag.Int("buffer", 0, "buffer size for -replay (default 2x ports)")
+		flush    = flag.Int("flush", 0, "flushout period for -replay (0 = final drain only)")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *stats:
+		err = cli.Stats(os.Stdout, os.Stdin)
+	case *replay != "":
+		err = cli.Replay(os.Stdout, os.Stdin, cli.ReplayOptions{
+			Policy:   *replay,
+			Ports:    *ports,
+			MaxLabel: *maxLabel,
+			Buffer:   *buffer,
+			Flush:    *flush,
+			Mode:     *mode,
+		})
+	default:
+		err = cli.Generate(os.Stdout, cli.GenerateOptions{
+			Slots:    *slots,
+			Ports:    *ports,
+			MaxLabel: *maxLabel,
+			Sources:  *sources,
+			Rate:     *rate,
+			Mode:     *mode,
+			Affinity: *affinity,
+			Seed:     *seed,
+			Binary:   *binFmt,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

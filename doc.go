@@ -1,0 +1,43 @@
+// Package smbm is a library and simulation toolkit for shared-memory
+// buffer management with heterogeneous packet processing, reproducing
+//
+//	P. Eugster, K. Kogan, S. Nikolenko, A. Sirotkin.
+//	"Shared Memory Buffer Management for Heterogeneous Packet
+//	Processing", ICDCS 2014.
+//
+// The paper studies admission-control policies for a shared-memory switch
+// in two generalizations of the classical model: packets with
+// heterogeneous required processing (maximize transmitted packets) and
+// packets with heterogeneous intrinsic values (maximize transmitted
+// value). This package exposes:
+//
+//   - the slotted switch simulator for both models (NewSwitch, Step,
+//     Drain);
+//   - all buffer management policies analyzed in the paper, including the
+//     2-competitive Longest-Work-Drop (LWD) and the conjectured
+//     constant-competitive Maximal-Ratio-Drop (MRD);
+//   - the OPT reference proxies and an exact offline optimum for tiny
+//     instances;
+//   - MMPP traffic generation, trace recording and replay;
+//   - the evaluation harness regenerating every panel of the paper's
+//     Fig. 5 and every lower-bound theorem.
+//
+// # Quickstart
+//
+//	cfg := smbm.Config{
+//	    Model:    smbm.ModelProcessing,
+//	    Ports:    4,
+//	    Buffer:   64,
+//	    MaxLabel: 6,
+//	    Speedup:  1,
+//	    PortWork: []int{1, 2, 3, 6}, // firewall, SSL, DPI, IPsec
+//	}
+//	sw, err := smbm.NewSwitch(cfg, smbm.LWD())
+//	if err != nil { ... }
+//	err = sw.Step([]smbm.Packet{smbm.WorkPacket(3, 6), smbm.WorkPacket(0, 1)})
+//	sw.Drain()
+//	fmt.Println(sw.Stats().Transmitted)
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package smbm

@@ -1,0 +1,46 @@
+// Adversarial: replay the paper's lower-bound constructions. Each
+// theorem packages an arrival script that makes a specific policy look as
+// bad as the analysis allows, together with the clairvoyant strategy the
+// proof plays as OPT. This example runs all of them and shows the
+// measured throughput gap next to the proof's prediction — competitive
+// analysis as an executable artifact.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"smbm"
+)
+
+func main() {
+	constructions, err := smbm.LowerBounds()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("lower-bound constructions (measured = scripted-OPT / policy):")
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "theorem\tpolicy\tmeasured\tproof predicts\tasymptotic bound")
+	for _, c := range constructions {
+		o, err := c.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%s = %.3f\n",
+			o.Theorem, o.PolicyName, o.Ratio, o.Predicted, c.Asymptotic, o.AsymptoticValue)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: LQD collapses under heterogeneous processing")
+	fmt.Println("(Theorem 4) and heterogeneous values (Theorem 9); BPD/MVD starve")
+	fmt.Println("ports (Theorems 5/10). Only LWD and MRD stay near their constant")
+	fmt.Println("bounds (Theorems 6/11) — the paper's case for work- and")
+	fmt.Println("ratio-balancing policies.")
+}

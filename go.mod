@@ -1,0 +1,3 @@
+module smbm
+
+go 1.22

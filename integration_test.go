@@ -1,0 +1,118 @@
+package smbm_test
+
+import (
+	"math"
+	"testing"
+
+	"smbm"
+)
+
+// TestEndToEndWorkflow drives the whole public surface the way a
+// downstream user would: generate traffic, compare the full roster,
+// replay the winner against the exact optimum on a shrunk instance,
+// check the lower bounds, and run the proof harness — one coherent
+// session, no internals.
+func TestEndToEndWorkflow(t *testing.T) {
+	// 1. A switch configuration for four services.
+	cfg := smbm.Config{
+		Model:    smbm.ModelProcessing,
+		Ports:    4,
+		Buffer:   96,
+		MaxLabel: 8,
+		Speedup:  1,
+		PortWork: []int{1, 2, 4, 8},
+	}
+
+	// 2. Bursty traffic at ~2.4x capacity (capacity = 1+1/2+1/4+1/8).
+	mmpp := smbm.MMPPConfig{
+		Sources:      40,
+		POnOff:       0.1,
+		POffOn:       0.01,
+		Label:        smbm.LabelWorkByPort,
+		Ports:        cfg.Ports,
+		MaxLabel:     cfg.MaxLabel,
+		PortWork:     cfg.PortWork,
+		PortAffinity: true,
+		Seed:         11,
+	}
+	mmpp.LambdaOn = mmpp.LambdaForRate(4.5)
+	gen, err := smbm.NewMMPP(mmpp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := smbm.RecordTrace(gen, 4000)
+
+	// 3. Rank the full roster.
+	results, err := smbm.Compare(cfg, smbm.ProcessingPolicies(), trace, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestRatio := "", math.Inf(1)
+	for _, r := range results {
+		if r.Ratio < bestRatio {
+			best, bestRatio = r.Policy, r.Ratio
+		}
+	}
+	if best != "LWD" {
+		t.Errorf("best policy on this workload is %s (%.3f), expected LWD", best, bestRatio)
+	}
+
+	// 4. Sanity-check the winner against the true optimum on a tiny
+	// instance.
+	tiny := smbm.Config{
+		Model:    smbm.ModelProcessing,
+		Ports:    3,
+		Buffer:   4,
+		MaxLabel: 3,
+		Speedup:  1,
+		PortWork: smbm.ContiguousWorks(3),
+	}
+	tinyTrace := smbm.Trace{
+		{smbm.WorkPacket(2, 3), smbm.WorkPacket(0, 1), smbm.WorkPacket(0, 1)},
+		{smbm.WorkPacket(1, 2), smbm.WorkPacket(0, 1)},
+	}
+	exact, err := smbm.ExactOptimum(tiny, tinyTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := smbm.NewSwitch(tiny, smbm.LWD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := smbm.RunTrace(sw, tinyTrace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*stats.Transmitted < exact {
+		t.Errorf("LWD %d vs exact %d violates Theorem 7", stats.Transmitted, exact)
+	}
+
+	// 5. The proof harness certifies the same bound mechanically.
+	rep, err := smbm.CheckTheorem7Mapping(tiny, smbm.Greedy(), tinyTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxCharge > 2 {
+		t.Errorf("mapping charged %d > 2", rep.MaxCharge)
+	}
+
+	// 6. The per-port counters expose the fairness story.
+	pc := sw.PortCounters()
+	if len(pc) != tiny.Ports {
+		t.Fatalf("port counters %d", len(pc))
+	}
+
+	// 7. The single-queue baseline is constructible through the facade.
+	sq, err := smbm.NewSingleQueue(smbm.SingleQueueConfig{
+		Buffer: 16, MaxWork: 4, Cores: 2, Order: smbm.OrderPQ, PushOut: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := smbm.RunTrace(sq, smbm.Trace{{smbm.WorkPacket(0, 3)}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sq.Stats().Transmitted != 1 {
+		t.Errorf("single queue transmitted %d", sq.Stats().Transmitted)
+	}
+}

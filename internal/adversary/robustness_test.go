@@ -1,0 +1,105 @@
+package adversary
+
+import (
+	"testing"
+
+	"smbm/internal/core"
+	"smbm/internal/policy"
+	"smbm/internal/valpolicy"
+)
+
+// measureOn runs any policy through a construction's warm-up/measure
+// protocol and returns scripted-OPT / policy.
+func measureOn(t *testing.T, c Construction, p core.Policy) float64 {
+	t.Helper()
+	swap := c
+	swap.Policy = p
+	o, err := swap.Run()
+	if err != nil {
+		t.Fatalf("%s under %s: %v", c.ID, p.Name(), err)
+	}
+	if o.AlgThroughput == 0 {
+		t.Fatalf("%s under %s: zero throughput", c.ID, p.Name())
+	}
+	return o.Ratio
+}
+
+// TestLWDRobustOnEveryAdversary is the flip side of the lower-bound
+// table: each construction is tuned to break one specific policy, and
+// Theorem 7 promises LWD survives them all. Run LWD through every
+// processing-model adversary (including the ones built for NHST, NHDT,
+// LQD and BPD) and check it never exceeds 2 against the scripted OPT —
+// which is a legal algorithm, so the bound applies.
+func TestLWDRobustOnEveryAdversary(t *testing.T) {
+	for _, id := range []string{"thm1", "thm2", "thm3", "thm4", "thm5", "thm6"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			c, err := ByID(id, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := measureOn(t, c, policy.LWD{})
+			if ratio > 2.0 {
+				t.Errorf("LWD measured %.3f > 2 on %s — Theorem 7 violated", ratio, id)
+			}
+			t.Logf("LWD on %s: %.3f", id, ratio)
+		})
+	}
+}
+
+// TestMRDRobustOnValueAdversaries: MRD (conjectured constant-competitive)
+// must stay bounded on the traces built against value-LQD and MVD, where
+// those policies collapse to ~2.5 and ~4.5.
+func TestMRDRobustOnValueAdversaries(t *testing.T) {
+	for _, id := range []string{"thm9", "thm10", "thm11"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			c, err := ByID(id, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := measureOn(t, c, valpolicy.MRD{})
+			if ratio > 2.0 {
+				t.Errorf("MRD measured %.3f on %s — worth recording against the conjecture", ratio, id)
+			}
+			t.Logf("MRD on %s: %.3f", id, ratio)
+		})
+	}
+}
+
+// TestAttackedPolicyIsTheSorestLoser: on each construction, the policy
+// the proof targets must fare no better than LWD (processing) / MRD
+// (value) fare on the same trace — the constructions really do isolate
+// the targeted weakness rather than generic congestion.
+func TestAttackedPolicyIsTheSorestLoser(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range all {
+		c := c
+		t.Run(c.ID, func(t *testing.T) {
+			t.Parallel()
+			attacked, err := c.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reference core.Policy
+			if c.Cfg.Model == core.ModelProcessing {
+				reference = policy.LWD{}
+			} else {
+				reference = valpolicy.MRD{}
+			}
+			refRatio := attacked.Ratio
+			if c.Policy.Name() != reference.Name() {
+				refRatio = measureOn(t, c, reference)
+			}
+			if attacked.Ratio < refRatio-1e-9 {
+				t.Errorf("attacked %s (%.3f) beat the reference %s (%.3f) on its own adversary",
+					c.Policy.Name(), attacked.Ratio, reference.Name(), refRatio)
+			}
+		})
+	}
+}

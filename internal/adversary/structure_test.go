@@ -1,0 +1,132 @@
+package adversary
+
+import (
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+// TestTheorem6RoundStructure pins the construction to the proof's exact
+// script: the first burst is B×[1], B/4×[2], B/6×[3], B/12×[6], and the
+// trickle re-feeds each expensive class at exactly its service rate.
+func TestTheorem6RoundStructure(t *testing.T) {
+	c, err := Theorem6(Params{B: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := c.Cfg.Buffer
+	if len(c.Round) != b {
+		t.Fatalf("round length %d, want B=%d", len(c.Round), b)
+	}
+	counts := map[int]int{}
+	for _, p := range c.Round[0] {
+		counts[p.Work]++
+	}
+	want := map[int]int{1: b, 2: b / 4, 3: b / 6, 6: b / 12}
+	for w, n := range want {
+		if counts[w] != n {
+			t.Errorf("first burst has %d packets of work %d, want %d", counts[w], w, n)
+		}
+	}
+	// Trickle: over slots 1..B-1, work w arrives every w slots.
+	trickle := map[int]int{}
+	for _, slot := range c.Round[1:] {
+		for _, p := range slot {
+			trickle[p.Work]++
+		}
+	}
+	for _, w := range []int{2, 3, 6} {
+		want := (b - 1) / w
+		if diff := trickle[w] - want; diff < -1 || diff > 1 {
+			t.Errorf("trickle delivered %d work-%d packets, want ~%d", trickle[w], w, want)
+		}
+	}
+	if trickle[1] != 0 {
+		t.Errorf("trickle contains %d unit-work packets, want 0", trickle[1])
+	}
+}
+
+// TestTheorem5RoundStructure: a full set of B packets per work kind in
+// slot 0, then two of each kind per slot.
+func TestTheorem5RoundStructure(t *testing.T) {
+	c, err := Theorem5(Params{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, p := range c.Round[0] {
+		counts[p.Work]++
+	}
+	for w := 1; w <= 5; w++ {
+		if counts[w] != c.Cfg.Buffer {
+			t.Errorf("slot 0 has %d work-%d packets, want B=%d", counts[w], w, c.Cfg.Buffer)
+		}
+	}
+	for s := 1; s < len(c.Round); s++ {
+		if len(c.Round[s]) != 2*5 {
+			t.Fatalf("slot %d refill has %d packets, want 10", s, len(c.Round[s]))
+		}
+	}
+}
+
+// TestTheorem9ValueByPort: every packet's value equals its port label
+// plus one — the special case all Section IV lower bounds live in.
+func TestTheorem9ValueByPort(t *testing.T) {
+	c, err := Theorem9(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(p pkt.Packet) {
+		if p.Value != p.Port+1 {
+			t.Fatalf("packet %v breaks value=port+1", p)
+		}
+	}
+	for _, slot := range c.Round {
+		for _, p := range slot {
+			check(p)
+		}
+	}
+}
+
+// TestTheorem1SilencePeriod: after the single burst, the round is silent
+// long enough for the scripted OPT to drain B work-k packets through one
+// port.
+func TestTheorem1SilencePeriod(t *testing.T) {
+	c, err := Theorem1(Params{K: 5, B: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Round) != 5*100 {
+		t.Fatalf("round length %d, want k·B = 500", len(c.Round))
+	}
+	if len(c.Round[0]) != 100 {
+		t.Fatalf("burst size %d, want B", len(c.Round[0]))
+	}
+	for s := 1; s < len(c.Round); s++ {
+		if len(c.Round[s]) != 0 {
+			t.Fatalf("slot %d not silent", s)
+		}
+	}
+}
+
+// TestAllPacketsLegal: every construction's script is legal for its own
+// configuration (ports, labels, work assignments).
+func TestAllPacketsLegal(t *testing.T) {
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range all {
+		works := c.Cfg.PortWork
+		for s, slot := range c.Round {
+			for _, p := range slot {
+				if err := p.Validate(c.Cfg.Ports, c.Cfg.MaxLabel); err != nil {
+					t.Errorf("%s slot %d: %v", c.ID, s, err)
+				}
+				if works != nil && p.Work != works[p.Port] {
+					t.Errorf("%s slot %d: packet %v violates the port configuration", c.ID, s, p)
+				}
+			}
+		}
+	}
+}

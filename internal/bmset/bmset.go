@@ -1,0 +1,210 @@
+// Package bmset implements a bounded multiset of integer values in [1,k]
+// backed by two Fenwick (binary indexed) trees: one over element counts and
+// one over value sums. It is the storage for value-model output queues,
+// which the paper treats as priority queues: transmission pops the maximum
+// value, push-out pops the minimum, and the MRD policy needs |Q| and the
+// value sum of Q to compute |Q|/avg(Q).
+//
+// Add, Remove, PopMin, PopMax, Min, Max, Kth and prefix queries are all
+// O(log k).
+package bmset
+
+import "fmt"
+
+// Set is a multiset of values in [1,k]. The zero value is unusable; use
+// New.
+type Set struct {
+	k     int
+	count []int64 // Fenwick over multiplicities, 1-based
+	sum   []int64 // Fenwick over value·multiplicity, 1-based
+	size  int
+	total int64 // sum of all elements
+}
+
+// New returns an empty multiset accepting values in [1,k].
+func New(k int) *Set {
+	if k < 1 {
+		panic(fmt.Sprintf("bmset: bound k=%d must be >= 1", k))
+	}
+	return &Set{
+		k:     k,
+		count: make([]int64, k+1),
+		sum:   make([]int64, k+1),
+	}
+}
+
+// Bound returns k, the inclusive upper bound on stored values.
+func (s *Set) Bound() int { return s.k }
+
+// Len returns the number of stored elements (with multiplicity).
+func (s *Set) Len() int { return s.size }
+
+// Empty reports whether the set holds no elements.
+func (s *Set) Empty() bool { return s.size == 0 }
+
+// Sum returns the sum of all stored elements.
+func (s *Set) Sum() int64 { return s.total }
+
+// Avg returns the average stored value, or 0 for an empty set.
+func (s *Set) Avg() float64 {
+	if s.size == 0 {
+		return 0
+	}
+	return float64(s.total) / float64(s.size)
+}
+
+// Add inserts one copy of v.
+func (s *Set) Add(v int) {
+	s.check(v)
+	s.update(v, 1)
+}
+
+// Remove deletes one copy of v. It panics if v is not present: removing an
+// absent element indicates a simulator bug.
+func (s *Set) Remove(v int) {
+	s.check(v)
+	if s.CountOf(v) == 0 {
+		panic(fmt.Sprintf("bmset: Remove(%d) not present", v))
+	}
+	s.update(v, -1)
+}
+
+// CountOf returns the multiplicity of v.
+func (s *Set) CountOf(v int) int {
+	s.check(v)
+	return int(s.prefixCount(v) - s.prefixCount(v-1))
+}
+
+// CountLE returns the number of elements with value <= v. Values below 1
+// yield 0; values above k count everything.
+func (s *Set) CountLE(v int) int {
+	if v < 1 {
+		return 0
+	}
+	if v > s.k {
+		v = s.k
+	}
+	return int(s.prefixCount(v))
+}
+
+// SumLE returns the sum of elements with value <= v.
+func (s *Set) SumLE(v int) int64 {
+	if v < 1 {
+		return 0
+	}
+	if v > s.k {
+		v = s.k
+	}
+	return s.prefixSum(v)
+}
+
+// Min returns the smallest stored value. It panics on an empty set.
+func (s *Set) Min() int {
+	if s.size == 0 {
+		panic("bmset: Min on empty set")
+	}
+	return s.Kth(1)
+}
+
+// Max returns the largest stored value. It panics on an empty set.
+func (s *Set) Max() int {
+	if s.size == 0 {
+		panic("bmset: Max on empty set")
+	}
+	return s.Kth(s.size)
+}
+
+// PopMin removes and returns the smallest stored value.
+func (s *Set) PopMin() int {
+	v := s.Min()
+	s.update(v, -1)
+	return v
+}
+
+// PopMax removes and returns the largest stored value.
+func (s *Set) PopMax() int {
+	v := s.Max()
+	s.update(v, -1)
+	return v
+}
+
+// Kth returns the k-th smallest element, 1-based (Kth(1) == Min,
+// Kth(Len()) == Max). It panics if j is out of [1, Len()].
+//
+// The implementation descends the Fenwick tree: classic O(log k) order
+// statistics.
+func (s *Set) Kth(j int) int {
+	if j < 1 || j > s.size {
+		panic(fmt.Sprintf("bmset: Kth(%d) out of range [1,%d]", j, s.size))
+	}
+	var (
+		pos    int
+		remain = int64(j)
+	)
+	// highestBit is the largest power of two <= k.
+	highestBit := 1
+	for highestBit<<1 <= s.k {
+		highestBit <<= 1
+	}
+	for step := highestBit; step > 0; step >>= 1 {
+		next := pos + step
+		if next <= s.k && s.count[next] < remain {
+			pos = next
+			remain -= s.count[next]
+		}
+	}
+	return pos + 1
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.count {
+		s.count[i] = 0
+		s.sum[i] = 0
+	}
+	s.size = 0
+	s.total = 0
+}
+
+// Values returns all stored elements in ascending order (with
+// multiplicity). Intended for tests and debugging; O(k + n).
+func (s *Set) Values() []int {
+	out := make([]int, 0, s.size)
+	for v := 1; v <= s.k; v++ {
+		for c := s.CountOf(v); c > 0; c-- {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *Set) check(v int) {
+	if v < 1 || v > s.k {
+		panic(fmt.Sprintf("bmset: value %d out of range [1,%d]", v, s.k))
+	}
+}
+
+func (s *Set) update(v int, delta int64) {
+	for i := v; i <= s.k; i += i & (-i) {
+		s.count[i] += delta
+		s.sum[i] += delta * int64(v)
+	}
+	s.size += int(delta)
+	s.total += delta * int64(v)
+}
+
+func (s *Set) prefixCount(v int) int64 {
+	var t int64
+	for i := v; i > 0; i -= i & (-i) {
+		t += s.count[i]
+	}
+	return t
+}
+
+func (s *Set) prefixSum(v int) int64 {
+	var t int64
+	for i := v; i > 0; i -= i & (-i) {
+		t += s.sum[i]
+	}
+	return t
+}

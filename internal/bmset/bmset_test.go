@@ -1,0 +1,258 @@
+package bmset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptySet(t *testing.T) {
+	s := New(10)
+	if !s.Empty() || s.Len() != 0 || s.Sum() != 0 {
+		t.Errorf("fresh set: Empty=%v Len=%d Sum=%d", s.Empty(), s.Len(), s.Sum())
+	}
+	if got := s.Avg(); got != 0 {
+		t.Errorf("Avg() on empty = %v, want 0", got)
+	}
+	if got := s.CountLE(10); got != 0 {
+		t.Errorf("CountLE(10) on empty = %d, want 0", got)
+	}
+}
+
+func TestAddRemoveCounts(t *testing.T) {
+	s := New(5)
+	s.Add(3)
+	s.Add(3)
+	s.Add(1)
+	if got := s.CountOf(3); got != 2 {
+		t.Errorf("CountOf(3) = %d, want 2", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+	if got := s.Sum(); got != 7 {
+		t.Errorf("Sum() = %d, want 7", got)
+	}
+	s.Remove(3)
+	if got := s.CountOf(3); got != 1 {
+		t.Errorf("after Remove: CountOf(3) = %d, want 1", got)
+	}
+	if got := s.Sum(); got != 4 {
+		t.Errorf("after Remove: Sum() = %d, want 4", got)
+	}
+}
+
+func TestMinMaxPop(t *testing.T) {
+	s := New(9)
+	for _, v := range []int{5, 2, 9, 2, 7} {
+		s.Add(v)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min() = %d, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max() = %d, want 9", got)
+	}
+	if got := s.PopMin(); got != 2 {
+		t.Errorf("PopMin() = %d, want 2", got)
+	}
+	if got := s.PopMin(); got != 2 {
+		t.Errorf("second PopMin() = %d, want 2", got)
+	}
+	if got := s.PopMax(); got != 9 {
+		t.Errorf("PopMax() = %d, want 9", got)
+	}
+	if got := s.Values(); len(got) != 2 || got[0] != 5 || got[1] != 7 {
+		t.Errorf("Values() = %v, want [5 7]", got)
+	}
+}
+
+func TestKthOrderStatistics(t *testing.T) {
+	s := New(8)
+	vals := []int{4, 1, 8, 4, 6, 1, 1}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	sort.Ints(vals)
+	for j := 1; j <= len(vals); j++ {
+		if got := s.Kth(j); got != vals[j-1] {
+			t.Errorf("Kth(%d) = %d, want %d", j, got, vals[j-1])
+		}
+	}
+}
+
+func TestPrefixQueries(t *testing.T) {
+	s := New(6)
+	for _, v := range []int{1, 3, 3, 6} {
+		s.Add(v)
+	}
+	cases := []struct {
+		v         int
+		count     int
+		sum       int64
+		nameSuits string
+	}{
+		{0, 0, 0, "below range"},
+		{1, 1, 1, "exactly min"},
+		{3, 3, 7, "middle"},
+		{6, 4, 13, "max"},
+		{99, 4, 13, "above range clamps"},
+	}
+	for _, c := range cases {
+		if got := s.CountLE(c.v); got != c.count {
+			t.Errorf("CountLE(%d) = %d, want %d (%s)", c.v, got, c.count, c.nameSuits)
+		}
+		if got := s.SumLE(c.v); got != c.sum {
+			t.Errorf("SumLE(%d) = %d, want %d (%s)", c.v, got, c.sum, c.nameSuits)
+		}
+	}
+}
+
+func TestClearReuse(t *testing.T) {
+	s := New(4)
+	s.Add(2)
+	s.Add(4)
+	s.Clear()
+	if !s.Empty() || s.Sum() != 0 {
+		t.Errorf("after Clear: Empty=%v Sum=%d", s.Empty(), s.Sum())
+	}
+	s.Add(1)
+	if got := s.Min(); got != 1 {
+		t.Errorf("Min() after Clear+Add = %d, want 1", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, op := range map[string]func(*Set){
+		"Add out of range":     func(s *Set) { s.Add(11) },
+		"Add zero":             func(s *Set) { s.Add(0) },
+		"Remove absent":        func(s *Set) { s.Remove(5) },
+		"Min empty":            func(s *Set) { s.Min() },
+		"Max empty":            func(s *Set) { s.Max() },
+		"Kth out of range":     func(s *Set) { s.Kth(1) },
+		"CountOf out of range": func(s *Set) { s.CountOf(-1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			op(New(10))
+		})
+	}
+}
+
+// reference is a naive multiset used to validate Set under random ops.
+type reference struct{ vals []int }
+
+func (r *reference) add(v int) { r.vals = append(r.vals, v); sort.Ints(r.vals) }
+func (r *reference) popMin() int {
+	v := r.vals[0]
+	r.vals = r.vals[1:]
+	return v
+}
+func (r *reference) popMax() int {
+	v := r.vals[len(r.vals)-1]
+	r.vals = r.vals[:len(r.vals)-1]
+	return v
+}
+func (r *reference) sum() int64 {
+	var t int64
+	for _, v := range r.vals {
+		t += int64(v)
+	}
+	return t
+}
+func (r *reference) countLE(x int) int {
+	n := 0
+	for _, v := range r.vals {
+		if v <= x {
+			n++
+		}
+	}
+	return n
+}
+
+// TestQuickMatchesReference compares the Fenwick implementation with the
+// naive reference over random operation sequences.
+func TestQuickMatchesReference(t *testing.T) {
+	f := func(ops []uint8, seed int64) bool {
+		const k = 12
+		rng := rand.New(rand.NewSource(seed))
+		s := New(k)
+		var ref reference
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // bias toward Add so the set grows
+				v := 1 + rng.Intn(k)
+				s.Add(v)
+				ref.add(v)
+			case 2:
+				if len(ref.vals) == 0 {
+					continue
+				}
+				if s.PopMin() != ref.popMin() {
+					return false
+				}
+			case 3:
+				if len(ref.vals) == 0 {
+					continue
+				}
+				if s.PopMax() != ref.popMax() {
+					return false
+				}
+			}
+			if s.Len() != len(ref.vals) || s.Sum() != ref.sum() {
+				return false
+			}
+			probe := 1 + rng.Intn(k)
+			if s.CountLE(probe) != ref.countLE(probe) {
+				return false
+			}
+			if len(ref.vals) > 0 {
+				j := 1 + rng.Intn(len(ref.vals))
+				if s.Kth(j) != ref.vals[j-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(150)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeBoundKthDescent(t *testing.T) {
+	// Exercise the highestBit descent with a non-power-of-two bound.
+	s := New(1000)
+	for v := 1; v <= 1000; v += 7 {
+		s.Add(v)
+	}
+	want := make([]int, 0, 143)
+	for v := 1; v <= 1000; v += 7 {
+		want = append(want, v)
+	}
+	for j, w := range want {
+		if got := s.Kth(j + 1); got != w {
+			t.Fatalf("Kth(%d) = %d, want %d", j+1, got, w)
+		}
+	}
+}
+
+// qcfg returns a deterministic quick.Config so property tests are
+// reproducible run to run.
+func qcfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
+}

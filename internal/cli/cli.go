@@ -1,0 +1,188 @@
+// Package cli implements the bodies of the repository's commands with
+// injectable I/O, so the CLIs stay thin and the command logic is tested
+// like any other package.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"smbm/internal/adversary"
+	"smbm/internal/experiments"
+	"smbm/internal/sim"
+	"smbm/internal/spec"
+	"smbm/internal/tablefmt"
+)
+
+// PanelOptions drives Panels (cmd/smbsim).
+type PanelOptions struct {
+	// Experiment selects one panel or "arch"; empty runs the nine
+	// Fig. 5 panels.
+	Experiment string
+	// Opts scales the runs.
+	Opts experiments.Options
+	// Plot appends an ASCII chart per panel; CSV replaces tables with
+	// CSV blocks.
+	Plot, CSV bool
+}
+
+// Panels runs the requested evaluation experiments, writing reports to w.
+func Panels(w io.Writer, o PanelOptions) error {
+	ids := experiments.PanelIDs()
+	if o.Experiment != "" {
+		ids = []string{o.Experiment}
+	}
+	for _, id := range ids {
+		var err error
+		switch id {
+		case "arch":
+			err = archReport(w, o.Opts)
+		case "latency":
+			err = latencyReport(w, o.Opts)
+		default:
+			err = panelReport(w, id, o)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// latencyReport runs the buffer-size/latency trade-off experiment.
+func latencyReport(w io.Writer, opts experiments.Options) error {
+	start := time.Now()
+	rows, err := experiments.Latency(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== latency: delay/throughput trade-off vs B (%s) ==\n",
+		time.Since(start).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, experiments.LatencyTable(rows)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// RunSpec loads a JSON experiment spec from r, runs it, and renders the
+// report like a panel.
+func RunSpec(w io.Writer, r io.Reader, o PanelOptions) error {
+	e, err := spec.Load(r)
+	if err != nil {
+		return err
+	}
+	sweep, err := e.ToSweep()
+	if err != nil {
+		return err
+	}
+	if o.Opts.Parallelism > 0 {
+		sweep.Parallelism = o.Opts.Parallelism
+	}
+	return renderSweep(w, sweep, o)
+}
+
+func panelReport(w io.Writer, id string, o PanelOptions) error {
+	sweep, err := experiments.Panel(id, o.Opts)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, sweep, o)
+}
+
+func renderSweep(w io.Writer, sweep *sim.Sweep, o PanelOptions) error {
+	start := time.Now()
+	result, err := sweep.Run()
+	if err != nil {
+		return err
+	}
+	if o.CSV {
+		_, err := fmt.Fprintf(w, "# %s\n%s\n", result.Name, result.CSV())
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== %s: competitive ratio vs %s (%s) ==\n",
+		result.Name, result.XLabel, time.Since(start).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, result.Table()); err != nil {
+		return err
+	}
+	if o.Plot {
+		if _, err := fmt.Fprintf(w, "\n%s", result.Plot()); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+func archReport(w io.Writer, opts experiments.Options) error {
+	start := time.Now()
+	rows, err := experiments.Architectures(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== arch: single-queue vs shared-memory architectures (%s) ==\n",
+		time.Since(start).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, experiments.ArchTable(rows)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// LowerBoundOptions drives LowerBounds (cmd/lowerbound).
+type LowerBoundOptions struct {
+	// Theorem selects one construction ("1".."11"); empty runs all.
+	Theorem string
+	// Params override the construction's defaults (require Theorem).
+	Params adversary.Params
+}
+
+// LowerBounds runs the requested theorem constructions and writes the
+// comparison table to w.
+func LowerBounds(w io.Writer, o LowerBoundOptions) error {
+	var constructions []adversary.Construction
+	if o.Theorem == "" {
+		if o.Params != (adversary.Params{}) {
+			return fmt.Errorf("parameter overrides require -theorem")
+		}
+		all, err := adversary.All()
+		if err != nil {
+			return err
+		}
+		constructions = all
+	} else {
+		c, err := adversary.ByID("thm"+o.Theorem, o.Params)
+		if err != nil {
+			return err
+		}
+		constructions = []adversary.Construction{c}
+	}
+
+	headers := []string{"theorem", "policy", "alg", "opt(script)", "measured", "predicted", "asymptotic"}
+	rows := make([][]string, 0, len(constructions))
+	for _, c := range constructions {
+		out, err := c.Run()
+		if err != nil {
+			return err
+		}
+		rows = append(rows, []string{
+			out.Theorem,
+			out.PolicyName,
+			strconv.FormatInt(out.AlgThroughput, 10),
+			strconv.FormatInt(out.OptThroughput, 10),
+			fmt.Sprintf("%.3f", out.Ratio),
+			fmt.Sprintf("%.3f", out.Predicted),
+			fmt.Sprintf("%s = %.3f", c.Asymptotic, out.AsymptoticValue),
+		})
+	}
+	_, err := io.WriteString(w, tablefmt.Render(headers, rows))
+	return err
+}

@@ -1,0 +1,246 @@
+package cli
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smbm/internal/adversary"
+	"smbm/internal/experiments"
+)
+
+func smallOpts() experiments.Options {
+	return experiments.Options{
+		Slots:      400,
+		Seeds:      1,
+		Sources:    30,
+		FlushEvery: 200,
+		BaseSeed:   1,
+	}
+}
+
+func TestPanelsSingle(t *testing.T) {
+	var buf bytes.Buffer
+	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig5.1", "LWD", "Greedy", "competitive ratio vs k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPanelsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), CSV: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "k,Greedy_mean") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Errorf("CSV mode printed a table header:\n%s", out)
+	}
+}
+
+func TestPanelsPlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), Plot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean competitive ratio vs k") {
+		t.Errorf("plot missing:\n%s", buf.String())
+	}
+}
+
+func TestPanelsArch(t *testing.T) {
+	var buf bytes.Buffer
+	err := Panels(&buf, PanelOptions{Experiment: "arch", Opts: smallOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1Q-PQ-pushout") {
+		t.Errorf("arch table missing:\n%s", buf.String())
+	}
+}
+
+func TestPanelsLatency(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Panels(&buf, PanelOptions{Experiment: "latency", Opts: smallOpts()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "delay/throughput trade-off") {
+		t.Errorf("latency output:\n%s", buf.String())
+	}
+}
+
+func TestPanelsUnknown(t *testing.T) {
+	if err := Panels(&bytes.Buffer{}, PanelOptions{Experiment: "fig9.9"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSpec(t *testing.T) {
+	const specJSON = `{
+	  "name": "cli-spec",
+	  "model": "processing",
+	  "sweep": "C",
+	  "values": [1, 2],
+	  "k": 4, "B": 32,
+	  "policies": ["LWD", "Greedy"],
+	  "slots": 300, "seeds": 1,
+	  "traffic": {"sources": 10, "load": 2.0}
+	}`
+	var buf bytes.Buffer
+	if err := RunSpec(&buf, strings.NewReader(specJSON), PanelOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cli-spec", "LWD", "Greedy", "competitive ratio vs C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec output missing %q:\n%s", want, out)
+		}
+	}
+	if err := RunSpec(&bytes.Buffer{}, strings.NewReader("{"), PanelOptions{}); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}
+
+func TestLowerBoundsSingle(t *testing.T) {
+	var buf bytes.Buffer
+	err := LowerBounds(&buf, LowerBoundOptions{
+		Theorem: "2",
+		Params:  adversary.Params{K: 4, B: 80, Rounds: 1, Warmup: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Theorem 2") || !strings.Contains(out, "NEST") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "4.000") { // n = 4 predicted and measured
+		t.Errorf("expected ratio 4.000 in:\n%s", out)
+	}
+}
+
+func TestLowerBoundsValidation(t *testing.T) {
+	err := LowerBounds(&bytes.Buffer{}, LowerBoundOptions{Params: adversary.Params{K: 9}})
+	if err == nil {
+		t.Error("params without theorem accepted")
+	}
+	if err := LowerBounds(&bytes.Buffer{}, LowerBoundOptions{Theorem: "7"}); err == nil {
+		t.Error("theorem 7 accepted (it is an upper bound)")
+	}
+}
+
+func TestConjecture(t *testing.T) {
+	var buf bytes.Buffer
+	err := Conjecture(&buf, ConjectureOptions{
+		Policies: []string{"Greedy"},
+		Trials:   40, Climb: 10, Slots: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Greedy: worst certified ratio") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "witness trace:") {
+		t.Errorf("greedy hunt found no witness:\n%s", out)
+	}
+	if err := Conjecture(&bytes.Buffer{}, ConjectureOptions{
+		Policies: []string{"NOPE"}, Trials: 1, Slots: 2,
+	}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	// Default targets LWD and MRD.
+	buf.Reset()
+	if err := Conjecture(&buf, ConjectureOptions{Trials: 5, Climb: 2, Slots: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LWD:") || !strings.Contains(buf.String(), "MRD:") {
+		t.Errorf("default hunt output:\n%s", buf.String())
+	}
+}
+
+func TestGenerateStatsReplayPipeline(t *testing.T) {
+	var trace bytes.Buffer
+	gen := GenerateOptions{
+		Slots: 500, Ports: 4, Sources: 20, Mode: "work", Affinity: true, Seed: 3,
+	}
+	if err := Generate(&trace, gen); err != nil {
+		t.Fatal(err)
+	}
+	traceText := trace.String()
+
+	var stats bytes.Buffer
+	if err := Stats(&stats, strings.NewReader(traceText)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slots:        500", "packets:", "mean rate:"} {
+		if !strings.Contains(stats.String(), want) {
+			t.Errorf("stats missing %q:\n%s", want, stats.String())
+		}
+	}
+
+	var replay bytes.Buffer
+	err := Replay(&replay, strings.NewReader(traceText), ReplayOptions{
+		Policy: "LWD", Ports: 4, Buffer: 32, Mode: "work",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"policy:       LWD", "ratio:"} {
+		if !strings.Contains(replay.String(), want) {
+			t.Errorf("replay missing %q:\n%s", want, replay.String())
+		}
+	}
+}
+
+func TestGenerateValueModes(t *testing.T) {
+	for _, mode := range []string{"value", "value-by-port"} {
+		var buf bytes.Buffer
+		err := Generate(&buf, GenerateOptions{Slots: 50, Ports: 4, Sources: 10, Mode: mode, Seed: 1})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		var replay bytes.Buffer
+		err = Replay(&replay, strings.NewReader(buf.String()), ReplayOptions{
+			Policy: "MRD", Ports: 4, Mode: mode,
+		})
+		if err != nil {
+			t.Fatalf("replay %s: %v", mode, err)
+		}
+	}
+}
+
+func TestGenerateRejectsBadMode(t *testing.T) {
+	if err := Generate(&bytes.Buffer{}, GenerateOptions{Slots: 1, Ports: 2, Sources: 1, Mode: "bogus"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	trace := "# smbm-trace v1 slots=1\n0 0 1 1\n"
+	cases := []ReplayOptions{
+		{Policy: "LWD", Ports: 2, Mode: "bogus"},
+		{Policy: "NOPE", Ports: 2, Mode: "work"},
+		{Policy: "MRD", Ports: 2, Mode: "work"}, // value policy in work mode
+	}
+	for _, o := range cases {
+		if err := Replay(&bytes.Buffer{}, strings.NewReader(trace), o); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	if err := Stats(&bytes.Buffer{}, strings.NewReader("garbage")); err == nil {
+		t.Error("stats on garbage accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"smbm/internal/core"
+	"smbm/internal/policy"
+	"smbm/internal/search"
+	"smbm/internal/valpolicy"
+)
+
+// ConjectureOptions drives Conjecture (cmd/conjecture).
+type ConjectureOptions struct {
+	// Policies names the policies to hunt (empty = LWD and MRD, the two
+	// open-problem targets).
+	Policies []string
+	// Trials, Climb, Slots and Seed tune the search.
+	Trials, Climb, Slots int
+	Seed                 int64
+}
+
+// Conjecture runs worst-case hunts and writes the certified worst ratios
+// (with witness traces) to w.
+func Conjecture(w io.Writer, o ConjectureOptions) error {
+	names := o.Policies
+	if len(names) == 0 {
+		names = []string{"LWD", "MRD"}
+	}
+	for _, name := range names {
+		spec, err := huntSpec(name)
+		if err != nil {
+			return err
+		}
+		spec.Trials = o.Trials
+		spec.Climb = o.Climb
+		spec.Slots = o.Slots
+		spec.Seed = o.Seed
+		worst, err := search.Run(spec)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s: worst certified ratio %.4f (exact %d vs %d) over %d instances\n",
+			name, worst.Ratio, worst.Exact, worst.Alg, worst.Evaluated); err != nil {
+			return err
+		}
+		if worst.Ratio > 1.0 {
+			if _, err := fmt.Fprintln(w, "  witness trace:"); err != nil {
+				return err
+			}
+			for s, burst := range worst.Trace {
+				if len(burst) == 0 {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "    slot %d: %v\n", s, burst); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// huntSpec maps a policy name to its tiny hunting ground.
+func huntSpec(name string) (search.Spec, error) {
+	procCfg := core.Config{
+		Model:    core.ModelProcessing,
+		Ports:    3,
+		Buffer:   4,
+		MaxLabel: 3,
+		Speedup:  1,
+		PortWork: []int{1, 2, 3},
+	}
+	valCfg := core.Config{
+		Model:    core.ModelValue,
+		Ports:    3,
+		Buffer:   4,
+		MaxLabel: 4,
+		Speedup:  1,
+	}
+	if p := policy.ByName(name); p != nil {
+		return search.Spec{Cfg: procCfg, Policy: p, MaxBurst: 4}, nil
+	}
+	if p := valpolicy.ByName(name); p != nil {
+		return search.Spec{Cfg: valCfg, Policy: p, MaxBurst: 4}, nil
+	}
+	return search.Spec{}, fmt.Errorf("unknown policy %q", name)
+}

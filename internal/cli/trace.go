@@ -1,0 +1,189 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"smbm/internal/core"
+	"smbm/internal/policy"
+	"smbm/internal/sim"
+	"smbm/internal/traffic"
+	"smbm/internal/valpolicy"
+)
+
+// GenerateOptions drives Generate (cmd/tracegen).
+type GenerateOptions struct {
+	// Slots, Ports, MaxLabel and Sources shape the trace.
+	Slots, Ports, MaxLabel, Sources int
+	// Rate is the mean packets per slot (0 = 1.5x ports).
+	Rate float64
+	// Mode selects labeling: "work", "value" or "value-by-port".
+	Mode string
+	// Affinity pins each source to one port.
+	Affinity bool
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Binary selects the compact binary trace format (default: text).
+	Binary bool
+}
+
+// buildMMPP assembles the generator config for the options.
+func (o GenerateOptions) buildMMPP() (traffic.MMPPConfig, error) {
+	maxLabel := o.MaxLabel
+	if maxLabel == 0 {
+		maxLabel = o.Ports
+	}
+	rate := o.Rate
+	if rate == 0 {
+		rate = 1.5 * float64(o.Ports)
+	}
+	cfg := traffic.MMPPConfig{
+		Sources:      o.Sources,
+		POnOff:       0.1,
+		POffOn:       0.01,
+		Ports:        o.Ports,
+		MaxLabel:     maxLabel,
+		PortAffinity: o.Affinity,
+		Seed:         o.Seed,
+	}
+	switch o.Mode {
+	case "work":
+		cfg.Label = traffic.LabelWorkByPort
+		cfg.PortWork = core.ContiguousWorks(o.Ports)
+		cfg.MaxLabel = o.Ports
+	case "value":
+		cfg.Label = traffic.LabelValueUniform
+	case "value-by-port":
+		cfg.Label = traffic.LabelValueByPort
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q", o.Mode)
+	}
+	cfg.LambdaOn = cfg.LambdaForRate(rate)
+	return cfg, nil
+}
+
+// Generate writes a synthetic trace to w.
+func Generate(w io.Writer, o GenerateOptions) error {
+	cfg, err := o.buildMMPP()
+	if err != nil {
+		return err
+	}
+	gen, err := traffic.NewMMPP(cfg)
+	if err != nil {
+		return err
+	}
+	tr := traffic.Record(gen, o.Slots)
+	if o.Binary {
+		return tr.WriteBinary(w)
+	}
+	return tr.Write(w)
+}
+
+// Stats reads a trace (text or binary) from r and writes summary
+// statistics to w.
+func Stats(w io.Writer, r io.Reader) error {
+	tr, err := traffic.ReadAnyTrace(r)
+	if err != nil {
+		return err
+	}
+	var (
+		packets, work, value int
+		peak                 int
+	)
+	for _, slot := range tr {
+		packets += len(slot)
+		if len(slot) > peak {
+			peak = len(slot)
+		}
+		for _, p := range slot {
+			work += p.Work
+			value += p.Value
+		}
+	}
+	slots := len(tr)
+	rate := 0.0
+	if slots > 0 {
+		rate = float64(packets) / float64(slots)
+	}
+	_, err = fmt.Fprintf(w, `slots:        %d
+packets:      %d
+mean rate:    %.3f pkts/slot
+peak burst:   %d pkts/slot
+total work:   %d cycles
+total value:  %d
+`, slots, packets, rate, peak, work, value)
+	return err
+}
+
+// ReplayOptions drives Replay (cmd/tracegen -replay).
+type ReplayOptions struct {
+	// Policy names the policy to replay under.
+	Policy string
+	// Ports, MaxLabel, Buffer and Flush shape the switch.
+	Ports, MaxLabel, Buffer, Flush int
+	// Mode matches GenerateOptions.Mode.
+	Mode string
+}
+
+// Replay reads a trace from r, drives the named policy and the OPT proxy
+// over it, and writes the outcome to w.
+func Replay(w io.Writer, r io.Reader, o ReplayOptions) error {
+	tr, err := traffic.ReadAnyTrace(r)
+	if err != nil {
+		return err
+	}
+	maxLabel := o.MaxLabel
+	if maxLabel == 0 {
+		maxLabel = o.Ports
+	}
+	buffer := o.Buffer
+	if buffer == 0 {
+		buffer = 2 * o.Ports
+	}
+	cfg := core.Config{Ports: o.Ports, Buffer: buffer, MaxLabel: maxLabel, Speedup: 1}
+	var pol core.Policy
+	switch o.Mode {
+	case "work":
+		cfg.Model = core.ModelProcessing
+		cfg.PortWork = core.ContiguousWorks(o.Ports)
+		cfg.MaxLabel = o.Ports
+		pol = policy.ByName(o.Policy)
+	case "value", "value-by-port":
+		cfg.Model = core.ModelValue
+		pol = valpolicy.ByName(o.Policy)
+	default:
+		return fmt.Errorf("unknown -mode %q", o.Mode)
+	}
+	if pol == nil {
+		return fmt.Errorf("unknown policy %q for mode %q", o.Policy, o.Mode)
+	}
+	sw, err := core.New(cfg, pol)
+	if err != nil {
+		return err
+	}
+	st, err := sim.RunTrace(sw, tr, o.Flush)
+	if err != nil {
+		return err
+	}
+	opt, err := sim.NewOptProxy(cfg)
+	if err != nil {
+		return err
+	}
+	optStats, err := sim.RunTrace(opt, tr, o.Flush)
+	if err != nil {
+		return err
+	}
+	obj, optObj := st.Throughput(cfg.Model), optStats.Throughput(cfg.Model)
+	if _, err := fmt.Fprintf(w, `policy:       %s (%s model)
+arrived:      %d
+transmitted:  %d packets (objective %d)
+dropped:      %d, pushed out: %d
+opt proxy:    %d
+`, pol.Name(), cfg.Model, st.Arrived, st.Transmitted, obj, st.Dropped, st.PushedOut, optObj); err != nil {
+		return err
+	}
+	if obj > 0 {
+		_, err = fmt.Fprintf(w, "ratio:        %.4f\n", float64(optObj)/float64(obj))
+	}
+	return err
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+// benchTrace builds a saturating random burst sequence for the config.
+func benchTrace(cfg Config, slots, burst int) [][]pkt.Packet {
+	rng := rand.New(rand.NewSource(1))
+	tr := make([][]pkt.Packet, slots)
+	for s := range tr {
+		bs := make([]pkt.Packet, burst)
+		for i := range bs {
+			port := rng.Intn(cfg.Ports)
+			if cfg.Model == ModelValue {
+				bs[i] = pkt.NewValue(port, 1+rng.Intn(cfg.MaxLabel))
+			} else {
+				bs[i] = pkt.NewWork(port, cfg.PortWork[port])
+			}
+		}
+		tr[s] = bs
+	}
+	return tr
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	tr := benchTrace(cfg, 256, 8)
+	sw := MustNew(cfg, PolicyFunc{PolicyName: "greedy", Func: func(v View, _ pkt.Packet) Decision {
+		if v.Free() > 0 {
+			return Accept()
+		}
+		return Drop()
+	}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, burst := range tr {
+			if err := sw.Step(burst); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sw.Reset()
+	}
+}
+
+func BenchmarkProcessingModelStep(b *testing.B) {
+	benchRun(b, Config{
+		Model: ModelProcessing, Ports: 16, Buffer: 128, MaxLabel: 16,
+		Speedup: 1, PortWork: ContiguousWorks(16),
+	})
+}
+
+func BenchmarkValueModelStep(b *testing.B) {
+	benchRun(b, Config{
+		Model: ModelValue, Ports: 16, Buffer: 128, MaxLabel: 16, Speedup: 1,
+	})
+}
+
+// BenchmarkInvariantCheckingOverhead is the ablation for the
+// CheckInvariants design flag: same workload with per-step verification.
+func BenchmarkInvariantCheckingOverhead(b *testing.B) {
+	benchRun(b, Config{
+		Model: ModelProcessing, Ports: 16, Buffer: 128, MaxLabel: 16,
+		Speedup: 1, PortWork: ContiguousWorks(16), CheckInvariants: true,
+	})
+}

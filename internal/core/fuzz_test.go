@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+// FuzzDecisionExecutor drives the engine with a byte-scripted policy
+// that emits arbitrary (possibly invalid) decisions. The engine must
+// never panic: invalid decisions surface as errors and valid ones keep
+// every invariant (checked per step).
+func FuzzDecisionExecutor(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, []byte{1, 2, 0, 3}, false)
+	f.Add([]byte{255, 254, 253}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, true)
+	f.Add([]byte{}, []byte{7}, false)
+	f.Fuzz(func(t *testing.T, script []byte, arrivals []byte, valueModel bool) {
+		cfg := Config{
+			Ports:           3,
+			Buffer:          4,
+			MaxLabel:        3,
+			Speedup:         1,
+			CheckInvariants: true,
+		}
+		if valueModel {
+			cfg.Model = ModelValue
+		} else {
+			cfg.Model = ModelProcessing
+			cfg.PortWork = []int{1, 2, 3}
+		}
+		step := 0
+		scripted := PolicyFunc{PolicyName: "fuzz", Func: func(v View, _ pkt.Packet) Decision {
+			if len(script) == 0 {
+				return Drop()
+			}
+			b := script[step%len(script)]
+			step++
+			switch b % 4 {
+			case 0:
+				return Drop()
+			case 1:
+				return Accept()
+			default:
+				// Victim may be out of range or empty: the engine must
+				// reject such decisions with an error, not a panic.
+				return PushOut(int(b%5) - 1)
+			}
+		}}
+		sw := MustNew(cfg, scripted)
+		for i, a := range arrivals {
+			port := int(a) % cfg.Ports
+			var p pkt.Packet
+			if valueModel {
+				p = pkt.NewValue(port, 1+int(a)%cfg.MaxLabel)
+			} else {
+				p = pkt.NewWork(port, cfg.PortWork[port])
+			}
+			if err := sw.Arrive(p); err != nil {
+				// Invalid scripted decision: acceptable, stop this run.
+				return
+			}
+			if i%3 == 2 {
+				sw.Transmit()
+			}
+		}
+		sw.Drain()
+		st := sw.Stats()
+		if st.Arrived != st.Accepted+st.Dropped {
+			t.Fatalf("conservation broken: %+v", st)
+		}
+		if st.Accepted != st.Transmitted+st.PushedOut {
+			t.Fatalf("conservation broken after drain: %+v", st)
+		}
+	})
+}

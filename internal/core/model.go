@@ -1,0 +1,149 @@
+// Package core implements the shared-memory switch model of the paper for
+// both of its generalizations:
+//
+//   - the heterogeneous processing model (Section III): unit-sized packets
+//     with an output port and required work, FIFO output queues, all
+//     packets of a port sharing the port's work requirement;
+//   - the heterogeneous value model (Section IV): unit-work packets with an
+//     output port and intrinsic value, priority-queue output queues.
+//
+// Time is slotted. Each slot has an arrival phase, in which a buffer
+// management policy decides per arriving packet whether to admit it and
+// whether to push out an already-buffered packet, and a transmission
+// phase, in which every non-empty output queue receives C processing
+// cycles (processing model) or transmits up to C packets (value model).
+//
+// The engine owns all mutation; policies are pure functions from a
+// read-only View and an arriving packet to a Decision. This keeps the
+// model's invariants (occupancy bound, FIFO order, conservation) enforced
+// in one place and makes policies independently testable.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Model selects which of the paper's two generalizations a Switch
+// simulates.
+type Model int
+
+// Enum of switch models. Values start at 1 so the zero value is invalid
+// and cannot be used by accident.
+const (
+	// ModelProcessing is the Section III model: heterogeneous required
+	// work, unit values, FIFO queues, throughput = packets transmitted.
+	ModelProcessing Model = iota + 1
+	// ModelValue is the Section IV model: heterogeneous values, unit
+	// work, priority queues, throughput = total value transmitted.
+	ModelValue
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case ModelProcessing:
+		return "processing"
+	case ModelValue:
+		return "value"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Config describes a shared-memory switch instance.
+type Config struct {
+	// Model selects the processing or the value generalization.
+	Model Model
+	// Ports is n, the number of output ports (= output queues).
+	Ports int
+	// Buffer is B, the shared buffer size in packets. The paper assumes
+	// B >= n.
+	Buffer int
+	// MaxLabel is k: the upper bound on per-packet required work
+	// (processing model) or intrinsic value (value model).
+	MaxLabel int
+	// Speedup is C, the number of processing cores attached to every
+	// output queue. C cycles are applied per queue per slot (processing
+	// model); C packets are transmitted per queue per slot (value model).
+	Speedup int
+	// PortWork gives w_i, the required work of packets destined to port
+	// i (processing model only; the paper's "configuration"). A nil
+	// slice means unit work on every port, which recovers the classical
+	// shared-memory switch of Aiello et al. Must be non-decreasing: the
+	// paper sorts queues by processing requirement.
+	PortWork []int
+	// CheckInvariants enables per-slot internal consistency checks.
+	// Expensive; intended for tests.
+	CheckInvariants bool
+}
+
+// ContiguousWorks returns the paper's canonical lower-bound configuration:
+// k ports with required work 1..k ("contiguous case").
+func ContiguousWorks(k int) []int {
+	works := make([]int, k)
+	for i := range works {
+		works[i] = i + 1
+	}
+	return works
+}
+
+// UniformWorks returns n ports that all require work w.
+func UniformWorks(n, w int) []int {
+	works := make([]int, n)
+	for i := range works {
+		works[i] = w
+	}
+	return works
+}
+
+// ErrBadConfig is wrapped by all Config validation failures.
+var ErrBadConfig = errors.New("core: invalid config")
+
+// Validate checks internal consistency of the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Model != ModelProcessing && c.Model != ModelValue:
+		return fmt.Errorf("%w: unknown model %d", ErrBadConfig, int(c.Model))
+	case c.Ports < 1:
+		return fmt.Errorf("%w: ports %d < 1", ErrBadConfig, c.Ports)
+	case c.Buffer < c.Ports:
+		return fmt.Errorf("%w: buffer %d < ports %d (paper assumes B >= n)", ErrBadConfig, c.Buffer, c.Ports)
+	case c.MaxLabel < 1:
+		return fmt.Errorf("%w: max label %d < 1", ErrBadConfig, c.MaxLabel)
+	case c.Speedup < 1:
+		return fmt.Errorf("%w: speedup %d < 1", ErrBadConfig, c.Speedup)
+	}
+	if c.Model == ModelValue {
+		if c.PortWork != nil {
+			return fmt.Errorf("%w: PortWork is a processing-model parameter", ErrBadConfig)
+		}
+		return nil
+	}
+	if c.PortWork == nil {
+		return nil
+	}
+	if len(c.PortWork) != c.Ports {
+		return fmt.Errorf("%w: len(PortWork)=%d != ports %d", ErrBadConfig, len(c.PortWork), c.Ports)
+	}
+	prev := 1
+	for i, w := range c.PortWork {
+		if w < 1 || w > c.MaxLabel {
+			return fmt.Errorf("%w: PortWork[%d]=%d out of [1,%d]", ErrBadConfig, i, w, c.MaxLabel)
+		}
+		if w < prev {
+			return fmt.Errorf("%w: PortWork must be non-decreasing, got %d after %d", ErrBadConfig, w, prev)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// portWork returns the effective per-port work slice (unit work when
+// PortWork is nil).
+func (c Config) portWork() []int {
+	if c.Model == ModelValue || c.PortWork == nil {
+		return UniformWorks(c.Ports, 1)
+	}
+	return c.PortWork
+}

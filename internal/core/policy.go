@@ -1,0 +1,88 @@
+package core
+
+import "smbm/internal/pkt"
+
+// View is the read-only switch state a Policy may consult when making an
+// admission decision. Both switch models implement the full interface;
+// value accessors return zero in the processing model and vice versa.
+type View interface {
+	// Model identifies which generalization is being simulated.
+	Model() Model
+	// Ports returns n.
+	Ports() int
+	// Buffer returns B.
+	Buffer() int
+	// MaxLabel returns k.
+	MaxLabel() int
+	// Occupancy returns the number of packets currently buffered.
+	Occupancy() int
+	// Free returns Buffer() - Occupancy().
+	Free() int
+	// QueueLen returns |Q_i|.
+	QueueLen(i int) int
+	// PortWork returns w_i, the required work of port i's packets
+	// (1 in the value model).
+	PortWork(i int) int
+	// QueueWork returns W_i, the total residual work of Q_i
+	// (processing model; equals QueueLen in the value model).
+	QueueWork(i int) int
+	// QueueMinValue returns the smallest value buffered in Q_i, or 0 if
+	// the queue is empty (value model; 1-valued in the processing model).
+	QueueMinValue(i int) int
+	// QueueMaxValue returns the largest value buffered in Q_i, or 0 if
+	// empty.
+	QueueMaxValue(i int) int
+	// QueueValueSum returns the sum of values buffered in Q_i.
+	QueueValueSum(i int) int64
+}
+
+// Decision is a policy's verdict on one arriving packet.
+type Decision struct {
+	// Accept admits the packet into its destination queue.
+	Accept bool
+	// Push, valid only with Accept, first evicts one packet from queue
+	// Victim: the tail packet in the processing model (FIFO push-out of
+	// the last packet, per the paper), the minimum-value packet in the
+	// value model (PQ order: lowest value last).
+	Push bool
+	// Victim is the queue index to evict from when Push is set.
+	Victim int
+}
+
+// Drop is the decision rejecting the arriving packet.
+func Drop() Decision { return Decision{} }
+
+// Accept is the decision admitting the packet without eviction.
+func Accept() Decision { return Decision{Accept: true} }
+
+// PushOut is the decision evicting one packet from queue victim and then
+// admitting the arriving packet.
+func PushOut(victim int) Decision {
+	return Decision{Accept: true, Push: true, Victim: victim}
+}
+
+// Policy is a buffer management (admission control) policy. Admit is
+// called once per arriving packet during the arrival phase, in arrival
+// order. Implementations must not retain or mutate the View.
+type Policy interface {
+	// Name returns the short policy name used in reports ("LWD", ...).
+	Name() string
+	// Admit decides the fate of arriving packet p given switch state v.
+	Admit(v View, p pkt.Packet) Decision
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc struct {
+	// PolicyName is returned by Name.
+	PolicyName string
+	// Func is invoked by Admit.
+	Func func(v View, p pkt.Packet) Decision
+}
+
+// Name implements Policy.
+func (f PolicyFunc) Name() string { return f.PolicyName }
+
+// Admit implements Policy.
+func (f PolicyFunc) Admit(v View, p pkt.Packet) Decision { return f.Func(v, p) }
+
+var _ Policy = PolicyFunc{}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"smbm/internal/bmset"
+	"smbm/internal/deque"
+	"smbm/internal/pkt"
+)
+
+// Switch is a shared-memory switch instance driven by a Policy. Create
+// with New; not safe for concurrent use (run one Switch per goroutine).
+type Switch struct {
+	cfg    Config
+	policy Policy
+	works  []int // effective per-port work
+
+	occ  int
+	slot int64
+
+	// Processing model state. A queue holding len packets with
+	// head-of-line residual hol has total residual work
+	// (len-1)*w_i + hol; arrivals records the arrival slot of each
+	// buffered packet in FIFO order for latency accounting.
+	qLen     []int
+	holRes   []int
+	arrivals []deque.Deque
+
+	// Value model state: one bounded multiset per queue; transmission
+	// pops the max, push-out pops the min.
+	vq []*bmset.Set
+
+	stats   Stats
+	perPort []PortCounters
+}
+
+// New builds a switch from cfg driven by policy.
+func New(cfg Config, policy Policy) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("%w: nil policy", ErrBadConfig)
+	}
+	s := &Switch{
+		cfg:     cfg,
+		policy:  policy,
+		works:   cfg.portWork(),
+		perPort: make([]PortCounters, cfg.Ports),
+	}
+	if cfg.Model == ModelProcessing {
+		s.qLen = make([]int, cfg.Ports)
+		s.holRes = make([]int, cfg.Ports)
+		s.arrivals = make([]deque.Deque, cfg.Ports)
+	} else {
+		s.vq = make([]*bmset.Set, cfg.Ports)
+		for i := range s.vq {
+			s.vq[i] = bmset.New(cfg.MaxLabel)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New that panics on error; for tests and examples with
+// constant configurations.
+func MustNew(cfg Config, policy Policy) *Switch {
+	s, err := New(cfg, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Name returns the driving policy's name, identifying this system in
+// experiment reports.
+func (s *Switch) Name() string { return s.policy.Name() }
+
+// Policy returns the driving policy.
+func (s *Switch) Policy() Policy { return s.policy }
+
+// Stats returns a snapshot of the accumulated counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// PortCounters returns a copy of the per-port counters.
+func (s *Switch) PortCounters() []PortCounters {
+	out := make([]PortCounters, len(s.perPort))
+	copy(out, s.perPort)
+	return out
+}
+
+// Slot returns the current slot number (completed transmission phases).
+func (s *Switch) Slot() int64 { return s.slot }
+
+// --- View implementation -------------------------------------------------
+
+// Model implements View.
+func (s *Switch) Model() Model { return s.cfg.Model }
+
+// Ports implements View.
+func (s *Switch) Ports() int { return s.cfg.Ports }
+
+// Buffer implements View.
+func (s *Switch) Buffer() int { return s.cfg.Buffer }
+
+// MaxLabel implements View.
+func (s *Switch) MaxLabel() int { return s.cfg.MaxLabel }
+
+// Occupancy implements View.
+func (s *Switch) Occupancy() int { return s.occ }
+
+// Free implements View.
+func (s *Switch) Free() int { return s.cfg.Buffer - s.occ }
+
+// QueueLen implements View.
+func (s *Switch) QueueLen(i int) int {
+	if s.cfg.Model == ModelProcessing {
+		return s.qLen[i]
+	}
+	return s.vq[i].Len()
+}
+
+// PortWork implements View.
+func (s *Switch) PortWork(i int) int { return s.works[i] }
+
+// QueueWork implements View.
+func (s *Switch) QueueWork(i int) int {
+	if s.cfg.Model == ModelValue {
+		return s.vq[i].Len()
+	}
+	if s.qLen[i] == 0 {
+		return 0
+	}
+	return (s.qLen[i]-1)*s.works[i] + s.holRes[i]
+}
+
+// QueueMinValue implements View.
+func (s *Switch) QueueMinValue(i int) int {
+	if s.cfg.Model == ModelProcessing {
+		if s.qLen[i] == 0 {
+			return 0
+		}
+		return 1
+	}
+	if s.vq[i].Empty() {
+		return 0
+	}
+	return s.vq[i].Min()
+}
+
+// QueueMaxValue implements View.
+func (s *Switch) QueueMaxValue(i int) int {
+	if s.cfg.Model == ModelProcessing {
+		if s.qLen[i] == 0 {
+			return 0
+		}
+		return 1
+	}
+	if s.vq[i].Empty() {
+		return 0
+	}
+	return s.vq[i].Max()
+}
+
+// QueueValueSum implements View.
+func (s *Switch) QueueValueSum(i int) int64 {
+	if s.cfg.Model == ModelProcessing {
+		return int64(s.qLen[i])
+	}
+	return s.vq[i].Sum()
+}
+
+var _ View = (*Switch)(nil)
+
+// --- Simulation -----------------------------------------------------------
+
+// Arrive offers one packet to the policy during the arrival phase and
+// executes its decision. It returns an error when the packet is malformed
+// for this switch or the policy's decision violates the model (accepting
+// into a full buffer, evicting from an empty queue).
+func (s *Switch) Arrive(p pkt.Packet) error {
+	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+		return err
+	}
+	if s.cfg.Model == ModelProcessing && p.Work != s.works[p.Port] {
+		return fmt.Errorf("core: packet work %d does not match port %d configuration %d", p.Work, p.Port, s.works[p.Port])
+	}
+	s.stats.Arrived++
+	s.perPort[p.Port].Arrived++
+	d := s.policy.Admit(s, p)
+	if !d.Accept {
+		s.stats.Dropped++
+		s.perPort[p.Port].Dropped++
+		return nil
+	}
+	if d.Push {
+		if err := s.evict(d.Victim); err != nil {
+			return fmt.Errorf("core: policy %s: %w", s.policy.Name(), err)
+		}
+	}
+	if s.occ >= s.cfg.Buffer {
+		return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ, s.cfg.Buffer)
+	}
+	s.insert(p)
+	s.stats.Accepted++
+	s.perPort[p.Port].Accepted++
+	s.stats.observeOccupancy(s.occ)
+	if s.cfg.CheckInvariants {
+		return s.verify()
+	}
+	return nil
+}
+
+// ArriveBurst offers packets in order, stopping at the first error.
+func (s *Switch) ArriveBurst(ps []pkt.Packet) error {
+	for _, p := range ps {
+		if err := s.Arrive(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Transmit runs one transmission phase: every non-empty queue receives
+// Speedup processing cycles (processing model) or transmits up to Speedup
+// packets (value model). It advances the slot counter.
+func (s *Switch) Transmit() {
+	if s.cfg.Model == ModelProcessing {
+		s.transmitProcessing()
+	} else {
+		s.transmitValue()
+	}
+	s.slot++
+	s.stats.Slots++
+	if s.cfg.CheckInvariants {
+		if err := s.verify(); err != nil {
+			panic(err) // unreachable unless the engine itself is broken
+		}
+	}
+}
+
+func (s *Switch) transmitProcessing() {
+	for i := 0; i < s.cfg.Ports; i++ {
+		budget := s.cfg.Speedup
+		for budget > 0 && s.qLen[i] > 0 {
+			use := min(budget, s.holRes[i])
+			s.holRes[i] -= use
+			budget -= use
+			s.stats.CyclesUsed += int64(use)
+			if s.holRes[i] > 0 {
+				break
+			}
+			// Head-of-line packet completed: transmit it.
+			s.qLen[i]--
+			s.occ--
+			s.stats.Transmitted++
+			s.stats.TransmittedValue++
+			s.stats.TransmittedWork += int64(s.works[i])
+			arrived := s.arrivals[i].PopFront()
+			latency := s.slot - arrived
+			s.stats.LatencySlots += latency
+			pc := &s.perPort[i]
+			pc.Transmitted++
+			pc.TransmittedValue++
+			pc.LatencySlots += latency
+			if latency > pc.MaxLatency {
+				pc.MaxLatency = latency
+			}
+			if s.qLen[i] > 0 {
+				s.holRes[i] = s.works[i]
+			}
+		}
+	}
+}
+
+func (s *Switch) transmitValue() {
+	for i := 0; i < s.cfg.Ports; i++ {
+		for c := 0; c < s.cfg.Speedup && !s.vq[i].Empty(); c++ {
+			v := s.vq[i].PopMax()
+			s.occ--
+			s.stats.Transmitted++
+			s.stats.TransmittedValue += int64(v)
+			s.stats.TransmittedWork++
+			s.stats.CyclesUsed++
+			s.perPort[i].Transmitted++
+			s.perPort[i].TransmittedValue += int64(v)
+		}
+	}
+}
+
+// Step runs one full time slot: the arrival phase over the given burst
+// (in order), then the transmission phase.
+func (s *Switch) Step(arrivalsInOrder []pkt.Packet) error {
+	if err := s.ArriveBurst(arrivalsInOrder); err != nil {
+		return err
+	}
+	s.Transmit()
+	return nil
+}
+
+// Drain runs transmission phases with no arrivals until the buffer is
+// empty, returning the number of slots consumed. Total residual work is
+// finite and strictly decreases, so Drain always terminates.
+func (s *Switch) Drain() int {
+	var slots int
+	for s.occ > 0 {
+		s.Transmit()
+		slots++
+	}
+	return slots
+}
+
+// Reset empties the buffer and zeroes all statistics, keeping the
+// configuration and policy.
+func (s *Switch) Reset() {
+	s.occ = 0
+	s.slot = 0
+	s.stats = Stats{}
+	for i := range s.perPort {
+		s.perPort[i] = PortCounters{}
+	}
+	if s.cfg.Model == ModelProcessing {
+		for i := range s.qLen {
+			s.qLen[i] = 0
+			s.holRes[i] = 0
+			s.arrivals[i].Clear()
+		}
+	} else {
+		for _, q := range s.vq {
+			q.Clear()
+		}
+	}
+}
+
+// TotalWork returns the total residual work buffered across all queues.
+func (s *Switch) TotalWork() int {
+	var t int
+	for i := 0; i < s.cfg.Ports; i++ {
+		t += s.QueueWork(i)
+	}
+	return t
+}
+
+// evict removes one packet from queue victim: the FIFO tail (processing
+// model) or the minimum value (value model).
+func (s *Switch) evict(victim int) error {
+	if victim < 0 || victim >= s.cfg.Ports {
+		return fmt.Errorf("push-out victim %d out of range", victim)
+	}
+	if s.QueueLen(victim) == 0 {
+		return fmt.Errorf("push-out from empty queue %d", victim)
+	}
+	if s.cfg.Model == ModelProcessing {
+		s.qLen[victim]--
+		s.arrivals[victim].PopBack()
+		if s.qLen[victim] == 0 {
+			// The evicted tail was also the head-of-line packet; any
+			// cycles already spent on it are wasted.
+			s.holRes[victim] = 0
+		}
+	} else {
+		s.vq[victim].PopMin()
+	}
+	s.occ--
+	s.stats.PushedOut++
+	s.perPort[victim].PushedOut++
+	return nil
+}
+
+// insert appends p to its destination queue.
+func (s *Switch) insert(p pkt.Packet) {
+	if s.cfg.Model == ModelProcessing {
+		i := p.Port
+		s.qLen[i]++
+		s.arrivals[i].PushBack(s.slot)
+		if s.qLen[i] == 1 {
+			s.holRes[i] = s.works[i]
+		}
+	} else {
+		s.vq[p.Port].Add(p.Value)
+	}
+	s.occ++
+}
+
+// verify checks internal consistency; used when CheckInvariants is set.
+func (s *Switch) verify() error {
+	var sum int
+	for i := 0; i < s.cfg.Ports; i++ {
+		l := s.QueueLen(i)
+		if l < 0 {
+			return fmt.Errorf("core: queue %d negative length %d", i, l)
+		}
+		if s.cfg.Model == ModelProcessing {
+			if l > 0 && (s.holRes[i] < 1 || s.holRes[i] > s.works[i]) {
+				return fmt.Errorf("core: queue %d HOL residual %d out of [1,%d]", i, s.holRes[i], s.works[i])
+			}
+			if l == 0 && s.holRes[i] != 0 {
+				return fmt.Errorf("core: empty queue %d has residual %d", i, s.holRes[i])
+			}
+			if s.arrivals[i].Len() != l {
+				return fmt.Errorf("core: queue %d arrival log len %d != len %d", i, s.arrivals[i].Len(), l)
+			}
+		}
+		sum += l
+	}
+	if sum != s.occ {
+		return fmt.Errorf("core: occupancy %d != queue sum %d", s.occ, sum)
+	}
+	if s.occ > s.cfg.Buffer {
+		return fmt.Errorf("core: occupancy %d exceeds buffer %d", s.occ, s.cfg.Buffer)
+	}
+	resident := int64(s.occ)
+	if got := s.stats.Accepted - s.stats.Transmitted - s.stats.PushedOut; got != resident {
+		return fmt.Errorf("core: conservation violated: accepted-transmitted-pushed=%d, resident=%d", got, resident)
+	}
+	if s.stats.Arrived != s.stats.Accepted+s.stats.Dropped {
+		return fmt.Errorf("core: arrived %d != accepted %d + dropped %d", s.stats.Arrived, s.stats.Accepted, s.stats.Dropped)
+	}
+	return nil
+}

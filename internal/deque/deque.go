@@ -1,0 +1,129 @@
+// Package deque implements a growable ring-buffer double-ended queue of
+// ints. It backs the FIFO output queues of the processing-model switch,
+// where per-packet state reduces to the arrival slot (used for latency
+// accounting): all packets admitted to a queue share the queue's work
+// requirement, so the queue itself only needs order, not payload.
+//
+// All operations are O(1) amortized. The zero value is an empty deque
+// ready for use.
+package deque
+
+// Deque is a double-ended queue of int64 values backed by a ring buffer.
+type Deque struct {
+	buf   []int64
+	head  int // index of front element
+	count int
+}
+
+const minCapacity = 8
+
+// Len returns the number of elements.
+func (d *Deque) Len() int { return d.count }
+
+// Empty reports whether the deque holds no elements.
+func (d *Deque) Empty() bool { return d.count == 0 }
+
+// PushBack appends v at the back.
+func (d *Deque) PushBack(v int64) {
+	d.grow()
+	d.buf[d.index(d.count)] = v
+	d.count++
+}
+
+// PushFront prepends v at the front.
+func (d *Deque) PushFront(v int64) {
+	d.grow()
+	d.head = d.index(len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.count++
+}
+
+// PopFront removes and returns the front element. It panics on an empty
+// deque: popping an empty queue is a programming error in the simulator,
+// not a recoverable condition.
+func (d *Deque) PopFront() int64 {
+	if d.count == 0 {
+		panic("deque: PopFront on empty deque")
+	}
+	v := d.buf[d.head]
+	d.head = d.index(1)
+	d.count--
+	d.shrink()
+	return v
+}
+
+// PopBack removes and returns the back element. It panics on an empty
+// deque.
+func (d *Deque) PopBack() int64 {
+	if d.count == 0 {
+		panic("deque: PopBack on empty deque")
+	}
+	d.count--
+	v := d.buf[d.index(d.count)]
+	d.shrink()
+	return v
+}
+
+// Front returns the front element without removing it.
+func (d *Deque) Front() int64 {
+	if d.count == 0 {
+		panic("deque: Front on empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// Back returns the back element without removing it.
+func (d *Deque) Back() int64 {
+	if d.count == 0 {
+		panic("deque: Back on empty deque")
+	}
+	return d.buf[d.index(d.count-1)]
+}
+
+// At returns the i-th element from the front, 0-based.
+func (d *Deque) At(i int) int64 {
+	if i < 0 || i >= d.count {
+		panic("deque: At index out of range")
+	}
+	return d.buf[d.index(i)]
+}
+
+// Clear removes all elements, retaining capacity.
+func (d *Deque) Clear() {
+	d.head = 0
+	d.count = 0
+}
+
+// index maps a logical offset from the head to a physical buffer index.
+func (d *Deque) index(off int) int {
+	if len(d.buf) == 0 {
+		return 0
+	}
+	return (d.head + off) & (len(d.buf) - 1)
+}
+
+// grow ensures room for one more element. Capacity is always a power of
+// two so index() can mask instead of mod.
+func (d *Deque) grow() {
+	if d.count < len(d.buf) {
+		return
+	}
+	d.resize(max(minCapacity, len(d.buf)*2))
+}
+
+// shrink halves the buffer when it is at most a quarter full, bounding
+// memory after bursts drain.
+func (d *Deque) shrink() {
+	if len(d.buf) > minCapacity && d.count <= len(d.buf)/4 {
+		d.resize(len(d.buf) / 2)
+	}
+}
+
+func (d *Deque) resize(capacity int) {
+	buf := make([]int64, capacity)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[d.index(i)]
+	}
+	d.buf = buf
+	d.head = 0
+}

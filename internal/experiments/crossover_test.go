@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPanel6MVDCrossover reproduces the paper's "one interesting case"
+// from Fig. 5(6): under slot-scale megabursts, growing the speedup C
+// flips the ordering — MVD overtakes LQD once a burst can be served
+// almost entirely within a slot but cannot fit the buffer.
+func TestPanel6MVDCrossover(t *testing.T) {
+	o := smallOpts()
+	o.Slots = 1500
+	o.Seeds = 3
+	sweep, err := Panel("fig5.6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.Xs = []int{1, 8, 16}
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(x int, policy string) float64 {
+		for _, p := range res.Points {
+			if p.X == x {
+				return p.Ratio[policy].Mean
+			}
+		}
+		t.Fatalf("missing point %d", x)
+		return 0
+	}
+	// Low speedup: port diversity wins — LQD/MRD at or below MVD.
+	if lqd, mvd := at(1, "LQD"), at(1, "MVD"); lqd > mvd+1e-9 {
+		t.Errorf("C=1: LQD %.4f worse than MVD %.4f (no crossover regime)", lqd, mvd)
+	}
+	// High speedup: buffered value wins — MVD strictly ahead of LQD.
+	for _, c := range []int{8, 16} {
+		if lqd, mvd := at(c, "LQD"), at(c, "MVD"); mvd >= lqd {
+			t.Errorf("C=%d: MVD %.4f did not overtake LQD %.4f", c, mvd, lqd)
+		}
+	}
+}
+
+// TestPanel2BPDRecovery reproduces Fig. 5(2)'s second qualitative claim:
+// BPD is among the worst policies under tight buffers but overtakes the
+// non-preemptive policies once the buffer is large enough that
+// congestion (and hence its port starvation) fades.
+func TestPanel2BPDRecovery(t *testing.T) {
+	o := smallOpts()
+	o.Slots = 1500
+	sweep, err := Panel("fig5.2", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.Xs = []int{32, 2048}
+	res, err := sweep.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := res.Points[0], res.Points[1]
+	if small.X != 32 || large.X != 2048 {
+		t.Fatalf("unexpected points %d/%d", small.X, large.X)
+	}
+	if bpd, nhdt := small.Ratio["BPD"].Mean, small.Ratio["NHDT"].Mean; bpd < nhdt {
+		t.Errorf("B=32: BPD %.3f unexpectedly ahead of NHDT %.3f", bpd, nhdt)
+	}
+	if bpd, nhdt := large.Ratio["BPD"].Mean, large.Ratio["NHDT"].Mean; bpd > nhdt {
+		t.Errorf("B=2048: BPD %.3f did not recover past NHDT %.3f", bpd, nhdt)
+	}
+}

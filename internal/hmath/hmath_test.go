@@ -1,0 +1,89 @@
+package hmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicSmall(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 1},
+		{2, 1.5},
+		{3, 1 + 0.5 + 1.0/3},
+		{10, 2.9289682539682538},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.n); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Harmonic(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicAsymptoticAgreesWithSummation(t *testing.T) {
+	// The asymptotic branch starts above 1<<16; compare both methods in
+	// a region where direct summation is still exact enough.
+	n := 1 << 17
+	var direct float64
+	for i := n; i >= 1; i-- {
+		direct += 1 / float64(i)
+	}
+	if got := Harmonic(n); math.Abs(got-direct) > 1e-9 {
+		t.Errorf("Harmonic(%d) = %.12f, direct sum %.12f", n, got, direct)
+	}
+}
+
+func TestHarmonicMonotone(t *testing.T) {
+	f := func(a uint16) bool {
+		n := int(a%10000) + 1
+		return Harmonic(n+1) > Harmonic(n)
+	}
+	if err := quick.Check(f, qcfg(100)); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHarmonicRange(t *testing.T) {
+	if got, want := HarmonicRange(1, 10), Harmonic(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("HarmonicRange(1,10) = %v, want H_10 = %v", got, want)
+	}
+	if got, want := HarmonicRange(4, 10), Harmonic(10)-Harmonic(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("HarmonicRange(4,10) = %v, want %v", got, want)
+	}
+	if got := HarmonicRange(5, 4); got != 0 {
+		t.Errorf("HarmonicRange(5,4) = %v, want 0", got)
+	}
+	if got, want := HarmonicRange(-2, 3), Harmonic(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("HarmonicRange(-2,3) = %v, want %v", got, want)
+	}
+}
+
+func TestInverseWorkSum(t *testing.T) {
+	if got := InverseWorkSum(nil); got != 0 {
+		t.Errorf("InverseWorkSum(nil) = %v, want 0", got)
+	}
+	works := []int{1, 2, 4}
+	if got, want := InverseWorkSum(works), 1.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("InverseWorkSum(%v) = %v, want %v", works, got, want)
+	}
+}
+
+func TestEulerGammaRelation(t *testing.T) {
+	// H_n − ln n → γ; at n = 10⁶ the difference from γ is ~5e-7.
+	n := 1 << 20
+	if got := Harmonic(n) - math.Log(float64(n)); math.Abs(got-EulerGamma) > 1e-6 {
+		t.Errorf("H_n − ln n = %v, want ≈ γ = %v", got, EulerGamma)
+	}
+}
+
+// qcfg returns a deterministic quick.Config so property tests are
+// reproducible run to run.
+func qcfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
+}

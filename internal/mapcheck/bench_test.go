@@ -1,0 +1,22 @@
+package mapcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/policy"
+)
+
+// BenchmarkMappingRun tracks the cost of the per-event proof checking on
+// a saturating trace.
+func BenchmarkMappingRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := cfg(4, 16)
+	tr := randomTrace(rng, c, 50, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, policy.Greedy{}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

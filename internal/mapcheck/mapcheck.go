@@ -1,0 +1,167 @@
+// Package mapcheck executes the paper's Theorem 7 proof: it runs LWD and
+// a non-push-out clairvoyant opponent ("OPT") in lockstep on the same
+// arrival sequence while maintaining the mapping routine of Fig. 3
+// (steps A0–A3 and the transmission rule T0), and checks Lemma 8's
+// invariant after every event:
+//
+//   - every OPT-buffered packet is mapped to exactly one LWD packet;
+//   - an eligible OPT packet (one mapped to a still-buffered LWD packet)
+//     never has smaller latency than its image;
+//   - every LWD packet carries at most one image by A0 and one by A1;
+//   - OPT never transmits an eligible packet (T0's consequence).
+//
+// A successful run certifies, for that instance, the 2-competitiveness
+// accounting of Theorem 7: every OPT transmission is charged to a
+// transmitted LWD packet, at most two charges each. A policy that is
+// not 2-competitive (e.g. BPD on the Theorem 5 script) must make the
+// routine fail — the failure is the checker's negative control.
+//
+// The checker follows the proof's model exactly: unit speedup, packets
+// processed one cycle per slot, LWD's ports served before OPT's within
+// a transmission phase.
+package mapcheck
+
+import (
+	"fmt"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// packet is one identified packet inside a shadow switch.
+type packet struct {
+	id      int
+	port    int
+	arrived int64
+}
+
+// shadow is a minimal shared-memory switch with per-packet identity.
+// It re-implements the core engine's processing-model semantics (which
+// the core package's tests pin down) because the mapping needs stable
+// packet IDs, positions and per-packet latencies.
+type shadow struct {
+	cfg    core.Config
+	pol    core.Policy
+	queues [][]packet
+	hol    []int // residual work of each queue's head packet
+	occ    int
+	slot   int64
+}
+
+func newShadow(cfg core.Config, pol core.Policy) *shadow {
+	return &shadow{
+		cfg:    cfg,
+		pol:    pol,
+		queues: make([][]packet, cfg.Ports),
+		hol:    make([]int, cfg.Ports),
+	}
+}
+
+// --- core.View implementation over the shadow state ---
+
+func (s *shadow) Model() core.Model  { return core.ModelProcessing }
+func (s *shadow) Ports() int         { return s.cfg.Ports }
+func (s *shadow) Buffer() int        { return s.cfg.Buffer }
+func (s *shadow) MaxLabel() int      { return s.cfg.MaxLabel }
+func (s *shadow) Occupancy() int     { return s.occ }
+func (s *shadow) Free() int          { return s.cfg.Buffer - s.occ }
+func (s *shadow) QueueLen(i int) int { return len(s.queues[i]) }
+func (s *shadow) PortWork(i int) int { return s.cfg.PortWork[i] }
+
+func (s *shadow) QueueWork(i int) int {
+	n := len(s.queues[i])
+	if n == 0 {
+		return 0
+	}
+	return (n-1)*s.cfg.PortWork[i] + s.hol[i]
+}
+
+func (s *shadow) QueueMinValue(i int) int {
+	if len(s.queues[i]) == 0 {
+		return 0
+	}
+	return 1
+}
+func (s *shadow) QueueMaxValue(i int) int   { return s.QueueMinValue(i) }
+func (s *shadow) QueueValueSum(i int) int64 { return int64(len(s.queues[i])) }
+
+var _ core.View = (*shadow)(nil)
+
+// latency returns the slots until the packet at raw position idx of
+// queue j transmits, absent future push-outs (unit speedup).
+func (s *shadow) latency(j, idx int) int {
+	return s.hol[j] + idx*s.cfg.PortWork[j]
+}
+
+// latencyOf locates a packet by id and returns its latency, or -1 if it
+// is no longer buffered.
+func (s *shadow) latencyOf(id int) int {
+	for j := range s.queues {
+		for idx, p := range s.queues[j] {
+			if p.id == id {
+				return s.latency(j, idx)
+			}
+		}
+	}
+	return -1
+}
+
+// admit runs the policy on one arrival and applies the decision,
+// returning what happened.
+type admitResult struct {
+	accepted bool
+	evicted  *packet // non-nil if a push-out occurred
+	queuePos int     // raw 1-based position of the accepted packet
+}
+
+func (s *shadow) admit(p packet, work int) (admitResult, error) {
+	d := s.pol.Admit(s, pkt.NewWork(p.port, work))
+	if !d.Accept {
+		return admitResult{}, nil
+	}
+	var res admitResult
+	res.accepted = true
+	if d.Push {
+		v := d.Victim
+		q := s.queues[v]
+		if len(q) == 0 {
+			return res, fmt.Errorf("mapcheck: %s evicts from empty queue %d", s.pol.Name(), v)
+		}
+		ev := q[len(q)-1]
+		s.queues[v] = q[:len(q)-1]
+		if len(s.queues[v]) == 0 {
+			s.hol[v] = 0
+		}
+		s.occ--
+		res.evicted = &ev
+	}
+	if s.occ >= s.cfg.Buffer {
+		return res, fmt.Errorf("mapcheck: %s accepted into a full buffer", s.pol.Name())
+	}
+	s.queues[p.port] = append(s.queues[p.port], p)
+	if len(s.queues[p.port]) == 1 {
+		s.hol[p.port] = s.cfg.PortWork[p.port]
+	}
+	s.occ++
+	res.queuePos = len(s.queues[p.port])
+	return res, nil
+}
+
+// serve applies one processing cycle to queue j's head; it returns the
+// transmitted packet, if any.
+func (s *shadow) serve(j int) *packet {
+	if len(s.queues[j]) == 0 {
+		return nil
+	}
+	s.hol[j]--
+	if s.hol[j] > 0 {
+		return nil
+	}
+	done := s.queues[j][0]
+	s.queues[j] = s.queues[j][1:]
+	s.occ--
+	if len(s.queues[j]) > 0 {
+		s.hol[j] = s.cfg.PortWork[j]
+	}
+	return &done
+}

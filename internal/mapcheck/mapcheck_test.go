@@ -1,0 +1,235 @@
+package mapcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+	"smbm/internal/policy"
+	"smbm/internal/traffic"
+)
+
+func cfg(k, b int) core.Config {
+	return core.Config{
+		Model:    core.ModelProcessing,
+		Ports:    k,
+		Buffer:   b,
+		MaxLabel: k,
+		Speedup:  1,
+		PortWork: core.ContiguousWorks(k),
+	}
+}
+
+func randomTrace(rng *rand.Rand, c core.Config, slots, maxBurst int) traffic.Trace {
+	tr := make(traffic.Trace, slots)
+	for s := range tr {
+		burst := make([]pkt.Packet, rng.Intn(maxBurst+1))
+		for i := range burst {
+			port := rng.Intn(c.Ports)
+			burst[i] = pkt.NewWork(port, c.PortWork[port])
+		}
+		tr[s] = burst
+	}
+	return tr
+}
+
+func TestRunRejectsWrongModel(t *testing.T) {
+	bad := cfg(3, 6)
+	bad.Speedup = 2
+	if _, err := Run(bad, policy.Greedy{}, nil); err == nil {
+		t.Error("speedup > 1 accepted")
+	}
+	val := core.Config{Model: core.ModelValue, Ports: 2, Buffer: 4, MaxLabel: 2, Speedup: 1}
+	if _, err := Run(val, policy.Greedy{}, nil); err == nil {
+		t.Error("value model accepted")
+	}
+}
+
+func TestRejectsPushOutOpponent(t *testing.T) {
+	c := cfg(2, 2)
+	// Two port-0 packets fill the buffer; the port-1 arrival makes an
+	// LQD opponent push out, which the proof's model forbids for OPT.
+	tr := traffic.Slots([]pkt.Packet{
+		pkt.NewWork(0, 1), pkt.NewWork(0, 1), pkt.NewWork(1, 2),
+	})
+	if _, err := Run(c, policy.LQD{}, tr); err == nil {
+		t.Error("push-out opponent accepted")
+	}
+}
+
+// TestLiteralRoutineGap pins the reproduction finding: the mapping
+// routine exactly as written in the paper's Fig. 3 violates Lemma 8's
+// latency claim. The minimal witness (found by randomized search and
+// shrinking): LWD pushes out queue 2's partially processed singleton
+// (the work-tie between queues 0 and 2 resolves to the larger index),
+// and when queue 2 refills one slot later, step A3 maps OPT's
+// half-processed head-of-line packet (latency 2) to LWD's fresh packet
+// (latency 3). The repaired routine (Run) keeps the packet on its valid
+// A1 mapping instead and survives the same instance.
+func TestLiteralRoutineGap(t *testing.T) {
+	c := cfg(3, 4) // ports with works {1,2,3}, B=4
+	witness := traffic.Slots(
+		[]pkt.Packet{pkt.NewWork(1, 2)},
+		[]pkt.Packet{pkt.NewWork(2, 3), pkt.NewWork(0, 1), pkt.NewWork(0, 1), pkt.NewWork(0, 1)},
+		[]pkt.Packet{pkt.NewWork(2, 3)},
+	)
+	_, err := RunLiteral(c, policy.Greedy{}, witness)
+	if err == nil {
+		t.Fatal("the literal Fig. 3 routine no longer fails on the pinned witness — update the finding")
+	}
+	t.Logf("literal routine: %v", err)
+
+	rep, err := Run(c, policy.Greedy{}, witness)
+	if err != nil {
+		t.Fatalf("repaired routine failed on the witness: %v", err)
+	}
+	if rep.OptSent > 2*rep.LwdSent {
+		t.Fatalf("accounting violated on the witness: %+v", rep)
+	}
+}
+
+// TestMappingHoldsAgainstGreedy maintains the Fig. 3 mapping on random
+// saturating traffic with a greedy opponent — the executable Lemma 8.
+func TestMappingHoldsAgainstGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		c := cfg(2+rng.Intn(3), 4+rng.Intn(8))
+		tr := randomTrace(rng, c, 30, 6)
+		rep, err := Run(c, policy.Greedy{}, tr)
+		if err != nil {
+			t.Fatalf("trial %d (cfg %+v): %v", trial, c, err)
+		}
+		if rep.OptSent > 2*rep.LwdSent {
+			t.Fatalf("trial %d: counts violate Theorem 7: %+v", trial, rep)
+		}
+	}
+}
+
+// TestMappingHoldsAgainstThresholdScripts pits LWD against the scripted
+// clairvoyant strategies the lower-bound proofs use.
+func TestMappingHoldsAgainstThresholdScripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		c := cfg(3, 9)
+		thr := []int{1 + rng.Intn(6), 1 + rng.Intn(4), 1 + rng.Intn(3)}
+		tr := randomTrace(rng, c, 30, 6)
+		rep, err := Run(c, policy.StaticThreshold{Label: "script", T: thr}, tr)
+		if err != nil {
+			t.Fatalf("trial %d (thr %v): %v", trial, thr, err)
+		}
+		if rep.OptSent > 2*rep.LwdSent {
+			t.Fatalf("trial %d: %+v", trial, rep)
+		}
+	}
+}
+
+// TestMappingHoldsOnTheorem6Script runs the mapping on the very arrival
+// script designed to hurt LWD (the 4/3 − 6/B lower bound): the proof's
+// machinery must survive its own adversary.
+func TestMappingHoldsOnTheorem6Script(t *testing.T) {
+	c := core.Config{
+		Model:    core.ModelProcessing,
+		Ports:    4,
+		Buffer:   48,
+		MaxLabel: 6,
+		Speedup:  1,
+		PortWork: []int{1, 2, 3, 6},
+	}
+	round := make(traffic.Trace, 48)
+	round[0] = pkt.Concat(
+		pkt.Burst(pkt.NewWork(0, 1), 48),
+		pkt.Burst(pkt.NewWork(1, 2), 12),
+		pkt.Burst(pkt.NewWork(2, 3), 8),
+		pkt.Burst(pkt.NewWork(3, 6), 4),
+	)
+	for t2 := 1; t2 < 48; t2++ {
+		if t2%2 == 0 {
+			round[t2] = append(round[t2], pkt.NewWork(1, 2))
+		}
+		if t2%3 == 0 {
+			round[t2] = append(round[t2], pkt.NewWork(2, 3))
+		}
+		if t2%6 == 0 {
+			round[t2] = append(round[t2], pkt.NewWork(3, 6))
+		}
+	}
+	tr := traffic.Concat(round, round)
+	rep, err := Run(c, policy.StaticThreshold{Label: "OPT(script)", T: []int{42, 2, 2, 2}}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OptSent > 2*rep.LwdSent {
+		t.Fatalf("Theorem 7 accounting violated: %+v", rep)
+	}
+	t.Logf("theorem-6 script: LWD %d, OPT %d, max charge %d, events %d",
+		rep.LwdSent, rep.OptSent, rep.MaxCharge, rep.Events)
+}
+
+// TestMappingBreaksForNonCompetitivePolicies is the negative control:
+// substituting BPD for LWD in the same machinery must fail — BPD's
+// ratio exceeds 2 on its adversarial script, so no Fig. 3 mapping can
+// exist. (The checker is LWD-specific by construction; this test
+// documents that the harness has teeth.)
+func TestMappingBreaksForNonCompetitivePolicies(t *testing.T) {
+	// Theorem 5's script: full sets of all works every slot; BPD keeps
+	// only unit-work packets. Run the mapping machinery with the LWD
+	// shadow swapped for BPD via a checker on a config where BPD
+	// collapses. We emulate by wiring BPD into the LWD slot directly.
+	k := 6
+	c := cfg(k, 2*k*(k+1))
+	var tr traffic.Trace
+	round := make(traffic.Trace, 10*k)
+	var first []pkt.Packet
+	for w := 1; w <= k; w++ {
+		first = append(first, pkt.Burst(pkt.NewWork(w-1, w), c.Buffer)...)
+	}
+	round[0] = first
+	for s := 1; s < len(round); s++ {
+		for w := 1; w <= k; w++ {
+			round[s] = append(round[s], pkt.NewWork(w-1, w), pkt.NewWork(w-1, w))
+		}
+	}
+	tr = traffic.Concat(round, round, round)
+
+	thresholds := make([]int, k)
+	for i := range thresholds {
+		thresholds[i] = c.Buffer / k
+	}
+	err := runWithAlg(c, policy.BPD{}, policy.StaticThreshold{Label: "script", T: thresholds}, tr)
+	if err == nil {
+		t.Fatal("the mapping machinery certified BPD, which is not 2-competitive")
+	}
+	t.Logf("negative control failed as expected: %v", err)
+}
+
+// runWithAlg runs the checker with an arbitrary policy in the LWD slot
+// (test-only hook).
+func runWithAlg(c core.Config, alg, opponent core.Policy, tr traffic.Trace) error {
+	ck := &checker{
+		lwd:            newShadow(c, alg),
+		opt:            newShadow(c, opponent),
+		a0:             map[int]int{},
+		a1:             map[int]int{},
+		a0img:          map[int]int{},
+		a1img:          map[int]int{},
+		lwdTransmitted: map[int]bool{},
+		charges:        map[int]int{},
+	}
+	for _, burst := range tr {
+		for _, p := range burst {
+			if err := ck.arrival(p.Port); err != nil {
+				return err
+			}
+		}
+		if err := ck.transmission(); err != nil {
+			return err
+		}
+	}
+	for ck.lwd.occ > 0 || ck.opt.occ > 0 {
+		if err := ck.transmission(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

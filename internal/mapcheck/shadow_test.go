@@ -1,0 +1,103 @@
+package mapcheck
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/core"
+	"smbm/internal/policy"
+	"smbm/internal/traffic"
+)
+
+// TestShadowMatchesEngine differentially tests the checker's shadow
+// simulator against the production engine: same policy, same trace, the
+// per-slot transmission counts and final statistics must agree exactly.
+// This validates both implementations of the model at once.
+func TestShadowMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	policies := []core.Policy{policy.LWD{}, policy.LQD{}, policy.Greedy{}, policy.BPD{}}
+	for trial := 0; trial < 30; trial++ {
+		ports := 2 + rng.Intn(4)
+		c := cfg(ports, ports+2+rng.Intn(12))
+		tr := randomTrace(rng, c, 40, 6)
+		for _, p := range policies {
+			sh := newShadow(c, p)
+			sw := core.MustNew(c, p)
+			var shadowSent int64
+			for s, burst := range tr {
+				for _, pk := range burst {
+					if _, err := sh.admit(packet{id: 0, port: pk.Port}, pk.Work); err != nil {
+						t.Fatalf("shadow admit: %v", err)
+					}
+				}
+				for j := 0; j < c.Ports; j++ {
+					if tx := sh.serve(j); tx != nil {
+						shadowSent++
+					}
+				}
+				sh.slot++
+				if err := sw.Step(burst); err != nil {
+					t.Fatalf("engine step: %v", err)
+				}
+				if got, want := sh.occ, sw.Occupancy(); got != want {
+					t.Fatalf("trial %d policy %s slot %d: shadow occ %d != engine %d",
+						trial, p.Name(), s, got, want)
+				}
+				if shadowSent != sw.Stats().Transmitted {
+					t.Fatalf("trial %d policy %s slot %d: shadow sent %d != engine %d",
+						trial, p.Name(), s, shadowSent, sw.Stats().Transmitted)
+				}
+				for j := 0; j < c.Ports; j++ {
+					if len(sh.queues[j]) != sw.QueueLen(j) {
+						t.Fatalf("trial %d policy %s slot %d: queue %d lengths diverge",
+							trial, p.Name(), s, j)
+					}
+					if sh.QueueWork(j) != sw.QueueWork(j) {
+						t.Fatalf("trial %d policy %s slot %d: queue %d work diverges",
+							trial, p.Name(), s, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShadowViewConformance: the shadow's core.View answers must agree
+// with the engine's on identical state.
+func TestShadowViewConformance(t *testing.T) {
+	c := cfg(3, 6)
+	sh := newShadow(c, policy.Greedy{})
+	sw := core.MustNew(c, policy.Greedy{})
+	tr := traffic.Trace{
+		{{Port: 0, Work: 1, Value: 1}, {Port: 2, Work: 3, Value: 1}, {Port: 2, Work: 3, Value: 1}},
+		{{Port: 1, Work: 2, Value: 1}},
+	}
+	for _, burst := range tr {
+		for _, pk := range burst {
+			if _, err := sh.admit(packet{port: pk.Port}, pk.Work); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Arrive(pk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < c.Ports; j++ {
+			sh.serve(j)
+		}
+		sw.Transmit()
+	}
+	if sh.Occupancy() != sw.Occupancy() || sh.Free() != sw.Free() {
+		t.Errorf("occupancy views diverge: %d/%d vs %d/%d", sh.Occupancy(), sh.Free(), sw.Occupancy(), sw.Free())
+	}
+	for j := 0; j < c.Ports; j++ {
+		if sh.QueueLen(j) != sw.QueueLen(j) || sh.QueueWork(j) != sw.QueueWork(j) {
+			t.Errorf("queue %d views diverge", j)
+		}
+		if sh.QueueMinValue(j) != sw.QueueMinValue(j) {
+			t.Errorf("queue %d min value diverges", j)
+		}
+	}
+	if sh.Model() != core.ModelProcessing || sh.Ports() != 3 || sh.Buffer() != 6 || sh.MaxLabel() != 3 {
+		t.Error("shadow config accessors broken")
+	}
+}

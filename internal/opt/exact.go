@@ -1,0 +1,243 @@
+package opt
+
+import (
+	"fmt"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// Exact search limits. The exhaustive optimum branches on every
+// accept/drop decision; these caps keep the memoized state space small
+// enough for tests.
+const (
+	maxExactPorts    = 4
+	maxExactBuffer   = 8
+	maxExactLabel    = 8
+	maxExactSlots    = 12
+	maxExactArrivals = 26
+)
+
+// ExactProcessing returns the maximum number of packets any offline
+// algorithm can transmit on the given per-slot arrival trace, including a
+// full drain after the last slot. Offline OPT never benefits from
+// push-out (it can simply not admit a packet it would later evict), so
+// the search branches only on accept/drop per arrival.
+//
+// Only tiny instances are supported; an error is returned when the
+// instance exceeds the documented caps.
+func ExactProcessing(cfg core.Config, trace [][]pkt.Packet) (int64, error) {
+	if err := checkExact(cfg, trace, core.ModelProcessing); err != nil {
+		return 0, err
+	}
+	works := make([]int, cfg.Ports)
+	for i := range works {
+		works[i] = 1
+	}
+	if cfg.PortWork != nil {
+		copy(works, cfg.PortWork)
+	}
+	e := &exactProc{cfg: cfg, works: works, trace: trace, memo: make(map[string]int64)}
+	// State: per queue, (length, head-of-line residual).
+	st := make([]byte, 2*cfg.Ports)
+	return e.best(0, 0, st, 0), nil
+}
+
+type exactProc struct {
+	cfg   core.Config
+	works []int
+	trace [][]pkt.Packet
+	memo  map[string]int64
+}
+
+// best returns the maximum future transmissions from the decision point
+// just before arrival idx of slot.
+func (e *exactProc) best(slot, idx int, st []byte, occ int) int64 {
+	if slot == len(e.trace) {
+		return e.drain(st)
+	}
+	key := fmt.Sprintf("%d.%d.%s", slot, idx, st)
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	var out int64
+	if idx < len(e.trace[slot]) {
+		p := e.trace[slot][idx]
+		// Option 1: drop.
+		out = e.best(slot, idx+1, st, occ)
+		// Option 2: accept, if there is room.
+		if occ < e.cfg.Buffer {
+			st2 := append([]byte(nil), st...)
+			q := p.Port
+			st2[2*q]++
+			if st2[2*q] == 1 {
+				st2[2*q+1] = byte(e.works[q])
+			}
+			if got := e.best(slot, idx+1, st2, occ+1); got > out {
+				out = got
+			}
+		}
+	} else {
+		st2 := append([]byte(nil), st...)
+		sent := e.transmit(st2)
+		out = sent + e.best(slot+1, 0, st2, occ-int(sent))
+	}
+	e.memo[key] = out
+	return out
+}
+
+// transmit applies one transmission phase in place and returns the number
+// of packets completed.
+func (e *exactProc) transmit(st []byte) int64 {
+	var sent int64
+	for q := 0; q < e.cfg.Ports; q++ {
+		budget := e.cfg.Speedup
+		for budget > 0 && st[2*q] > 0 {
+			hol := int(st[2*q+1])
+			use := min(budget, hol)
+			hol -= use
+			budget -= use
+			if hol > 0 {
+				st[2*q+1] = byte(hol)
+				break
+			}
+			st[2*q]--
+			sent++
+			if st[2*q] > 0 {
+				st[2*q+1] = byte(e.works[q])
+			} else {
+				st[2*q+1] = 0
+			}
+		}
+	}
+	return sent
+}
+
+func (e *exactProc) drain(st []byte) int64 {
+	st2 := append([]byte(nil), st...)
+	var sent int64
+	for {
+		got := e.transmit(st2)
+		sent += got
+		if got == 0 {
+			empty := true
+			for q := 0; q < e.cfg.Ports; q++ {
+				if st2[2*q] > 0 {
+					empty = false
+					break
+				}
+			}
+			if empty {
+				return sent
+			}
+		}
+	}
+}
+
+// ExactValue returns the maximum total value any offline algorithm can
+// transmit on the given per-slot arrival trace, including a full drain.
+// Same caps and push-out argument as ExactProcessing.
+func ExactValue(cfg core.Config, trace [][]pkt.Packet) (int64, error) {
+	if err := checkExact(cfg, trace, core.ModelValue); err != nil {
+		return 0, err
+	}
+	e := &exactVal{cfg: cfg, trace: trace, memo: make(map[string]int64)}
+	// State: per queue, count of each value 1..k.
+	st := make([]byte, cfg.Ports*cfg.MaxLabel)
+	return e.best(0, 0, st, 0), nil
+}
+
+type exactVal struct {
+	cfg   core.Config
+	trace [][]pkt.Packet
+	memo  map[string]int64
+}
+
+func (e *exactVal) best(slot, idx int, st []byte, occ int) int64 {
+	if slot == len(e.trace) {
+		return e.drain(st)
+	}
+	key := fmt.Sprintf("%d.%d.%s", slot, idx, st)
+	if v, ok := e.memo[key]; ok {
+		return v
+	}
+	var out int64
+	if idx < len(e.trace[slot]) {
+		p := e.trace[slot][idx]
+		out = e.best(slot, idx+1, st, occ)
+		if occ < e.cfg.Buffer {
+			st2 := append([]byte(nil), st...)
+			st2[p.Port*e.cfg.MaxLabel+p.Value-1]++
+			if got := e.best(slot, idx+1, st2, occ+1); got > out {
+				out = got
+			}
+		}
+	} else {
+		st2 := append([]byte(nil), st...)
+		sent, cnt := e.transmit(st2)
+		out = sent + e.best(slot+1, 0, st2, occ-cnt)
+	}
+	e.memo[key] = out
+	return out
+}
+
+// transmit pops up to Speedup maximum values from each queue, returning
+// (total value, packet count).
+func (e *exactVal) transmit(st []byte) (int64, int) {
+	var (
+		value int64
+		count int
+	)
+	k := e.cfg.MaxLabel
+	for q := 0; q < e.cfg.Ports; q++ {
+		budget := e.cfg.Speedup
+		for v := k; v >= 1 && budget > 0; v-- {
+			idx := q*k + v - 1
+			for st[idx] > 0 && budget > 0 {
+				st[idx]--
+				value += int64(v)
+				count++
+				budget--
+			}
+		}
+	}
+	return value, count
+}
+
+func (e *exactVal) drain(st []byte) int64 {
+	st2 := append([]byte(nil), st...)
+	var total int64
+	for {
+		v, c := e.transmit(st2)
+		total += v
+		if c == 0 {
+			return total
+		}
+	}
+}
+
+func checkExact(cfg core.Config, trace [][]pkt.Packet, want core.Model) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Model != want {
+		return fmt.Errorf("%w: exact solver model mismatch: have %v, want %v", core.ErrBadConfig, cfg.Model, want)
+	}
+	if cfg.Ports > maxExactPorts || cfg.Buffer > maxExactBuffer || cfg.MaxLabel > maxExactLabel || len(trace) > maxExactSlots {
+		return fmt.Errorf("opt: instance too large for exact search (ports<=%d, B<=%d, k<=%d, slots<=%d)",
+			maxExactPorts, maxExactBuffer, maxExactLabel, maxExactSlots)
+	}
+	var arrivals int
+	for _, slot := range trace {
+		arrivals += len(slot)
+		for _, p := range slot {
+			if err := p.Validate(cfg.Ports, cfg.MaxLabel); err != nil {
+				return err
+			}
+		}
+	}
+	if arrivals > maxExactArrivals {
+		return fmt.Errorf("opt: %d arrivals exceed exact search cap %d", arrivals, maxExactArrivals)
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+// Package opt provides the reference algorithms the paper compares
+// against:
+//
+//   - SPQProc / SPQVal: the simulation study's OPT proxy — a single
+//     priority queue over the whole buffer with n·C cores, processing
+//     smallest-work-first (processing model) or largest-value-first
+//     (value model) with greedy push-out admission. Optimal in the
+//     single-queue model, hence an upper bound on the shared-memory OPT.
+//   - ExactProcessing / ExactValue: exhaustive offline optimum for tiny
+//     instances, used by tests to validate competitive bounds as
+//     executable invariants.
+package opt
+
+import (
+	"fmt"
+
+	"smbm/internal/bmset"
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// SPQProc is the processing-model OPT proxy: one shared priority queue
+// ordered by residual work, n·C cores each applying one cycle per slot to
+// a distinct smallest-residual packet, and push-out admission evicting
+// the largest residual when a smaller packet arrives to a full buffer.
+type SPQProc struct {
+	cfg   core.Config
+	cores int
+	res   []int64 // res[r] = packets with residual work r, 1-based
+	occ   int
+	slot  int64
+	stats core.Stats
+}
+
+// NewSPQProc builds the proxy for the given switch configuration.
+func NewSPQProc(cfg core.Config) (*SPQProc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != core.ModelProcessing {
+		return nil, fmt.Errorf("%w: SPQProc requires the processing model", core.ErrBadConfig)
+	}
+	return &SPQProc{
+		cfg:   cfg,
+		cores: cfg.Ports * cfg.Speedup,
+		res:   make([]int64, cfg.MaxLabel+1),
+	}, nil
+}
+
+// Name implements the sim.System contract.
+func (s *SPQProc) Name() string { return "OPT(SPQ)" }
+
+// Stats returns accumulated counters. TransmittedWork and latency are not
+// tracked by the proxy and stay zero.
+func (s *SPQProc) Stats() core.Stats { return s.stats }
+
+// Occupancy returns the buffered packet count.
+func (s *SPQProc) Occupancy() int { return s.occ }
+
+// Arrive admits p greedily with push-out of the largest residual.
+func (s *SPQProc) Arrive(p pkt.Packet) error {
+	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+		return err
+	}
+	s.stats.Arrived++
+	if s.occ >= s.cfg.Buffer {
+		// Evict the largest residual if strictly larger than the arrival.
+		worst := 0
+		for r := s.cfg.MaxLabel; r >= 1; r-- {
+			if s.res[r] > 0 {
+				worst = r
+				break
+			}
+		}
+		if worst <= p.Work {
+			s.stats.Dropped++
+			return nil
+		}
+		s.res[worst]--
+		s.occ--
+		s.stats.PushedOut++
+	}
+	s.res[p.Work]++
+	s.occ++
+	s.stats.Accepted++
+	if s.occ > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = s.occ
+	}
+	return nil
+}
+
+// Step runs one slot: arrivals then transmission.
+func (s *SPQProc) Step(arrivals []pkt.Packet) error {
+	for _, p := range arrivals {
+		if err := s.Arrive(p); err != nil {
+			return err
+		}
+	}
+	s.Transmit()
+	return nil
+}
+
+// Transmit applies one cycle to each of the min(occupancy, cores)
+// smallest-residual packets.
+func (s *SPQProc) Transmit() {
+	budget := int64(s.cores)
+	for r := 1; r <= s.cfg.MaxLabel && budget > 0; r++ {
+		n := s.res[r]
+		if n == 0 {
+			continue
+		}
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		s.res[r] -= n
+		s.stats.CyclesUsed += n
+		if r == 1 {
+			s.occ -= int(n)
+			s.stats.Transmitted += n
+			s.stats.TransmittedValue += n
+		} else {
+			// r-1 < r was already served this slot, so these packets
+			// cannot receive a second cycle now.
+			s.res[r-1] += n
+		}
+	}
+	s.slot++
+	s.stats.Slots++
+}
+
+// Drain transmits with no arrivals until empty, returning slots used.
+func (s *SPQProc) Drain() int {
+	var slots int
+	for s.occ > 0 {
+		s.Transmit()
+		slots++
+	}
+	return slots
+}
+
+// Reset clears all buffered packets and statistics.
+func (s *SPQProc) Reset() {
+	for i := range s.res {
+		s.res[i] = 0
+	}
+	s.occ = 0
+	s.slot = 0
+	s.stats = core.Stats{}
+}
+
+// SPQVal is the value-model OPT proxy: one shared priority queue ordered
+// by value, n·C transmissions of the most valuable packets per slot, and
+// push-out admission evicting the minimum value.
+type SPQVal struct {
+	cfg   core.Config
+	cores int
+	vals  *bmset.Set
+	slot  int64
+	stats core.Stats
+}
+
+// NewSPQVal builds the proxy for the given switch configuration.
+func NewSPQVal(cfg core.Config) (*SPQVal, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != core.ModelValue {
+		return nil, fmt.Errorf("%w: SPQVal requires the value model", core.ErrBadConfig)
+	}
+	return &SPQVal{
+		cfg:   cfg,
+		cores: cfg.Ports * cfg.Speedup,
+		vals:  bmset.New(cfg.MaxLabel),
+	}, nil
+}
+
+// Name implements the sim.System contract.
+func (s *SPQVal) Name() string { return "OPT(SPQ)" }
+
+// Stats returns accumulated counters.
+func (s *SPQVal) Stats() core.Stats { return s.stats }
+
+// Occupancy returns the buffered packet count.
+func (s *SPQVal) Occupancy() int { return s.vals.Len() }
+
+// Arrive admits p greedily with push-out of the minimum value.
+func (s *SPQVal) Arrive(p pkt.Packet) error {
+	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+		return err
+	}
+	s.stats.Arrived++
+	if s.vals.Len() >= s.cfg.Buffer {
+		if s.vals.Min() >= p.Value {
+			s.stats.Dropped++
+			return nil
+		}
+		s.vals.PopMin()
+		s.stats.PushedOut++
+	}
+	s.vals.Add(p.Value)
+	s.stats.Accepted++
+	if n := s.vals.Len(); n > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = n
+	}
+	return nil
+}
+
+// Step runs one slot: arrivals then transmission.
+func (s *SPQVal) Step(arrivals []pkt.Packet) error {
+	for _, p := range arrivals {
+		if err := s.Arrive(p); err != nil {
+			return err
+		}
+	}
+	s.Transmit()
+	return nil
+}
+
+// Transmit sends the min(occupancy, cores) most valuable packets.
+func (s *SPQVal) Transmit() {
+	for c := 0; c < s.cores && !s.vals.Empty(); c++ {
+		v := s.vals.PopMax()
+		s.stats.Transmitted++
+		s.stats.TransmittedValue += int64(v)
+		s.stats.CyclesUsed++
+	}
+	s.slot++
+	s.stats.Slots++
+}
+
+// Drain transmits with no arrivals until empty, returning slots used.
+func (s *SPQVal) Drain() int {
+	var slots int
+	for !s.vals.Empty() {
+		s.Transmit()
+		slots++
+	}
+	return slots
+}
+
+// Reset clears all buffered packets and statistics.
+func (s *SPQVal) Reset() {
+	s.vals.Clear()
+	s.slot = 0
+	s.stats = core.Stats{}
+}

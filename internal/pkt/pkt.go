@@ -1,0 +1,110 @@
+// Package pkt defines the unit-sized packet model shared by both switch
+// models of the paper: packets labeled with an output port and either a
+// required amount of processing work (Section III) or an intrinsic value
+// (Section IV).
+package pkt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Packet is a unit-sized packet. Exactly one of the two "heterogeneity"
+// dimensions is meaningful per model:
+//
+//   - processing model: Work ∈ [1,k] is the required processing in cycles,
+//     Value is 1;
+//   - value model: Value ∈ [1,k] is the intrinsic value, Work is 1.
+//
+// Port is the destination output port, 0-based.
+type Packet struct {
+	Port  int
+	Work  int
+	Value int
+}
+
+// New returns a packet with the given port and unit work and value.
+func New(port int) Packet {
+	return Packet{Port: port, Work: 1, Value: 1}
+}
+
+// NewWork returns a processing-model packet: unit value, the given work.
+func NewWork(port, work int) Packet {
+	return Packet{Port: port, Work: work, Value: 1}
+}
+
+// NewValue returns a value-model packet: unit work, the given value.
+func NewValue(port, value int) Packet {
+	return Packet{Port: port, Work: 1, Value: value}
+}
+
+// String implements fmt.Stringer in the paper's boxed notation, e.g.
+// "[w=3 -> 2]" for a packet with work 3 destined to port 2.
+func (p Packet) String() string {
+	if p.Value > 1 && p.Work == 1 {
+		return fmt.Sprintf("[v=%d -> %d]", p.Value, p.Port)
+	}
+	return fmt.Sprintf("[w=%d -> %d]", p.Work, p.Port)
+}
+
+// Validate reports whether the packet is well-formed for a switch with
+// ports output ports and the per-packet bound maxLabel (k) on work and
+// value.
+func (p Packet) Validate(ports, maxLabel int) error {
+	switch {
+	case p.Port < 0 || p.Port >= ports:
+		return fmt.Errorf("pkt: port %d out of range [0,%d)", p.Port, ports)
+	case p.Work < 1 || p.Work > maxLabel:
+		return fmt.Errorf("pkt: work %d out of range [1,%d]", p.Work, maxLabel)
+	case p.Value < 1 || p.Value > maxLabel:
+		return fmt.Errorf("pkt: value %d out of range [1,%d]", p.Value, maxLabel)
+	}
+	return nil
+}
+
+// ErrEmptyBurst is returned by burst constructors invoked with a
+// non-positive count.
+var ErrEmptyBurst = errors.New("pkt: burst count must be positive")
+
+// Burst returns h copies of p, the paper's "h × [w]" notation.
+func Burst(p Packet, h int) []Packet {
+	if h <= 0 {
+		return nil
+	}
+	out := make([]Packet, h)
+	for i := range out {
+		out[i] = p
+	}
+	return out
+}
+
+// Concat concatenates bursts preserving arrival order.
+func Concat(bursts ...[]Packet) []Packet {
+	var total int
+	for _, b := range bursts {
+		total += len(b)
+	}
+	out := make([]Packet, 0, total)
+	for _, b := range bursts {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// TotalValue sums the values of the given packets.
+func TotalValue(ps []Packet) int {
+	var sum int
+	for _, p := range ps {
+		sum += p.Value
+	}
+	return sum
+}
+
+// TotalWork sums the required work of the given packets.
+func TotalWork(ps []Packet) int {
+	var sum int
+	for _, p := range ps {
+		sum += p.Work
+	}
+	return sum
+}

@@ -1,0 +1,140 @@
+// Package plot renders parameter-sweep series as ASCII line charts, so
+// cmd/smbsim can regenerate the paper's figures — not just their data —
+// in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// markers label series on the canvas, assigned in series order.
+const markers = "*o+x#@%&=~"
+
+// Chart renders named series sharing an integer x-axis onto a
+// width×height character canvas with a y-axis scale and legend. Series
+// order fixes marker assignment; series missing from order are appended
+// alphabetically.
+type Chart struct {
+	// Width and Height are the canvas size in characters (excluding
+	// axes); zero values get defaults (64×16).
+	Width, Height int
+	// Title is printed above the canvas.
+	Title string
+	// XLabel names the x-axis.
+	XLabel string
+}
+
+// Render draws the chart. xs must be ascending; each series must have
+// len(xs) points (NaN values are skipped).
+func (c Chart) Render(xs []int, series map[string][]float64, order []string) string {
+	if len(xs) == 0 || len(series) == 0 {
+		return ""
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+
+	names := normalizeOrder(series, order)
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Pad the range slightly so extreme points do not sit on the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if len(xs) == 1 {
+			return width / 2
+		}
+		return int(float64(i) / float64(len(xs)-1) * float64(width-1))
+	}
+	row := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round((1 - frac) * float64(height-1)))
+		return min(max(r, 0), height-1)
+	}
+	for si, name := range names {
+		mark := markers[si%len(markers)]
+		ys := series[name]
+		for i := range xs {
+			if i >= len(ys) || math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+				continue
+			}
+			canvas[row(ys[i])][col(i)] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, line := range canvas {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%7.3f ", (hi+lo)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %s%d .. %s = %d\n", " ", xs[0], c.XLabel, xs[len(xs)-1])
+	b.WriteString("        ")
+	for si, name := range names {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c %s", markers[si%len(markers)], name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// normalizeOrder returns order filtered to existing series plus any
+// remaining series names sorted.
+func normalizeOrder(series map[string][]float64, order []string) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, n := range order {
+		if _, ok := series[n]; ok && !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range series {
+		if !seen[n] {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
+}

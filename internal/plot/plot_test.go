@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{Width: 20, Height: 6, Title: "demo", XLabel: "k"}
+	out := c.Render([]int{1, 2, 4}, map[string][]float64{
+		"up":   {1, 2, 3},
+		"flat": {2, 2, 2},
+	}, []string{"up", "flat"})
+	if !strings.Contains(out, "demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o flat") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "1 .. k = 4") {
+		t.Errorf("missing x range:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + 6 canvas rows + axis + range + legend.
+	if len(lines) < 9 {
+		t.Errorf("only %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderOrientation(t *testing.T) {
+	// A strictly increasing series must place its last point on a
+	// higher row (smaller row index) than its first.
+	c := Chart{Width: 30, Height: 10}
+	out := c.Render([]int{1, 2, 3}, map[string][]float64{"s": {1, 2, 3}}, nil)
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for r, line := range lines {
+		if i := strings.IndexByte(line, '*'); i >= 0 {
+			if firstRow == -1 {
+				firstRow = r
+			}
+			lastRow = r
+		}
+	}
+	if firstRow == -1 || firstRow >= lastRow {
+		t.Errorf("increasing series not rendered top-to-bottom correctly (rows %d..%d):\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	c := Chart{}
+	if out := c.Render(nil, map[string][]float64{"a": {1}}, nil); out != "" {
+		t.Error("empty xs rendered something")
+	}
+	if out := c.Render([]int{1}, nil, nil); out != "" {
+		t.Error("empty series rendered something")
+	}
+	// All-NaN series: nothing to scale.
+	if out := c.Render([]int{1}, map[string][]float64{"a": {math.NaN()}}, nil); out != "" {
+		t.Error("all-NaN rendered something")
+	}
+	// Constant series must not divide by zero.
+	out := c.Render([]int{1, 2}, map[string][]float64{"a": {5, 5}}, nil)
+	if !strings.Contains(out, "* a") {
+		t.Errorf("constant series broke rendering:\n%s", out)
+	}
+	// Single x value centers.
+	out = c.Render([]int{7}, map[string][]float64{"a": {1}}, nil)
+	if !strings.Contains(out, "7 .. ") {
+		t.Errorf("single-x render:\n%s", out)
+	}
+}
+
+func TestNormalizeOrder(t *testing.T) {
+	series := map[string][]float64{"b": nil, "a": nil, "c": nil}
+	got := normalizeOrder(series, []string{"c", "missing", "c"})
+	if len(got) != 3 || got[0] != "c" || got[1] != "a" || got[2] != "b" {
+		t.Errorf("normalizeOrder = %v", got)
+	}
+}

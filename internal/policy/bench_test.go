@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// benchAdmit measures one policy's per-packet decision cost on a full
+// 64-port switch.
+func benchAdmit(b *testing.B, p core.Policy) {
+	b.Helper()
+	const n = 64
+	cfg := core.Config{
+		Model: core.ModelProcessing, Ports: n, Buffer: 4 * n,
+		MaxLabel: n, Speedup: 1, PortWork: core.ContiguousWorks(n),
+	}
+	sw := core.MustNew(cfg, Greedy{})
+	rng := rand.New(rand.NewSource(1))
+	for sw.Free() > 0 {
+		port := rng.Intn(n)
+		if err := sw.Arrive(pkt.NewWork(port, port+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	arrivals := make([]pkt.Packet, 1024)
+	for i := range arrivals {
+		port := rng.Intn(n)
+		arrivals[i] = pkt.NewWork(port, port+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Admit(sw, arrivals[i%len(arrivals)])
+	}
+}
+
+func BenchmarkAdmitGreedy(b *testing.B) { benchAdmit(b, Greedy{}) }
+func BenchmarkAdmitNHST(b *testing.B)   { benchAdmit(b, NHST{}) }
+func BenchmarkAdmitNEST(b *testing.B)   { benchAdmit(b, NEST{}) }
+func BenchmarkAdmitNHDT(b *testing.B)   { benchAdmit(b, NHDT{}) }
+func BenchmarkAdmitLQD(b *testing.B)    { benchAdmit(b, LQD{}) }
+func BenchmarkAdmitBPD(b *testing.B)    { benchAdmit(b, BPD{}) }
+func BenchmarkAdmitLWD(b *testing.B)    { benchAdmit(b, LWD{}) }

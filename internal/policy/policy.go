@@ -1,0 +1,36 @@
+// Package policy implements the buffer management policies of Section III
+// of the paper (heterogeneous processing requirements), plus the
+// model-agnostic length-based policies (Greedy, NEST, NHDT) that the
+// evaluation also runs in the value model.
+//
+// Every policy is a pure core.Policy: it inspects the read-only switch
+// view and returns a decision; the engine executes it. Tie-breaking rules
+// follow the paper text and are documented per policy.
+package policy
+
+import "smbm/internal/core"
+
+// ForProcessing returns the full roster of processing-model policies in
+// the order used by the paper's Fig. 5 panels 1–3.
+func ForProcessing() []core.Policy {
+	return []core.Policy{
+		Greedy{},
+		NHST{},
+		NEST{},
+		NHDT{},
+		LQD{},
+		BPD{},
+		BPD1{},
+		LWD{},
+	}
+}
+
+// ByName returns the processing-model policy with the given Name, or nil.
+func ByName(name string) core.Policy {
+	for _, p := range ForProcessing() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,433 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// testCfg is a 4-port switch with works {1,2,3,6} and buffer 12: Z = 2,
+// so the NHST thresholds are the round numbers 6, 3, 2, 1.
+func testCfg() core.Config {
+	return core.Config{
+		Model:    core.ModelProcessing,
+		Ports:    4,
+		Buffer:   12,
+		MaxLabel: 6,
+		Speedup:  1,
+		PortWork: []int{1, 2, 3, 6},
+	}
+}
+
+// fill builds a switch whose queues hold the given packet counts.
+func fill(t *testing.T, cfg core.Config, lens []int) *core.Switch {
+	t.Helper()
+	sw := core.MustNew(cfg, Greedy{})
+	for port, n := range lens {
+		for i := 0; i < n; i++ {
+			var p pkt.Packet
+			if cfg.Model == core.ModelValue {
+				p = pkt.NewValue(port, 1)
+			} else {
+				p = pkt.NewWork(port, cfg.PortWork[port])
+			}
+			if err := sw.Arrive(p); err != nil {
+				t.Fatalf("fill: %v", err)
+			}
+		}
+	}
+	return sw
+}
+
+func TestGreedy(t *testing.T) {
+	sw := fill(t, testCfg(), []int{11, 0, 0, 0})
+	if d := (Greedy{}).Admit(sw, pkt.NewWork(1, 2)); !d.Accept || d.Push {
+		t.Errorf("greedy with free space: %+v", d)
+	}
+	sw = fill(t, testCfg(), []int{12, 0, 0, 0})
+	if d := (Greedy{}).Admit(sw, pkt.NewWork(1, 2)); d.Accept {
+		t.Errorf("greedy with full buffer: %+v", d)
+	}
+}
+
+func TestNHSTThresholds(t *testing.T) {
+	// Thresholds: port 0: 12/(1·2)=6, port 1: 3, port 2: 2, port 3: 1.
+	cases := []struct {
+		port, len int
+		want      bool
+	}{
+		{0, 5, true},
+		{0, 6, false},
+		{1, 2, true},
+		{1, 3, false},
+		{2, 1, true},
+		{2, 2, false},
+		{3, 0, true},
+		{3, 1, false},
+	}
+	for _, c := range cases {
+		lens := make([]int, 4)
+		lens[c.port] = c.len
+		sw := fill(t, testCfg(), lens)
+		p := pkt.NewWork(c.port, testCfg().PortWork[c.port])
+		if d := (NHST{}).Admit(sw, p); d.Accept != c.want {
+			t.Errorf("NHST port %d len %d: accept=%v, want %v", c.port, c.len, d.Accept, c.want)
+		}
+	}
+}
+
+func TestNHSTDropsWhenFull(t *testing.T) {
+	sw := fill(t, testCfg(), []int{6, 3, 2, 1})
+	if d := (NHST{}).Admit(sw, pkt.NewWork(3, 6)); d.Accept {
+		t.Errorf("NHST with full buffer accepted: %+v", d)
+	}
+}
+
+func TestNESTThreshold(t *testing.T) {
+	// B/n = 3 per queue.
+	sw := fill(t, testCfg(), []int{2, 0, 0, 0})
+	if d := (NEST{}).Admit(sw, pkt.NewWork(0, 1)); !d.Accept {
+		t.Error("NEST below threshold rejected")
+	}
+	sw = fill(t, testCfg(), []int{3, 0, 0, 0})
+	if d := (NEST{}).Admit(sw, pkt.NewWork(0, 1)); d.Accept {
+		t.Error("NEST at threshold accepted")
+	}
+}
+
+func TestNHDT(t *testing.T) {
+	// n=4: H_4 = 2.0833, H_1 = 1, H_2 = 1.5, H_3 = 1.8333.
+	cfg := testCfg()
+
+	// Queues [3,2,1,0], arrival to port 2 (len 1): m=3 queues with
+	// len>=1, sum=6, threshold 12·H_3/H_4 = 10.56 -> accept.
+	sw := fill(t, cfg, []int{3, 2, 1, 0})
+	if d := (NHDT{}).Admit(sw, pkt.NewWork(2, 3)); !d.Accept {
+		t.Error("NHDT moderate state rejected")
+	}
+
+	// Queues [6,5,0,0], arrival to port 0 (len 6): m=1, sum=6,
+	// threshold 12·1/2.0833 = 5.76 -> reject.
+	sw = fill(t, cfg, []int{6, 5, 0, 0})
+	if d := (NHDT{}).Admit(sw, pkt.NewWork(0, 1)); d.Accept {
+		t.Error("NHDT over single-queue threshold accepted")
+	}
+
+	// Same buffer, arrival to port 2 (len 0): every queue counts
+	// (m=4), sum=11 < 12 -> accept.
+	if d := (NHDT{}).Admit(sw, pkt.NewWork(2, 3)); !d.Accept {
+		t.Error("NHDT empty-queue arrival rejected")
+	}
+
+	// Full buffer always drops.
+	sw = fill(t, cfg, []int{6, 6, 0, 0})
+	if d := (NHDT{}).Admit(sw, pkt.NewWork(2, 3)); d.Accept {
+		t.Error("NHDT with full buffer accepted")
+	}
+}
+
+func TestLQD(t *testing.T) {
+	cfg := testCfg()
+
+	t.Run("accepts with free space", func(t *testing.T) {
+		sw := fill(t, cfg, []int{1, 1, 0, 0})
+		if d := (LQD{}).Admit(sw, pkt.NewWork(2, 3)); !d.Accept || d.Push {
+			t.Errorf("got %+v", d)
+		}
+	})
+
+	t.Run("pushes out the longest queue", func(t *testing.T) {
+		sw := fill(t, cfg, []int{7, 3, 1, 1})
+		d := (LQD{}).Admit(sw, pkt.NewWork(1, 2))
+		if !d.Accept || !d.Push || d.Victim != 0 {
+			t.Errorf("got %+v, want push-out from 0", d)
+		}
+	})
+
+	t.Run("drops when own queue is longest", func(t *testing.T) {
+		sw := fill(t, cfg, []int{8, 2, 1, 1})
+		if d := (LQD{}).Admit(sw, pkt.NewWork(0, 1)); d.Accept {
+			t.Errorf("got %+v, want drop", d)
+		}
+	})
+
+	t.Run("virtual add breaks toward arrival queue length", func(t *testing.T) {
+		// Queue 0 has 6, queue 1 has 6: arrival for queue 1 makes it
+		// virtually 7, the strict maximum, so i == j* and p is dropped.
+		sw := fill(t, cfg, []int{6, 6, 0, 0})
+		if d := (LQD{}).Admit(sw, pkt.NewWork(1, 2)); d.Accept {
+			t.Errorf("got %+v, want drop", d)
+		}
+	})
+
+	t.Run("length ties go to the largest work", func(t *testing.T) {
+		// Queues 1 and 2 tie at 5; arrival for port 0 must evict from
+		// queue 2 (larger required processing).
+		sw := fill(t, cfg, []int{2, 5, 5, 0})
+		d := (LQD{}).Admit(sw, pkt.NewWork(0, 1))
+		if !d.Push || d.Victim != 2 {
+			t.Errorf("got %+v, want push-out from 2", d)
+		}
+	})
+}
+
+func TestBPD(t *testing.T) {
+	cfg := testCfg()
+
+	t.Run("pushes out the biggest nonempty queue", func(t *testing.T) {
+		sw := fill(t, cfg, []int{10, 1, 1, 0})
+		// Port 3 is empty; the biggest nonempty is port 2 (work 3).
+		d := (BPD{}).Admit(sw, pkt.NewWork(0, 1))
+		if !d.Push || d.Victim != 2 {
+			t.Errorf("got %+v, want push-out from 2", d)
+		}
+	})
+
+	t.Run("drops arrivals bigger than every buffered packet", func(t *testing.T) {
+		sw := fill(t, cfg, []int{12, 0, 0, 0})
+		if d := (BPD{}).Admit(sw, pkt.NewWork(1, 2)); d.Accept {
+			t.Errorf("got %+v, want drop (arrival port 1 > victim port 0)", d)
+		}
+	})
+
+	t.Run("equal port may self-replace", func(t *testing.T) {
+		sw := fill(t, cfg, []int{12, 0, 0, 0})
+		d := (BPD{}).Admit(sw, pkt.NewWork(0, 1))
+		if !d.Push || d.Victim != 0 {
+			t.Errorf("got %+v, want push-out from 0", d)
+		}
+	})
+}
+
+func TestBPD1KeepsLastPacket(t *testing.T) {
+	cfg := testCfg()
+	// Port 3 holds one packet: BPD would evict it, BPD1 must not.
+	sw := fill(t, cfg, []int{9, 2, 0, 1})
+	if d := (BPD{}).Admit(sw, pkt.NewWork(0, 1)); !d.Push || d.Victim != 3 {
+		t.Errorf("BPD got %+v, want push-out from 3", d)
+	}
+	if d := (BPD1{}).Admit(sw, pkt.NewWork(0, 1)); !d.Push || d.Victim != 1 {
+		t.Errorf("BPD1 got %+v, want push-out from 1 (len >= 2)", d)
+	}
+	// All queues at length 1: BPD1 has no victim and drops.
+	sw = fill(t, core.Config{
+		Model: core.ModelProcessing, Ports: 4, Buffer: 4, MaxLabel: 6,
+		Speedup: 1, PortWork: []int{1, 2, 3, 6},
+	}, []int{1, 1, 1, 1})
+	if d := (BPD1{}).Admit(sw, pkt.NewWork(0, 1)); d.Accept {
+		t.Errorf("BPD1 with all-singleton queues got %+v, want drop", d)
+	}
+}
+
+func TestLWD(t *testing.T) {
+	cfg := testCfg()
+
+	t.Run("pushes out the most total work", func(t *testing.T) {
+		// Work: q0 = 4·1 = 4, q1 = 3·2 = 6, q2 = 1·3 = 3, q3 = 6.
+		// Tie between q1 and q3 resolves to the larger index.
+		sw := fill(t, cfg, []int{4, 3, 1, 1})
+		for sw.Free() > 0 { // top up queue 0 to fill the buffer
+			if err := sw.Arrive(pkt.NewWork(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Now q0 has 7 packets = 7 work: the maximum is q0.
+		d := (LWD{}).Admit(sw, pkt.NewWork(2, 3))
+		if !d.Push || d.Victim != 0 {
+			t.Errorf("got %+v, want push-out from 0 (7 cycles buffered)", d)
+		}
+	})
+
+	t.Run("virtual add counts the arrival's work", func(t *testing.T) {
+		// q0 = 8 work, q3 = 6 work; an arrival for q3 counts virtually
+		// 6+6 = 12 > 8, so j* = 3 = i and the packet is dropped.
+		sw := fill(t, cfg, []int{8, 1, 0, 1})
+		for sw.Free() > 0 {
+			if err := sw.Arrive(pkt.NewWork(1, 2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := (LWD{}).Admit(sw, pkt.NewWork(3, 6)); d.Accept {
+			t.Errorf("got %+v, want drop", d)
+		}
+	})
+
+	t.Run("uniform works reduce LWD to LQD", func(t *testing.T) {
+		cfg := core.Config{
+			Model: core.ModelProcessing, Ports: 3, Buffer: 9, MaxLabel: 2,
+			Speedup: 1, PortWork: []int{2, 2, 2},
+		}
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 50; trial++ {
+			lens := []int{rng.Intn(4), rng.Intn(4), rng.Intn(4)}
+			total := lens[0] + lens[1] + lens[2]
+			if total < cfg.Buffer {
+				lens[0] += cfg.Buffer - total // force a full buffer
+			}
+			sw := fill(t, cfg, lens)
+			p := pkt.NewWork(rng.Intn(3), 2)
+			dl := (LQD{}).Admit(sw, p)
+			dw := (LWD{}).Admit(sw, p)
+			if dl != dw {
+				t.Fatalf("lens %v arrival %v: LQD %+v != LWD %+v", lens, p, dl, dw)
+			}
+		}
+	})
+}
+
+func TestStaticThreshold(t *testing.T) {
+	cfg := testCfg()
+	st := StaticThreshold{Label: "opt", T: []int{2, 0, 1, 12}}
+	if st.Name() != "opt" {
+		t.Errorf("Name() = %q", st.Name())
+	}
+	if (StaticThreshold{}).Name() != "Threshold" {
+		t.Errorf("default Name() = %q", StaticThreshold{}.Name())
+	}
+	sw := fill(t, cfg, []int{1, 0, 0, 0})
+	if d := st.Admit(sw, pkt.NewWork(0, 1)); !d.Accept {
+		t.Error("below threshold rejected")
+	}
+	sw = fill(t, cfg, []int{2, 0, 0, 0})
+	if d := st.Admit(sw, pkt.NewWork(0, 1)); d.Accept {
+		t.Error("at threshold accepted")
+	}
+	if d := st.Admit(sw, pkt.NewWork(1, 2)); d.Accept {
+		t.Error("zero threshold accepted")
+	}
+	// Ports beyond len(T) are rejected.
+	short := StaticThreshold{T: []int{5}}
+	if d := short.Admit(sw, pkt.NewWork(2, 3)); d.Accept {
+		t.Error("port beyond thresholds accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := ForProcessing()
+	if len(all) != 8 {
+		t.Fatalf("ForProcessing returned %d policies, want 8", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if seen[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		seen[p.Name()] = true
+		if got := ByName(p.Name()); got == nil || got.Name() != p.Name() {
+			t.Errorf("ByName(%q) = %v", p.Name(), got)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+}
+
+// TestQuickGreedyWhenSpace: every paper policy accepts any packet when
+// the buffer has free space (they are all greedy in the paper's sense),
+// and only push-out policies ever request eviction.
+func TestQuickGreedyWhenSpace(t *testing.T) {
+	pushOut := map[string]bool{"LQD": true, "BPD": true, "BPD1": true, "LWD": true}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testCfg()
+		lens := make([]int, cfg.Ports)
+		budget := rng.Intn(cfg.Buffer) // strictly less than B in total
+		for i := 0; budget > 0; i = (i + 1) % cfg.Ports {
+			take := rng.Intn(budget + 1)
+			lens[i] += take
+			budget -= take
+		}
+		sw := fill(t, cfg, lens)
+		port := rng.Intn(cfg.Ports)
+		p := pkt.NewWork(port, cfg.PortWork[port])
+		for _, pol := range ForProcessing() {
+			d := pol.Admit(sw, p)
+			switch pol.Name() {
+			case "Greedy", "LQD", "BPD", "BPD1", "LWD":
+				if !d.Accept {
+					t.Logf("%s rejected with free space", pol.Name())
+					return false
+				}
+			}
+			if d.Push && !pushOut[pol.Name()] {
+				t.Logf("non-push-out %s pushed", pol.Name())
+				return false
+			}
+			if d.Push && sw.QueueLen(d.Victim) == 0 {
+				t.Logf("%s evicts from empty queue", pol.Name())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNESTPartitionInvariant: NEST is complete partitioning — no
+// queue ever exceeds its B/n share (rounded up), no matter the traffic.
+func TestQuickNESTPartitionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testCfg() // B=12, n=4: cap 3
+		sw := core.MustNew(cfg, NEST{})
+		for i := 0; i < 60; i++ {
+			port := rng.Intn(cfg.Ports)
+			if err := sw.Arrive(pkt.NewWork(port, cfg.PortWork[port])); err != nil {
+				return false
+			}
+			for j := 0; j < cfg.Ports; j++ {
+				if sw.QueueLen(j) > (cfg.Buffer+cfg.Ports-1)/cfg.Ports {
+					t.Logf("queue %d grew to %d", j, sw.QueueLen(j))
+					return false
+				}
+			}
+			if i%5 == 4 {
+				sw.Transmit()
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(80)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPushOutPoliciesNeverErr drives LQD/BPD/BPD1/LWD through random
+// full-buffer traffic on a real switch: every decision must execute
+// without an engine validation error.
+func TestQuickPushOutPoliciesNeverErr(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := testCfg()
+		cfg.CheckInvariants = true
+		for _, pol := range ForProcessing() {
+			sw := core.MustNew(cfg, pol)
+			for slot := 0; slot < 30; slot++ {
+				burst := make([]pkt.Packet, rng.Intn(8))
+				for i := range burst {
+					port := rng.Intn(cfg.Ports)
+					burst[i] = pkt.NewWork(port, cfg.PortWork[port])
+				}
+				if err := sw.Step(burst); err != nil {
+					t.Logf("%s: %v", pol.Name(), err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg(30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// qcfg returns a deterministic quick.Config so property tests are
+// reproducible run to run.
+func qcfg(n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
+}

@@ -1,0 +1,39 @@
+package policy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// StaticThreshold accepts a packet for port i while |Q_i| < T[i] and the
+// buffer has room; ports beyond len(T) are rejected. It is the scripted
+// building block for the clairvoyant OPT strategies in the paper's
+// lower-bound proofs ("accept one packet of each large kind and fill the
+// rest with 1s") and also generalizes NEST (T[i] = B/n for all i).
+type StaticThreshold struct {
+	// Label is the reported Name (defaults to "Threshold").
+	Label string
+	// T holds the per-port admission thresholds.
+	T []int
+}
+
+// Name implements core.Policy.
+func (s StaticThreshold) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "Threshold"
+}
+
+// Admit implements core.Policy.
+func (s StaticThreshold) Admit(v core.View, p pkt.Packet) core.Decision {
+	if v.Free() == 0 {
+		return core.Drop()
+	}
+	if p.Port < len(s.T) && v.QueueLen(p.Port) < s.T[p.Port] {
+		return core.Accept()
+	}
+	return core.Drop()
+}
+
+var _ core.Policy = StaticThreshold{}

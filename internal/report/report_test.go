@@ -1,0 +1,49 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"smbm/internal/experiments"
+)
+
+func TestGenerate(t *testing.T) {
+	var b strings.Builder
+	err := Generate(&b, experiments.Options{
+		Slots:      400,
+		Seeds:      1,
+		Sources:    30,
+		FlushEvery: 200,
+		BaseSeed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wants := []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"## Lower-bound theorems",
+		"Theorem 11",
+		"### fig5.1 — competitive ratio vs k",
+		"### fig5.9 — competitive ratio vs C",
+		"## Architecture comparison",
+		"1Q-PQ-pushout",
+		"## Latency trade-off",
+		"## Benchmarks",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	// Every panel carries its analysis.
+	if got := strings.Count(out, "Paper:"); got < 9 {
+		t.Errorf("only %d per-panel analyses", got)
+	}
+	// Every panel id has an analysis entry (no silent nil lookups).
+	for _, id := range experiments.PanelIDs() {
+		if analyses[id] == "" {
+			t.Errorf("no analysis text for %s", id)
+		}
+	}
+}

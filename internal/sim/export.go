@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"smbm/internal/plot"
+)
+
+// Plot renders the sweep's mean-ratio series as an ASCII line chart —
+// the terminal rendition of the corresponding Fig. 5 panel.
+func (r *SweepResult) Plot() string {
+	xs := make([]int, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p.X
+	}
+	series := make(map[string][]float64, len(r.Policies))
+	for _, name := range r.Policies {
+		ys := make([]float64, len(r.Points))
+		for i, p := range r.Points {
+			if s, ok := p.Ratio[name]; ok {
+				ys[i] = s.Mean
+			}
+		}
+		series[name] = ys
+	}
+	c := plot.Chart{
+		Title:  fmt.Sprintf("%s: mean competitive ratio vs %s", r.Name, r.XLabel),
+		XLabel: r.XLabel,
+	}
+	return c.Render(xs, series, r.Policies)
+}
+
+// CSV serializes the sweep: one row per swept value with mean and std
+// columns per policy, for external plotting.
+func (r *SweepResult) CSV() string {
+	var b strings.Builder
+	b.WriteString(r.XLabel)
+	for _, name := range r.Policies {
+		fmt.Fprintf(&b, ",%s_mean,%s_std", name, name)
+	}
+	b.WriteByte('\n')
+	for _, p := range r.Points {
+		b.WriteString(strconv.Itoa(p.X))
+		for _, name := range r.Policies {
+			s := p.Ratio[name]
+			fmt.Fprintf(&b, ",%.6f,%.6f", s.Mean, s.Std)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

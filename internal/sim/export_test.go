@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSweepCSV(t *testing.T) {
+	res, err := testSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("%d csv lines:\n%s", len(lines), csv)
+	}
+	if lines[0] != "x,Greedy_mean,Greedy_std,LWD_mean,LWD_std" {
+		t.Errorf("header %q", lines[0])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 4 {
+			t.Errorf("row %q has %d commas", line, got)
+		}
+	}
+	if !strings.HasPrefix(lines[1], "2,") {
+		t.Errorf("first row %q", lines[1])
+	}
+}
+
+func TestSweepPlot(t *testing.T) {
+	res, err := testSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Plot()
+	for _, want := range []string{"test: mean competitive ratio vs x", "* Greedy", "o LWD", "2 .. x = 8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+}

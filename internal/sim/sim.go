@@ -1,0 +1,140 @@
+// Package sim is the experiment harness: it drives switch systems over
+// traces with periodic flushouts, compares policies against the OPT
+// proxy, and runs seeded parameter sweeps on a bounded worker pool to
+// regenerate the paper's evaluation series.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"smbm/internal/core"
+	"smbm/internal/opt"
+	"smbm/internal/pkt"
+	"smbm/internal/traffic"
+)
+
+// System is anything that can simulate a slotted run: a core.Switch
+// driven by a policy, or one of the OPT proxies.
+type System interface {
+	// Name identifies the system in reports.
+	Name() string
+	// Step runs one slot: the given arrivals, then one transmission
+	// phase.
+	Step(arrivals []pkt.Packet) error
+	// Drain transmits without arrivals until empty and returns the
+	// number of slots consumed.
+	Drain() int
+	// Stats snapshots the accumulated counters.
+	Stats() core.Stats
+	// Reset restores the initial empty state.
+	Reset()
+}
+
+var (
+	_ System = (*core.Switch)(nil)
+	_ System = (*opt.SPQProc)(nil)
+	_ System = (*opt.SPQVal)(nil)
+)
+
+// RunTrace drives sys over the trace, draining the buffer every
+// flushEvery slots (0 disables periodic flushouts) and once more at the
+// end, so buffered inventory never biases throughput comparisons.
+func RunTrace(sys System, tr traffic.Trace, flushEvery int) (core.Stats, error) {
+	for t, burst := range tr {
+		if err := sys.Step(burst); err != nil {
+			return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
+		}
+		if flushEvery > 0 && (t+1)%flushEvery == 0 {
+			sys.Drain()
+		}
+	}
+	sys.Drain()
+	return sys.Stats(), nil
+}
+
+// NewOptProxy builds the paper's OPT proxy matching the configuration's
+// model: a single priority queue with Ports·Speedup cores.
+func NewOptProxy(cfg core.Config) (System, error) {
+	if cfg.Model == core.ModelValue {
+		return opt.NewSPQVal(cfg)
+	}
+	return opt.NewSPQProc(cfg)
+}
+
+// Instance is one simulation cell: a switch configuration, the competing
+// policies, and a trace they all see.
+type Instance struct {
+	// Cfg is the shared switch configuration.
+	Cfg core.Config
+	// Policies compete on the trace.
+	Policies []core.Policy
+	// Trace is the arrival sequence all systems replay.
+	Trace traffic.Trace
+	// FlushEvery drains all systems every so many slots (0 = only at
+	// the end).
+	FlushEvery int
+}
+
+// Result reports one policy's performance on an instance.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Throughput is the model objective achieved by the policy.
+	Throughput int64
+	// OptThroughput is the OPT proxy's objective on the same trace.
+	OptThroughput int64
+	// Ratio is OptThroughput/Throughput, the empirical competitive
+	// ratio (+Inf when the policy transmitted nothing but OPT did).
+	Ratio float64
+	// Stats carries the policy run's full counters.
+	Stats core.Stats
+}
+
+// Run executes the instance: the OPT proxy once, then every policy on
+// the same trace.
+func (inst Instance) Run() ([]Result, error) {
+	optSys, err := NewOptProxy(inst.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	optStats, err := RunTrace(optSys, inst.Trace, inst.FlushEvery)
+	if err != nil {
+		return nil, err
+	}
+	optThroughput := optStats.Throughput(inst.Cfg.Model)
+
+	results := make([]Result, 0, len(inst.Policies))
+	for _, p := range inst.Policies {
+		sw, err := core.New(inst.Cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := RunTrace(sw, inst.Trace, inst.FlushEvery)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, Result{
+			Policy:        p.Name(),
+			Throughput:    stats.Throughput(inst.Cfg.Model),
+			OptThroughput: optThroughput,
+			Ratio:         ratio(optThroughput, stats.Throughput(inst.Cfg.Model)),
+			Stats:         stats,
+		})
+	}
+	return results, nil
+}
+
+// ratio returns o/a with the conventions of competitive analysis: 1 when
+// both are zero (the policy kept pace), +Inf when only the policy is
+// zero.
+func ratio(o, a int64) float64 {
+	switch {
+	case a > 0:
+		return float64(o) / float64(a)
+	case o == 0:
+		return 1
+	default:
+		return math.Inf(1)
+	}
+}

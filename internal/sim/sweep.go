@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+
+	"smbm/internal/metrics"
+	"smbm/internal/tablefmt"
+)
+
+// Sweep describes a one-dimensional parameter sweep replicated over
+// seeds: the x-axis of one evaluation panel.
+type Sweep struct {
+	// Name identifies the experiment ("fig5.1").
+	Name string
+	// XLabel names the swept parameter ("k", "B", "C").
+	XLabel string
+	// Xs are the swept values.
+	Xs []int
+	// Seeds is the number of independent replications per point.
+	Seeds int
+	// BaseSeed derives per-replication seeds deterministically.
+	BaseSeed int64
+	// Build constructs the instance for one (x, seed) cell. It must be
+	// safe for concurrent use.
+	Build func(x int, seed int64) (Instance, error)
+	// Parallelism bounds concurrent cells (default: GOMAXPROCS).
+	Parallelism int
+}
+
+// PointResult aggregates one swept value across seeds.
+type PointResult struct {
+	// X is the swept parameter value.
+	X int
+	// Ratio maps policy name to its competitive-ratio summary across
+	// seeds.
+	Ratio map[string]metrics.Summary
+	// Throughput maps policy name to its raw objective summary.
+	Throughput map[string]metrics.Summary
+	// OptThroughput summarizes the OPT proxy's objective.
+	OptThroughput metrics.Summary
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	// Name and XLabel echo the sweep.
+	Name, XLabel string
+	// Policies is the policy order for rendering (taken from the first
+	// cell).
+	Policies []string
+	// Points holds one aggregate per swept value, in Xs order.
+	Points []PointResult
+}
+
+// Run executes all (x, seed) cells on a bounded worker pool and folds
+// replications in deterministic order.
+func (s *Sweep) Run() (*SweepResult, error) {
+	if len(s.Xs) == 0 {
+		return nil, fmt.Errorf("sim: sweep %q has no x values", s.Name)
+	}
+	if s.Seeds < 1 {
+		return nil, fmt.Errorf("sim: sweep %q needs at least one seed", s.Name)
+	}
+	if s.Build == nil {
+		return nil, fmt.Errorf("sim: sweep %q has no Build function", s.Name)
+	}
+	workers := s.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type cell struct{ xi, si int }
+	type outcome struct {
+		cell
+		results []Result
+		err     error
+	}
+
+	jobs := make(chan cell)
+	outcomes := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				seed := s.BaseSeed + int64(c.xi)*1_000_003 + int64(c.si)*7_919
+				inst, err := s.Build(s.Xs[c.xi], seed)
+				if err != nil {
+					outcomes <- outcome{cell: c, err: err}
+					continue
+				}
+				res, err := inst.Run()
+				outcomes <- outcome{cell: c, results: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for xi := range s.Xs {
+			for si := 0; si < s.Seeds; si++ {
+				jobs <- cell{xi, si}
+			}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	// Collect into a fixed grid first so the Welford fold order is
+	// deterministic regardless of scheduling.
+	grid := make([][][]Result, len(s.Xs))
+	for i := range grid {
+		grid[i] = make([][]Result, s.Seeds)
+	}
+	var firstErr error
+	for o := range outcomes {
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sim: sweep %q %s=%d seed %d: %w", s.Name, s.XLabel, s.Xs[o.xi], o.si, o.err)
+			}
+			continue
+		}
+		grid[o.xi][o.si] = o.results
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &SweepResult{Name: s.Name, XLabel: s.XLabel}
+	for xi, x := range s.Xs {
+		ratios := make(map[string]*metrics.Welford)
+		thrs := make(map[string]*metrics.Welford)
+		var optW metrics.Welford
+		for si := 0; si < s.Seeds; si++ {
+			for _, r := range grid[xi][si] {
+				if ratios[r.Policy] == nil {
+					ratios[r.Policy] = &metrics.Welford{}
+					thrs[r.Policy] = &metrics.Welford{}
+				}
+				ratios[r.Policy].Add(r.Ratio)
+				thrs[r.Policy].Add(float64(r.Throughput))
+			}
+			if len(grid[xi][si]) > 0 {
+				optW.Add(float64(grid[xi][si][0].OptThroughput))
+			}
+		}
+		if out.Policies == nil {
+			for _, r := range grid[xi][0] {
+				out.Policies = append(out.Policies, r.Policy)
+			}
+		}
+		pr := PointResult{
+			X:             x,
+			Ratio:         make(map[string]metrics.Summary, len(ratios)),
+			Throughput:    make(map[string]metrics.Summary, len(thrs)),
+			OptThroughput: optW.Summary(),
+		}
+		for name, w := range ratios {
+			pr.Ratio[name] = w.Summary()
+		}
+		for name, w := range thrs {
+			pr.Throughput[name] = w.Summary()
+		}
+		out.Points = append(out.Points, pr)
+	}
+	return out, nil
+}
+
+// Table renders the sweep as an aligned text table: one row per swept
+// value, one column per policy holding the mean competitive ratio
+// (± std when more than one seed ran).
+func (r *SweepResult) Table() string {
+	headers := append([]string{r.XLabel}, r.Policies...)
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		row := make([]string, 0, len(headers))
+		row = append(row, strconv.Itoa(p.X))
+		for _, name := range r.Policies {
+			s := p.Ratio[name]
+			cell := formatRatio(s.Mean)
+			if s.N > 1 && !math.IsInf(s.Mean, 0) {
+				cell += fmt.Sprintf("±%.2f", s.Std)
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return tablefmt.Render(headers, rows)
+}
+
+// Series returns (x, mean ratio) pairs for one policy, convenient for
+// plotting or asserting trends in tests.
+func (r *SweepResult) Series(policy string) (xs []int, means []float64) {
+	for _, p := range r.Points {
+		if s, ok := p.Ratio[policy]; ok {
+			xs = append(xs, p.X)
+			means = append(means, s.Mean)
+		}
+	}
+	return xs, means
+}
+
+// BestPolicy returns the policy with the lowest mean ratio at each point.
+func (r *SweepResult) BestPolicy() []string {
+	out := make([]string, len(r.Points))
+	for i, p := range r.Points {
+		names := make([]string, 0, len(p.Ratio))
+		for name := range p.Ratio {
+			names = append(names, name)
+		}
+		sort.Strings(names) // deterministic tie-break
+		best, bestMean := "", math.Inf(1)
+		for _, name := range names {
+			if m := p.Ratio[name].Mean; m < bestMean {
+				best, bestMean = name, m
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func formatRatio(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}

@@ -1,0 +1,30 @@
+package singleq
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+func benchOrder(b *testing.B, order Order) {
+	b.Helper()
+	s, err := New(Config{Buffer: 256, MaxWork: 16, Cores: 16, Order: order, PushOut: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	burst := make([]pkt.Packet, 32)
+	for i := range burst {
+		burst[i] = pkt.NewWork(0, 1+rng.Intn(16))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(burst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSingleQueuePQStep(b *testing.B)   { benchOrder(b, OrderPQ) }
+func BenchmarkSingleQueueFIFOStep(b *testing.B) { benchOrder(b, OrderFIFO) }

@@ -1,0 +1,81 @@
+// Package tablefmt renders aligned plain-text tables for the CLIs and
+// benchmark reports.
+package tablefmt
+
+import "strings"
+
+// Render formats headers and rows as an aligned table with a separator
+// line under the header. Columns containing only numeric-looking cells
+// are right-aligned; others are left-aligned. Rows shorter than the
+// header are padded with empty cells; longer rows are truncated.
+func Render(headers []string, rows [][]string) string {
+	cols := len(headers)
+	if cols == 0 {
+		return ""
+	}
+	norm := make([][]string, 0, len(rows)+1)
+	norm = append(norm, headers)
+	for _, row := range rows {
+		r := make([]string, cols)
+		copy(r, row)
+		norm = append(norm, r)
+	}
+
+	widths := make([]int, cols)
+	rightAlign := make([]bool, cols)
+	for c := 0; c < cols; c++ {
+		rightAlign[c] = true
+		for r, row := range norm {
+			if w := len(row[c]); w > widths[c] {
+				widths[c] = w
+			}
+			if r > 0 && row[c] != "" && !numericLike(row[c]) {
+				rightAlign[c] = false
+			}
+		}
+	}
+
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[c] - len(cell)
+			if rightAlign[c] {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				if c < cols-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(norm[0])
+	sep := make([]string, cols)
+	for c := range sep {
+		sep[c] = strings.Repeat("-", widths[c])
+	}
+	writeRow(sep)
+	for _, row := range norm[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// numericLike reports whether s looks like a number (possibly signed,
+// decimal, percentage, or with a ± suffix part).
+func numericLike(s string) bool {
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case strings.ContainsRune("+-.eE%±x ", r):
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,78 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	got := Render([]string{"name", "ratio"}, [][]string{
+		{"LWD", "1.355"},
+		{"Greedy", "2.960"},
+	})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator: %q", lines[1])
+	}
+	// Numeric column is right-aligned: both data cells end at the same
+	// column.
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned rows:\n%s", got)
+	}
+}
+
+func TestRenderHandlesRaggedRows(t *testing.T) {
+	got := Render([]string{"a", "b", "c"}, [][]string{
+		{"1"},
+		{"1", "2", "3", "4 (extra, truncated)"},
+	})
+	for _, line := range strings.Split(strings.TrimRight(got, "\n"), "\n") {
+		if strings.Contains(line, "extra") {
+			t.Errorf("extra cell leaked: %q", line)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, nil); got != "" {
+		t.Errorf("Render(nil) = %q", got)
+	}
+	got := Render([]string{"x"}, nil)
+	if !strings.Contains(got, "x") {
+		t.Errorf("header-only table: %q", got)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	// Text column left-aligned, numeric right-aligned.
+	got := Render([]string{"policy", "v"}, [][]string{
+		{"A", "1"},
+		{"LongName", "10000"},
+	})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if !strings.HasPrefix(lines[2], "A ") {
+		t.Errorf("text cell not left-aligned: %q", lines[2])
+	}
+	if !strings.HasSuffix(lines[2], "    1") {
+		t.Errorf("numeric cell not right-aligned: %q", lines[2])
+	}
+}
+
+func TestNumericLike(t *testing.T) {
+	for _, s := range []string{"1.5", "-2", "1.00±0.05", "12%", "3e-4", ""} {
+		if !numericLike(s) {
+			t.Errorf("numericLike(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"LWD", "n/a", "1.5x faster?"} {
+		if numericLike(s) {
+			t.Errorf("numericLike(%q) = true", s)
+		}
+	}
+}

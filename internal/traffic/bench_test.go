@@ -1,0 +1,19 @@
+package traffic
+
+import "testing"
+
+func BenchmarkMMPPNext(b *testing.B) {
+	c := baseCfg()
+	c.Sources = 500 // paper scale
+	c.LambdaOn = c.LambdaForRate(30)
+	g, err := NewMMPP(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var pkts int
+	for i := 0; i < b.N; i++ {
+		pkts += len(g.Next())
+	}
+	b.ReportMetric(float64(pkts)/float64(b.N), "pkts/slot")
+}

@@ -1,0 +1,96 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"smbm/internal/pkt"
+)
+
+// binaryMagic opens the v1 binary trace format: a fixed 8-byte record
+// per packet (little-endian uint32 slot, uint16 port, uint8 work, uint8
+// value) after a header with the slot count. Roughly 3x smaller and an
+// order of magnitude faster to parse than the text format — intended for
+// the paper-scale 2·10⁶-slot traces.
+var binaryMagic = []byte("SMBT1\n")
+
+// binary format caps: the fixed-width record bounds ports and labels.
+const (
+	maxBinaryPort  = 1<<16 - 1
+	maxBinaryLabel = 1<<8 - 1
+)
+
+// WriteBinary serializes the trace in the binary format.
+func (tr Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(tr))); err != nil {
+		return err
+	}
+	var rec [8]byte
+	for t, slot := range tr {
+		for _, p := range slot {
+			if p.Port < 0 || p.Port > maxBinaryPort || p.Work < 0 || p.Work > maxBinaryLabel || p.Value < 0 || p.Value > maxBinaryLabel {
+				return fmt.Errorf("traffic: packet %v exceeds the binary format's field widths", p)
+			}
+			binary.LittleEndian.PutUint32(rec[0:], uint32(t))
+			binary.LittleEndian.PutUint16(rec[4:], uint16(p.Port))
+			rec[6] = byte(p.Work)
+			rec[7] = byte(p.Value)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryTrace parses the binary format produced by WriteBinary.
+func ReadBinaryTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("traffic: reading binary magic: %w", err)
+	}
+	if string(magic) != string(binaryMagic) {
+		return nil, fmt.Errorf("traffic: bad binary magic %q", magic)
+	}
+	var slots uint32
+	if err := binary.Read(br, binary.LittleEndian, &slots); err != nil {
+		return nil, fmt.Errorf("traffic: reading slot count: %w", err)
+	}
+	tr := make(Trace, slots)
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return tr, nil
+			}
+			return nil, fmt.Errorf("traffic: reading record: %w", err)
+		}
+		t := binary.LittleEndian.Uint32(rec[0:])
+		if t >= slots {
+			return nil, fmt.Errorf("traffic: record slot %d out of [0,%d)", t, slots)
+		}
+		tr[t] = append(tr[t], pkt.Packet{
+			Port:  int(binary.LittleEndian.Uint16(rec[4:])),
+			Work:  int(rec[6]),
+			Value: int(rec[7]),
+		})
+	}
+}
+
+// ReadAnyTrace sniffs the input and parses either the text or the binary
+// format.
+func ReadAnyTrace(r io.Reader) (Trace, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == string(binaryMagic) {
+		return ReadBinaryTrace(br)
+	}
+	return ReadTrace(br)
+}

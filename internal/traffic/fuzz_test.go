@@ -1,0 +1,36 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace hardens the trace parser: arbitrary input must either
+// fail cleanly or parse into a trace that round-trips through Write.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("# smbm-trace v1 slots=2\n0 1 2 3\n1 0 1 1\n")
+	f.Add("# smbm-trace v1 slots=0\n")
+	f.Add("# smbm-trace v1 slots=1\n# comment\n\n0 0 1 1\n")
+	f.Add("garbage")
+	f.Add("# smbm-trace v1 slots=-3\n")
+	f.Add("# smbm-trace v1 slots=1\n0 -1 0 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("Write after successful parse: %v", err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round-trip re-parse: %v", err)
+		}
+		if len(back) != len(tr) || back.Packets() != tr.Packets() {
+			t.Fatalf("round-trip changed shape: %d/%d slots, %d/%d packets",
+				len(back), len(tr), back.Packets(), tr.Packets())
+		}
+	})
+}

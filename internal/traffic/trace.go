@@ -1,0 +1,146 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"smbm/internal/pkt"
+)
+
+// Trace is a materialized arrival sequence: one packet slice per slot.
+type Trace [][]pkt.Packet
+
+// Record materializes the next slots slots of src.
+func Record(src Source, slots int) Trace {
+	tr := make(Trace, slots)
+	for t := range tr {
+		tr[t] = src.Next()
+	}
+	return tr
+}
+
+// Packets returns the total number of arrivals in the trace.
+func (tr Trace) Packets() int {
+	var n int
+	for _, slot := range tr {
+		n += len(slot)
+	}
+	return n
+}
+
+// Replay returns a Source that plays the trace back from the beginning,
+// returning empty bursts once exhausted.
+func (tr Trace) Replay() Source { return &replay{trace: tr} }
+
+type replay struct {
+	trace Trace
+	pos   int
+}
+
+func (r *replay) Next() []pkt.Packet {
+	if r.pos >= len(r.trace) {
+		return nil
+	}
+	slot := r.trace[r.pos]
+	r.pos++
+	out := make([]pkt.Packet, len(slot))
+	copy(out, slot)
+	return out
+}
+
+// traceHeader is the first line of the v1 text format.
+const traceHeader = "# smbm-trace v1"
+
+// Write serializes the trace in a line-oriented text format:
+//
+//	# smbm-trace v1 slots=<n>
+//	<slot> <port> <work> <value>
+//
+// one line per packet, slots ascending.
+func (tr Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s slots=%d\n", traceHeader, len(tr)); err != nil {
+		return err
+	}
+	for t, slot := range tr {
+		for _, p := range slot {
+			if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", t, p.Port, p.Work, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the text format produced by Write.
+func ReadTrace(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("traffic: empty trace input")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, traceHeader) {
+		return nil, fmt.Errorf("traffic: bad trace header %q", header)
+	}
+	var slots int
+	if _, err := fmt.Sscanf(header[len(traceHeader):], " slots=%d", &slots); err != nil {
+		return nil, fmt.Errorf("traffic: bad trace header %q: %v", header, err)
+	}
+	if slots < 0 {
+		return nil, fmt.Errorf("traffic: negative slot count %d", slots)
+	}
+	tr := make(Trace, slots)
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("traffic: line %d: want 4 fields, got %d", line, len(fields))
+		}
+		nums := make([]int, 4)
+		for i, f := range fields {
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: line %d: %v", line, err)
+			}
+			nums[i] = n
+		}
+		t := nums[0]
+		if t < 0 || t >= slots {
+			return nil, fmt.Errorf("traffic: line %d: slot %d out of [0,%d)", line, t, slots)
+		}
+		tr[t] = append(tr[t], pkt.Packet{Port: nums[1], Work: nums[2], Value: nums[3]})
+	}
+	return tr, sc.Err()
+}
+
+// Concat concatenates traces in time.
+func Concat(traces ...Trace) Trace {
+	var total int
+	for _, tr := range traces {
+		total += len(tr)
+	}
+	out := make(Trace, 0, total)
+	for _, tr := range traces {
+		out = append(out, tr...)
+	}
+	return out
+}
+
+// Slots builds a trace directly from per-slot bursts; nil slices are
+// silent slots. Convenience for tests and adversarial constructions.
+func Slots(bursts ...[]pkt.Packet) Trace { return Trace(bursts) }
+
+// Silence returns a trace of n empty slots.
+func Silence(n int) Trace { return make(Trace, n) }

@@ -1,0 +1,123 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+func sampleTrace() Trace {
+	return Slots(
+		[]pkt.Packet{pkt.NewWork(0, 1), pkt.NewWork(2, 3)},
+		nil,
+		[]pkt.Packet{pkt.NewValue(1, 5)},
+	)
+}
+
+func TestTracePackets(t *testing.T) {
+	if got := sampleTrace().Packets(); got != 3 {
+		t.Errorf("Packets() = %d, want 3", got)
+	}
+	if got := (Trace{}).Packets(); got != 0 {
+		t.Errorf("empty trace Packets() = %d", got)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr := sampleTrace()
+	src := tr.Replay()
+	for s := range tr {
+		got := src.Next()
+		if len(got) != len(tr[s]) {
+			t.Fatalf("slot %d: %d packets, want %d", s, len(got), len(tr[s]))
+		}
+		for i := range got {
+			if got[i] != tr[s][i] {
+				t.Fatalf("slot %d packet %d: %v != %v", s, i, got[i], tr[s][i])
+			}
+		}
+	}
+	if got := src.Next(); got != nil {
+		t.Errorf("exhausted replay returned %v", got)
+	}
+	// The replayed slices are copies: mutating them must not corrupt
+	// the source trace.
+	src2 := tr.Replay()
+	burst := src2.Next()
+	burst[0].Port = 99
+	if tr[0][0].Port == 99 {
+		t.Error("replay aliases the underlying trace")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("slots %d, want %d", len(got), len(tr))
+	}
+	for s := range tr {
+		if len(got[s]) != len(tr[s]) {
+			t.Fatalf("slot %d: %d packets, want %d", s, len(got[s]), len(tr[s]))
+		}
+		for i := range tr[s] {
+			if got[s][i] != tr[s][i] {
+				t.Fatalf("slot %d packet %d differs", s, i)
+			}
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "nope\n"},
+		{"bad slot count", "# smbm-trace v1 slots=x\n"},
+		{"negative slots", "# smbm-trace v1 slots=-1\n"},
+		{"short line", "# smbm-trace v1 slots=1\n0 1\n"},
+		{"non-numeric", "# smbm-trace v1 slots=1\n0 a 1 1\n"},
+		{"slot out of range", "# smbm-trace v1 slots=1\n5 0 1 1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadTrace(strings.NewReader(c.input)); err == nil {
+				t.Error("no error")
+			}
+		})
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# smbm-trace v1 slots=2\n\n# comment\n1 0 1 1\n"
+	tr, err := ReadTrace(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || len(tr[0]) != 0 || len(tr[1]) != 1 {
+		t.Errorf("parsed %v", tr)
+	}
+}
+
+func TestConcatAndSilence(t *testing.T) {
+	a := Silence(2)
+	b := sampleTrace()
+	all := Concat(a, b)
+	if len(all) != 5 {
+		t.Fatalf("len = %d, want 5", len(all))
+	}
+	if all[0] != nil || len(all[2]) != 2 {
+		t.Error("concat order broken")
+	}
+}

@@ -1,0 +1,254 @@
+// Package traffic generates the synthetic workloads of the paper's
+// simulation study: the interleaving of many independent on-off bursty
+// sources, each modeled as a Markov-modulated Poisson process (MMPP) that
+// emits at rate λ_on in the "on" state and is silent in the "off" state.
+//
+// All randomness flows from an explicit seed, so every experiment is
+// replayable. The package also provides trace materialization, replay and
+// a text serialization for cmd/tracegen.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"smbm/internal/pkt"
+)
+
+// Source produces the arrival burst of successive time slots. Arrivals
+// within a slot are ordered (the paper serves input ports in fixed
+// order).
+type Source interface {
+	// Next returns the packets arriving in the next slot. The returned
+	// slice is owned by the caller.
+	Next() []pkt.Packet
+}
+
+// LabelMode selects how generated packets are labeled.
+type LabelMode int
+
+// Label modes for the three experiment families of Fig. 5.
+const (
+	// LabelWorkByPort generates processing-model packets: the port is
+	// sampled and the packet's work is the port's configured
+	// requirement (Fig. 5 panels 1–3).
+	LabelWorkByPort LabelMode = iota + 1
+	// LabelValueUniform generates value-model packets with value drawn
+	// uniformly from [1,k], independent of the port (panels 4–6).
+	LabelValueUniform
+	// LabelValueByPort generates value-model packets whose value is
+	// uniquely determined by the port: value = port+1. Requires
+	// Ports == MaxLabel (panels 7–9).
+	LabelValueByPort
+)
+
+// MMPPConfig parameterizes an interleaving of independent on-off MMPP
+// sources.
+type MMPPConfig struct {
+	// Sources is the number of independent on-off processes (paper: 500).
+	Sources int
+	// LambdaOn is the per-source Poisson packet rate while "on".
+	LambdaOn float64
+	// POnOff is the per-slot probability of an "on" source turning off.
+	POnOff float64
+	// POffOn is the per-slot probability of an "off" source turning on.
+	POffOn float64
+	// Label selects the packet labeling scheme.
+	Label LabelMode
+	// Ports is the number of output ports packets are destined to.
+	Ports int
+	// MaxLabel is k, the bound on work/value labels.
+	MaxLabel int
+	// PortWork is the per-port work configuration consulted by
+	// LabelWorkByPort; nil means unit work.
+	PortWork []int
+	// PortAffinity pins each source to one uniformly chosen port,
+	// concentrating bursts on single queues. When false every packet
+	// picks a port uniformly at random.
+	PortAffinity bool
+	// PortZipf skews port popularity with a Zipf(s) law: weight of port
+	// i is 1/(i+1)^s, so low-numbered (cheap, in the contiguous
+	// configuration) ports are the most popular. Zero keeps the uniform
+	// choice. Applies to both per-packet port draws and per-source
+	// affinity assignment.
+	PortZipf float64
+	// Seed initializes the generator; equal seeds give equal traces.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c MMPPConfig) Validate() error {
+	switch {
+	case c.Sources < 1:
+		return fmt.Errorf("traffic: sources %d < 1", c.Sources)
+	case c.LambdaOn < 0 || math.IsNaN(c.LambdaOn) || math.IsInf(c.LambdaOn, 0):
+		return fmt.Errorf("traffic: bad lambda %v", c.LambdaOn)
+	case c.POnOff < 0 || c.POnOff > 1 || c.POffOn < 0 || c.POffOn > 1:
+		return fmt.Errorf("traffic: transition probabilities out of [0,1]: on->off %v, off->on %v", c.POnOff, c.POffOn)
+	case c.Ports < 1:
+		return fmt.Errorf("traffic: ports %d < 1", c.Ports)
+	case c.MaxLabel < 1:
+		return fmt.Errorf("traffic: max label %d < 1", c.MaxLabel)
+	case c.Label < LabelWorkByPort || c.Label > LabelValueByPort:
+		return fmt.Errorf("traffic: unknown label mode %d", int(c.Label))
+	case c.Label == LabelValueByPort && c.Ports != c.MaxLabel:
+		return fmt.Errorf("traffic: value-by-port labeling needs ports == k, got %d != %d", c.Ports, c.MaxLabel)
+	case c.PortWork != nil && len(c.PortWork) != c.Ports:
+		return fmt.Errorf("traffic: len(PortWork)=%d != ports %d", len(c.PortWork), c.Ports)
+	case c.PortZipf < 0 || math.IsNaN(c.PortZipf) || math.IsInf(c.PortZipf, 0):
+		return fmt.Errorf("traffic: bad Zipf exponent %v", c.PortZipf)
+	}
+	return nil
+}
+
+// StationaryOnFraction returns the long-run fraction of time a source
+// spends "on" under the two-state chain.
+func (c MMPPConfig) StationaryOnFraction() float64 {
+	if c.POffOn+c.POnOff == 0 {
+		return 1 // chain never moves; sources start per the stationary draw below, treat as always-on
+	}
+	return c.POffOn / (c.POffOn + c.POnOff)
+}
+
+// MeanRate returns the expected aggregate packet arrivals per slot.
+func (c MMPPConfig) MeanRate() float64 {
+	return float64(c.Sources) * c.LambdaOn * c.StationaryOnFraction()
+}
+
+// LambdaForRate returns the LambdaOn that makes MeanRate equal rate,
+// keeping every other field of c fixed.
+func (c MMPPConfig) LambdaForRate(rate float64) float64 {
+	denom := float64(c.Sources) * c.StationaryOnFraction()
+	if denom == 0 {
+		return 0
+	}
+	return rate / denom
+}
+
+// MMPP is the interleaving of independent on-off sources.
+type MMPP struct {
+	cfg        MMPPConfig
+	rng        *rand.Rand
+	on         []bool
+	sourcePort []int     // fixed port per source when PortAffinity is set
+	portCDF    []float64 // cumulative Zipf weights when PortZipf > 0
+}
+
+// NewMMPP builds the generator. Source states are initialized from the
+// stationary distribution so traces need no warm-up.
+func NewMMPP(cfg MMPPConfig) (*MMPP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &MMPP{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		on:  make([]bool, cfg.Sources),
+	}
+	pOn := cfg.StationaryOnFraction()
+	for i := range g.on {
+		g.on[i] = g.rng.Float64() < pOn
+	}
+	if cfg.PortZipf > 0 {
+		g.portCDF = make([]float64, cfg.Ports)
+		var total float64
+		for i := range g.portCDF {
+			total += math.Pow(float64(i+1), -cfg.PortZipf)
+			g.portCDF[i] = total
+		}
+		for i := range g.portCDF {
+			g.portCDF[i] /= total
+		}
+	}
+	if cfg.PortAffinity {
+		g.sourcePort = make([]int, cfg.Sources)
+		for i := range g.sourcePort {
+			g.sourcePort[i] = g.drawPort()
+		}
+	}
+	return g, nil
+}
+
+// drawPort samples a destination port (uniform or Zipf-skewed).
+func (g *MMPP) drawPort() int {
+	if g.portCDF == nil {
+		return g.rng.Intn(g.cfg.Ports)
+	}
+	u := g.rng.Float64()
+	lo, hi := 0, len(g.portCDF)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.portCDF[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Next implements Source.
+func (g *MMPP) Next() []pkt.Packet {
+	var out []pkt.Packet
+	for i := 0; i < g.cfg.Sources; i++ {
+		if g.on[i] {
+			for n := poisson(g.rng, g.cfg.LambdaOn); n > 0; n-- {
+				out = append(out, g.emit(i))
+			}
+			if g.rng.Float64() < g.cfg.POnOff {
+				g.on[i] = false
+			}
+		} else if g.rng.Float64() < g.cfg.POffOn {
+			g.on[i] = true
+		}
+	}
+	return out
+}
+
+// emit labels one packet from source i.
+func (g *MMPP) emit(i int) pkt.Packet {
+	port := g.drawPort()
+	if g.cfg.PortAffinity {
+		port = g.sourcePort[i]
+	}
+	switch g.cfg.Label {
+	case LabelWorkByPort:
+		work := 1
+		if g.cfg.PortWork != nil {
+			work = g.cfg.PortWork[port]
+		}
+		return pkt.NewWork(port, work)
+	case LabelValueUniform:
+		return pkt.NewValue(port, 1+g.rng.Intn(g.cfg.MaxLabel))
+	case LabelValueByPort:
+		return pkt.NewValue(port, port+1)
+	default:
+		panic(fmt.Sprintf("traffic: unreachable label mode %d", int(g.cfg.Label)))
+	}
+}
+
+// poisson samples a Poisson variate by Knuth's product method for small
+// means and a clipped normal approximation for large ones (λ in this
+// package stays small; the fallback only guards against misuse).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

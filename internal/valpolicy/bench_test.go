@@ -1,0 +1,39 @@
+package valpolicy
+
+import (
+	"math/rand"
+	"testing"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+	"smbm/internal/policy"
+)
+
+// benchAdmit measures one value policy's per-packet decision cost on a
+// full 64-port switch.
+func benchAdmit(b *testing.B, p core.Policy) {
+	b.Helper()
+	const n = 64
+	cfg := core.Config{Model: core.ModelValue, Ports: n, Buffer: 4 * n, MaxLabel: n, Speedup: 1}
+	sw := core.MustNew(cfg, policy.Greedy{})
+	rng := rand.New(rand.NewSource(1))
+	for sw.Free() > 0 {
+		if err := sw.Arrive(pkt.NewValue(rng.Intn(n), 1+rng.Intn(n))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	arrivals := make([]pkt.Packet, 1024)
+	for i := range arrivals {
+		arrivals[i] = pkt.NewValue(rng.Intn(n), 1+rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Admit(sw, arrivals[i%len(arrivals)])
+	}
+}
+
+func BenchmarkAdmitValueLQD(b *testing.B) { benchAdmit(b, LQD{}) }
+func BenchmarkAdmitMVD(b *testing.B)      { benchAdmit(b, MVD{}) }
+func BenchmarkAdmitMVD1(b *testing.B)     { benchAdmit(b, MVD1{}) }
+func BenchmarkAdmitMRD(b *testing.B)      { benchAdmit(b, MRD{}) }
+func BenchmarkAdmitNHSTV(b *testing.B)    { benchAdmit(b, NHSTV{}) }

@@ -1,0 +1,86 @@
+package valpolicy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// TestQuickMVDKeepsTopValues: absent transmissions, MVD's buffer always
+// holds exactly the B most valuable packets offered so far (the greedy
+// value-maximization property that defines the policy). LQD, by
+// contrast, must violate this on value-skewed input.
+func TestQuickMVDKeepsTopValues(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := valCfg(6)
+		sw := core.MustNew(cfg, MVD{})
+		var offered []int
+		for i := 0; i < 30; i++ {
+			p := pkt.NewValue(rng.Intn(cfg.Ports), 1+rng.Intn(cfg.MaxLabel))
+			offered = append(offered, p.Value)
+			if err := sw.Arrive(p); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// The View exposes aggregates, which pin the multiset well
+		// enough: buffered total value must equal the sum of the top-B
+		// offered values, and the buffered minimum must be their
+		// minimum.
+		sort.Sort(sort.Reverse(sort.IntSlice(offered)))
+		top := offered
+		if len(top) > cfg.Buffer {
+			top = top[:cfg.Buffer]
+		}
+		var wantSum int64
+		wantMin := top[len(top)-1]
+		for _, v := range top {
+			wantSum += int64(v)
+		}
+		var gotSum int64
+		gotMin := 0
+		for q := 0; q < cfg.Ports; q++ {
+			gotSum += sw.QueueValueSum(q)
+			if mv := sw.QueueMinValue(q); mv > 0 && (gotMin == 0 || mv < gotMin) {
+				gotMin = mv
+			}
+		}
+		return gotSum == wantSum && gotMin == wantMin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMVDBeatsLQDOnBufferedValue is the deterministic counterpart: after
+// a value-skewed burst, MVD's buffer is strictly richer than LQD's.
+func TestMVDBeatsLQDOnBufferedValue(t *testing.T) {
+	cfg := valCfg(4)
+	burst := []pkt.Packet{
+		pkt.NewValue(0, 1), pkt.NewValue(0, 1), pkt.NewValue(0, 1), pkt.NewValue(0, 1),
+		pkt.NewValue(1, 8), pkt.NewValue(1, 8), pkt.NewValue(1, 8), pkt.NewValue(1, 8),
+	}
+	mvd := core.MustNew(cfg, MVD{})
+	lqd := core.MustNew(cfg, LQD{})
+	if err := mvd.ArriveBurst(burst); err != nil {
+		t.Fatal(err)
+	}
+	if err := lqd.ArriveBurst(burst); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(sw *core.Switch) int64 {
+		var s int64
+		for q := 0; q < cfg.Ports; q++ {
+			s += sw.QueueValueSum(q)
+		}
+		return s
+	}
+	if m, l := sum(mvd), sum(lqd); m != 32 || m <= l {
+		t.Errorf("MVD buffered value %d (want 32), LQD %d", m, l)
+	}
+}

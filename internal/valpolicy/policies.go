@@ -1,0 +1,210 @@
+package valpolicy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/hmath"
+	"smbm/internal/pkt"
+)
+
+// NHSTV is the value-model adaptation of the harmonic static thresholds
+// for the value≡port special case: high values get the large thresholds,
+// so a queue whose packets carry value v admits while
+// |Q_i| < B/((k−v+1)·H_k). (The paper: "we reverse the thresholds to
+// B/((k−i+1)H_k) for queue with value i".) The threshold is keyed on the
+// arriving packet's value, which coincides with the port label in the
+// intended special case.
+type NHSTV struct{}
+
+// Name implements core.Policy.
+func (NHSTV) Name() string { return "NHSTV" }
+
+// Admit implements core.Policy.
+func (NHSTV) Admit(v core.View, p pkt.Packet) core.Decision {
+	if v.Free() == 0 {
+		return core.Drop()
+	}
+	k := v.MaxLabel()
+	// |Q_i| < B/((k−v+1)·H_k)  ⇔  |Q_i|·(k−v+1)·H_k < B.
+	lhs := float64(v.QueueLen(p.Port)) * float64(k-p.Value+1) * hmath.Harmonic(k)
+	if lhs < float64(v.Buffer()) {
+		return core.Accept()
+	}
+	return core.Drop()
+}
+
+// LQD is Longest-Queue-Drop in the value model: on congestion it drops
+// the lowest-value packet of the longest queue (the arriving packet
+// counted virtually). When the arriving packet's own queue is the
+// longest, the arriving packet competes with the queue's minimum: it is
+// admitted in place of a strictly cheaper packet, otherwise dropped —
+// either way the lowest value of the longest queue is what goes.
+// Theorem 9: ≥ ∛k − o(∛k) competitive.
+type LQD struct{}
+
+// Name implements core.Policy.
+func (LQD) Name() string { return "LQD" }
+
+// Admit implements core.Policy.
+func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
+	if v.Free() > 0 {
+		return core.Accept()
+	}
+	i := p.Port
+	longest, longestLen := -1, -1
+	for j := 0; j < v.Ports(); j++ {
+		l := v.QueueLen(j)
+		if j == i {
+			l++ // virtually add p
+		}
+		switch {
+		case l > longestLen:
+			longest, longestLen = j, l
+		case l == longestLen && v.QueueMinValue(j) < v.QueueMinValue(longest):
+			// Ties: prefer evicting from the queue holding the cheaper
+			// packet.
+			longest = j
+		}
+	}
+	if longest != i {
+		return core.PushOut(longest)
+	}
+	if v.QueueLen(i) > 0 && v.QueueMinValue(i) < p.Value {
+		return core.PushOut(i)
+	}
+	return core.Drop()
+}
+
+// MVD is Minimal-Value-Drop: on congestion, if the arriving packet beats
+// the cheapest buffered packet, that cheapest packet (from the longest
+// such queue on ties) is pushed out. Greedily maximizes admitted value;
+// Theorem 10 shows it is ≥ (m−1)/2-competitive for m = min{k,B} because
+// it starves all but the richest ports.
+type MVD struct{}
+
+// Name implements core.Policy.
+func (MVD) Name() string { return "MVD" }
+
+// Admit implements core.Policy.
+func (MVD) Admit(v core.View, p pkt.Packet) core.Decision {
+	return mvdAdmit(v, p, 1)
+}
+
+// MVD1 is the simulation-section variant of MVD that never pushes out the
+// last packet of a queue, so an active port is never silenced by a single
+// expensive arrival elsewhere.
+type MVD1 struct{}
+
+// Name implements core.Policy.
+func (MVD1) Name() string { return "MVD1" }
+
+// Admit implements core.Policy.
+func (MVD1) Admit(v core.View, p pkt.Packet) core.Decision {
+	return mvdAdmit(v, p, 2)
+}
+
+// mvdAdmit implements MVD with a minimum victim-queue length (1 for MVD,
+// 2 for MVD1).
+func mvdAdmit(v core.View, p pkt.Packet, minLen int) core.Decision {
+	if v.Free() > 0 {
+		return core.Accept()
+	}
+	victim, minVal := -1, 0
+	for j := 0; j < v.Ports(); j++ {
+		if v.QueueLen(j) < minLen {
+			continue
+		}
+		mv := v.QueueMinValue(j)
+		switch {
+		case victim == -1 || mv < minVal:
+			victim, minVal = j, mv
+		case mv == minVal && v.QueueLen(j) > v.QueueLen(victim):
+			// Ties: the longest queue among those holding the minimum.
+			victim = j
+		}
+	}
+	if victim >= 0 && minVal < p.Value {
+		return core.PushOut(victim)
+	}
+	return core.Drop()
+}
+
+// MRD is the paper's Maximal-Ratio-Drop, the conjectured
+// constant-competitive policy: on congestion, push out the cheapest
+// packet of the queue maximizing |Q_j|/a_j (a_j the average value in
+// Q_j, the arriving packet counted virtually in its own queue), provided
+// the arriving packet is worth at least the cheapest value anywhere in
+// the buffer. Ties on the ratio go to the queue holding the smaller
+// minimum value.
+//
+// The paper's case split leaves "minimal admitted value == m"
+// unspecified; equality must push for the stated property "MRD emulates
+// LQD in case all packets have unit values" to hold (under unit values
+// the minimum always equals the arrival), so that is the behaviour here
+// — except that a packet arriving for the max-ratio queue itself only
+// displaces a strictly cheaper minimum, mirroring LQD's i = j* drop.
+// The LQD equivalence transfers the √2 lower bound; Theorem 11 gives
+// ≥ 4/3 in the value≡port case.
+type MRD struct{}
+
+// Name implements core.Policy.
+func (MRD) Name() string { return "MRD" }
+
+// Admit implements core.Policy.
+func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
+	if v.Free() > 0 {
+		return core.Accept()
+	}
+	// |Q_j|/a_j = |Q_j|²/sum_j; compare fractions by cross-multiplying
+	// in int64 (|Q| ≤ B, sums ≤ B·k keep this far from overflow).
+	victim := -1
+	var bestNum, bestDen int64
+	globalMin := 0
+	for j := 0; j < v.Ports(); j++ {
+		l, sum := int64(v.QueueLen(j)), v.QueueValueSum(j)
+		if j == p.Port {
+			l++ // virtually add p
+			sum += int64(p.Value)
+		}
+		if l == 0 {
+			continue
+		}
+		mv := v.QueueMinValue(j) // 0 on an empty queue: only possible for j == p.Port
+		if mv > 0 && (globalMin == 0 || mv < globalMin) {
+			globalMin = mv
+		}
+		num, den := l*l, sum
+		switch {
+		case victim == -1 || num*bestDen > bestNum*den:
+			victim, bestNum, bestDen = j, num, den
+		case num*bestDen == bestNum*den && minOrInf(v, j) < minOrInf(v, victim):
+			victim, bestNum, bestDen = j, num, den
+		}
+	}
+	if victim != p.Port {
+		if globalMin <= p.Value {
+			return core.PushOut(victim)
+		}
+		return core.Drop()
+	}
+	if v.QueueLen(p.Port) > 0 && v.QueueMinValue(p.Port) < p.Value {
+		return core.PushOut(p.Port)
+	}
+	return core.Drop()
+}
+
+// minOrInf returns the queue's minimum value, treating an empty queue as
+// unbeatably expensive for tie-breaking.
+func minOrInf(v core.View, j int) int {
+	if v.QueueLen(j) == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return v.QueueMinValue(j)
+}
+
+var (
+	_ core.Policy = NHSTV{}
+	_ core.Policy = LQD{}
+	_ core.Policy = MVD{}
+	_ core.Policy = MVD1{}
+	_ core.Policy = MRD{}
+)

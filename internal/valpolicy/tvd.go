@@ -1,0 +1,63 @@
+package valpolicy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// TVD (Total-Value-Drop) is the ablation behind the paper's design
+// argument for MRD: "in the value case the total value per queue
+// constitutes a poor choice but normalized value can potentially achieve
+// constant competitiveness". TVD pushes out the cheapest packet of the
+// queue holding the largest *total* value — the unnormalized analogue of
+// MRD's |Q|/avg.
+//
+// The flaw the experiments expose: a queue is "rich" either because it is
+// long or because its packets are valuable, so TVD raids exactly the
+// high-value queues MVD-style policies try to protect. See
+// TestAblationTVDVsMRD.
+//
+// Not part of the paper's roster.
+type TVD struct{}
+
+// Name implements core.Policy.
+func (TVD) Name() string { return "TVD" }
+
+// Admit implements core.Policy.
+func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
+	if v.Free() > 0 {
+		return core.Accept()
+	}
+	victim := -1
+	var bestSum int64
+	globalMin := 0
+	for j := 0; j < v.Ports(); j++ {
+		if v.QueueLen(j) == 0 {
+			continue
+		}
+		mv := v.QueueMinValue(j)
+		if globalMin == 0 || mv < globalMin {
+			globalMin = mv
+		}
+		if sum := v.QueueValueSum(j); victim == -1 || sum > bestSum {
+			victim, bestSum = j, sum
+		}
+	}
+	if victim != p.Port {
+		if globalMin <= p.Value {
+			return core.PushOut(victim)
+		}
+		return core.Drop()
+	}
+	if v.QueueLen(p.Port) > 0 && v.QueueMinValue(p.Port) < p.Value {
+		return core.PushOut(p.Port)
+	}
+	return core.Drop()
+}
+
+var _ core.Policy = TVD{}
+
+// Experimental returns value-model policies beyond the paper's roster.
+func Experimental() []core.Policy {
+	return []core.Policy{TVD{}}
+}

@@ -1,0 +1,53 @@
+// Package valpolicy implements the buffer management policies of Section
+// IV of the paper (heterogeneous packet values, unit work, priority-queue
+// output queues). The objective is total transmitted value.
+//
+// Length-based policies that carry over unchanged from the processing
+// model (Greedy, NEST, NHDT) live in package policy and are shared by the
+// value-model experiments.
+package valpolicy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/policy"
+)
+
+// ForUniform returns the roster of Fig. 5 panels 4–6: the value model
+// with both output port and value chosen uniformly at random.
+func ForUniform() []core.Policy {
+	return []core.Policy{
+		policy.Greedy{},
+		policy.NEST{},
+		policy.NHDT{},
+		LQD{},
+		MVD{},
+		MVD1{},
+		MRD{},
+	}
+}
+
+// ForValueByPort returns the roster of Fig. 5 panels 7–9: the special
+// case where a packet's value is uniquely determined by its output port,
+// which adds the reversed-threshold NHSTV.
+func ForValueByPort() []core.Policy {
+	return []core.Policy{
+		policy.Greedy{},
+		NHSTV{},
+		policy.NEST{},
+		policy.NHDT{},
+		LQD{},
+		MVD{},
+		MVD1{},
+		MRD{},
+	}
+}
+
+// ByName returns the value-model policy with the given Name, or nil.
+func ByName(name string) core.Policy {
+	for _, p := range ForValueByPort() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
