@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench panels lowerbounds arch report examples clean
+.PHONY: all build test test-race vet bench panels lowerbounds arch faults report examples clean
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrency-sensitive harness packages.
+test-race:
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/...
 
 # Full benchmark pass (tables, figures, substrates, ablations).
 bench:
@@ -28,6 +32,9 @@ lowerbounds:
 
 arch:
 	$(GO) run ./cmd/smbsim -experiment arch
+
+faults:
+	$(GO) run ./cmd/smbsim -experiment faults
 
 # Regenerate EXPERIMENTS.md from a fresh evaluation run.
 report:

@@ -3,39 +3,66 @@
 // MMPP traffic and prints the mean empirical competitive ratio of every
 // policy against the OPT proxy (a single priority queue with n·C cores).
 // The "arch" experiment additionally compares the shared-memory switch
-// against the Fig. 1 single-queue architecture.
+// against the Fig. 1 single-queue architecture, and the "faults"
+// experiment measures graceful degradation under the canonical fault
+// mix.
 //
 // Usage:
 //
 //	smbsim                          # run all nine panels at default scale
 //	smbsim -experiment fig5.1       # one panel
 //	smbsim -experiment arch         # architecture comparison
+//	smbsim -experiment faults       # fault-degradation comparison
 //	smbsim -slots 2000000 -seeds 5  # paper-scale run
 //	smbsim -plot                    # append ASCII charts
 //	smbsim -csv > panels.csv        # machine-readable output
+//
+// Robustness flags for long runs:
+//
+//	smbsim -checkpoint run.ckpt     # journal cells; re-run to resume
+//	smbsim -cell-timeout 5m         # fail runaway cells, keep the rest
+//	smbsim -faults "blackout;squeeze:b=32"  # inject faults into a sweep
+//
+// SIGINT cancels the run gracefully: completed points are printed as a
+// partial table and the process exits with code 2, so a checkpointed
+// run can be resumed later.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"smbm/internal/cli"
 	"smbm/internal/experiments"
+	"smbm/internal/faults"
+)
+
+// Exit codes: 0 success, 1 failure, 2 interrupted (partial results
+// printed, resumable via -checkpoint).
+const (
+	exitFailure     = 1
+	exitInterrupted = 2
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "experiment to run (fig5.1 ... fig5.9, arch, latency); empty runs the nine panels")
-		slots      = flag.Int("slots", 0, "trace length per replication (default 4000; paper uses 2000000)")
-		seeds      = flag.Int("seeds", 0, "replications per point (default 3)")
-		sources    = flag.Int("sources", 0, "MMPP on-off sources (default 100; paper uses 500)")
-		flushEvery = flag.Int("flush", 0, "slots between periodic flushouts (default 1000)")
-		seed       = flag.Int64("seed", 0, "base RNG seed (default 1)")
-		workers    = flag.Int("workers", 0, "parallel simulation workers (default GOMAXPROCS)")
-		asPlot     = flag.Bool("plot", false, "render each panel as an ASCII chart as well")
-		asCSV      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		specPath   = flag.String("spec", "", "run a custom JSON experiment spec instead of the paper's panels")
+		experiment  = flag.String("experiment", "", "experiment to run (fig5.1 ... fig5.9, arch, latency, faults); empty runs the nine panels")
+		slots       = flag.Int("slots", 0, "trace length per replication (default 4000; paper uses 2000000)")
+		seeds       = flag.Int("seeds", 0, "replications per point (default 3)")
+		sources     = flag.Int("sources", 0, "MMPP on-off sources (default 100; paper uses 500)")
+		flushEvery  = flag.Int("flush", 0, "slots between periodic flushouts (default 1000)")
+		seed        = flag.Int64("seed", 0, "base RNG seed (default 1)")
+		workers     = flag.Int("workers", 0, "parallel simulation workers (default GOMAXPROCS)")
+		asPlot      = flag.Bool("plot", false, "render each panel as an ASCII chart as well")
+		asCSV       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		specPath    = flag.String("spec", "", "run a custom JSON experiment spec instead of the paper's panels")
+		faultSpec   = flag.String("faults", "", `inject a fault plan into every sweep cell, e.g. "blackout;squeeze:b=32:period=500:dur=100" (see internal/faults)`)
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline; a timed-out cell fails without killing the sweep (0 = unbounded)")
+		checkpoint  = flag.String("checkpoint", "", "journal completed sweep cells to this file and resume from it on re-runs")
 	)
 	flag.Parse()
 
@@ -49,21 +76,45 @@ func main() {
 			BaseSeed:    *seed,
 			Parallelism: *workers,
 		},
-		Plot: *asPlot,
-		CSV:  *asCSV,
+		Plot:        *asPlot,
+		CSV:         *asCSV,
+		CellTimeout: *cellTimeout,
+		Checkpoint:  *checkpoint,
 	}
+	if *faultSpec != "" {
+		fs, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smbsim:", err)
+			os.Exit(exitFailure)
+		}
+		opts.Faults = fs
+	}
+
+	// SIGINT cancels the context; sweeps return their completed points
+	// as partial tables instead of discarding hours of work.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var err error
 	if *specPath != "" {
 		var f *os.File
 		if f, err = os.Open(*specPath); err == nil {
-			err = cli.RunSpec(os.Stdout, f, opts)
+			err = cli.RunSpec(ctx, os.Stdout, f, opts)
 			f.Close()
 		}
 	} else {
-		err = cli.Panels(os.Stdout, opts)
+		err = cli.Panels(ctx, os.Stdout, opts)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "smbsim: interrupted; partial results printed above")
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "smbsim: re-run with -checkpoint %s to resume\n", *checkpoint)
+			}
+			stop() // restore default SIGINT behaviour for the exit path
+			os.Exit(exitInterrupted)
+		}
 		fmt.Fprintln(os.Stderr, "smbsim:", err)
-		os.Exit(1)
+		os.Exit(exitFailure)
 	}
 }

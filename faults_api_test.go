@@ -1,0 +1,105 @@
+package smbm_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smbm"
+)
+
+func faultsCfg() smbm.Config {
+	return smbm.Config{
+		Model:    smbm.ModelProcessing,
+		Ports:    4,
+		Buffer:   12,
+		MaxLabel: 4,
+		Speedup:  1,
+		PortWork: []int{1, 2, 3, 4},
+	}
+}
+
+func faultsTrace(slots int, seed int64) smbm.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	works := []int{1, 2, 3, 4}
+	tr := make(smbm.Trace, slots)
+	for t := range tr {
+		n := rng.Intn(6)
+		burst := make([]smbm.Packet, 0, n)
+		for j := 0; j < n; j++ {
+			p := rng.Intn(len(works))
+			burst = append(burst, smbm.WorkPacket(p, works[p]))
+		}
+		tr[t] = burst
+	}
+	return tr
+}
+
+func TestFaultInjectorFacade(t *testing.T) {
+	cfg := faultsCfg()
+	spec, err := smbm.ParseFaultSpec("blackout:period=100:dur=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Horizon = 300
+	sw, err := smbm.NewSwitch(cfg, smbm.LWD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := smbm.NewFaultInjector(sw, spec, cfg.Ports, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := in.Schedule()
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3 blackout windows over 300 slots", len(events))
+	}
+	for _, e := range events {
+		if e.Kind != smbm.FaultPortBlackout {
+			t.Errorf("event kind %v, want blackout", e.Kind)
+		}
+	}
+	tr := faultsTrace(300, 5)
+	s1, err := smbm.RunTrace(in, tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Reset()
+	s2, err := smbm.RunTrace(in, tr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("faulted facade run not reproducible")
+	}
+}
+
+func TestDegradationReport(t *testing.T) {
+	cfg := faultsCfg()
+	tr := faultsTrace(600, 11)
+	spec := smbm.CanonicalFaultMix(cfg.Ports, cfg.Buffer, cfg.Speedup, 0) // Horizon defaults to the trace
+	policies := []smbm.Policy{smbm.LWD(), smbm.Greedy()}
+	rows, err := smbm.DegradationReport(cfg, policies, tr, 200, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Policy == "" || r.Nominal <= 0 || r.Faulted <= 0 || r.Penalty <= 0 {
+			t.Errorf("degenerate degradation row %+v", r)
+		}
+	}
+	if rows[0].Policy != "LWD" || rows[1].Policy != "Greedy" {
+		t.Errorf("row order %s, %s", rows[0].Policy, rows[1].Policy)
+	}
+}
+
+func TestParseFaultSpecFacadeRejectsGarbage(t *testing.T) {
+	if _, err := smbm.ParseFaultSpec("nope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("got %v, want unknown-kind error", err)
+	}
+}

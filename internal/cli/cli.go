@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"smbm/internal/adversary"
 	"smbm/internal/experiments"
+	"smbm/internal/faults"
 	"smbm/internal/sim"
 	"smbm/internal/spec"
 	"smbm/internal/tablefmt"
@@ -18,37 +20,80 @@ import (
 
 // PanelOptions drives Panels (cmd/smbsim).
 type PanelOptions struct {
-	// Experiment selects one panel or "arch"; empty runs the nine
-	// Fig. 5 panels.
+	// Experiment selects one panel, "arch", "latency" or "faults";
+	// empty runs the nine Fig. 5 panels.
 	Experiment string
 	// Opts scales the runs.
 	Opts experiments.Options
 	// Plot appends an ASCII chart per panel; CSV replaces tables with
 	// CSV blocks.
 	Plot, CSV bool
+	// Faults, when non-empty, wraps every sweep cell's systems (each
+	// policy and the OPT proxy) with this fault plan; its Horizon
+	// defaults to the run's slot count.
+	Faults faults.Spec
+	// CellTimeout bounds each sweep cell (0 = unbounded).
+	CellTimeout time.Duration
+	// Checkpoint journals completed sweep cells to this file and
+	// resumes from it on a re-run (empty = no checkpointing).
+	Checkpoint string
 }
 
-// Panels runs the requested evaluation experiments, writing reports to w.
-func Panels(w io.Writer, o PanelOptions) error {
+// slots returns the effective trace length of the run.
+func (o PanelOptions) slots() int {
+	if o.Opts.Slots > 0 {
+		return o.Opts.Slots
+	}
+	return experiments.Defaults().Slots
+}
+
+// Panels runs the requested evaluation experiments, writing reports to
+// w. Canceling ctx stops the run gracefully: the in-flight sweep
+// returns its completed points, which are rendered as a partial table
+// before the context's error is returned.
+func Panels(ctx context.Context, w io.Writer, o PanelOptions) error {
 	ids := experiments.PanelIDs()
 	if o.Experiment != "" {
 		ids = []string{o.Experiment}
 	}
 	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var err error
 		switch id {
 		case "arch":
 			err = archReport(w, o.Opts)
 		case "latency":
 			err = latencyReport(w, o.Opts)
+		case "faults":
+			err = faultsReport(w, o.Opts)
 		default:
-			err = panelReport(w, id, o)
+			err = panelReport(ctx, w, id, o)
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// faultsReport runs the fault-degradation experiment.
+func faultsReport(w io.Writer, opts experiments.Options) error {
+	start := time.Now()
+	rows, err := experiments.FaultDegradation(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "== faults: graceful degradation under the canonical fault mix (%s) ==\n",
+		time.Since(start).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, experiments.FaultTable(rows)); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
 }
 
 // latencyReport runs the buffer-size/latency trade-off experiment.
@@ -71,7 +116,7 @@ func latencyReport(w io.Writer, opts experiments.Options) error {
 
 // RunSpec loads a JSON experiment spec from r, runs it, and renders the
 // report like a panel.
-func RunSpec(w io.Writer, r io.Reader, o PanelOptions) error {
+func RunSpec(ctx context.Context, w io.Writer, r io.Reader, o PanelOptions) error {
 	e, err := spec.Load(r)
 	if err != nil {
 		return err
@@ -83,40 +128,79 @@ func RunSpec(w io.Writer, r io.Reader, o PanelOptions) error {
 	if o.Opts.Parallelism > 0 {
 		sweep.Parallelism = o.Opts.Parallelism
 	}
-	return renderSweep(w, sweep, o)
+	return renderSweep(ctx, w, sweep, o)
 }
 
-func panelReport(w io.Writer, id string, o PanelOptions) error {
+func panelReport(ctx context.Context, w io.Writer, id string, o PanelOptions) error {
 	sweep, err := experiments.Panel(id, o.Opts)
 	if err != nil {
 		return err
 	}
-	return renderSweep(w, sweep, o)
+	return renderSweep(ctx, w, sweep, o)
 }
 
-func renderSweep(w io.Writer, sweep *sim.Sweep, o PanelOptions) error {
+// harden applies the robustness options — fault injection, per-cell
+// deadline, checkpoint journal — to a sweep before it runs.
+func harden(sweep *sim.Sweep, o PanelOptions) {
+	sweep.CellTimeout = o.CellTimeout
+	sweep.Checkpoint = o.Checkpoint
+	if o.Faults.Empty() {
+		return
+	}
+	fs := o.Faults
+	if fs.Horizon == 0 {
+		fs.Horizon = int64(o.slots())
+	}
+	build := sweep.Build
+	sweep.Build = func(x int, seed int64) (sim.Instance, error) {
+		inst, err := build(x, seed)
+		if err != nil {
+			return inst, err
+		}
+		inst.Wrap = faults.Wrapper(fs, inst.Cfg.Ports, seed)
+		return inst, nil
+	}
+}
+
+// renderSweep runs the sweep and renders its report. On interruption
+// or per-cell failures, any completed points are still rendered —
+// marked partial — before the error is propagated.
+func renderSweep(ctx context.Context, w io.Writer, sweep *sim.Sweep, o PanelOptions) error {
+	harden(sweep, o)
 	start := time.Now()
-	result, err := sweep.Run()
-	if err != nil {
+	result, err := sweep.RunContext(ctx)
+	if result == nil {
 		return err
+	}
+	if rerr := writeSweepReport(w, result, o, time.Since(start)); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// writeSweepReport renders one (possibly partial) sweep result.
+func writeSweepReport(w io.Writer, result *sim.SweepResult, o PanelOptions, elapsed time.Duration) error {
+	marker := ""
+	if result.Partial {
+		marker = ", partial"
 	}
 	if o.CSV {
-		_, err := fmt.Fprintf(w, "# %s\n%s\n", result.Name, result.CSV())
+		_, err := fmt.Fprintf(w, "# %s%s\n%s\n", result.Name, marker, result.CSV())
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "== %s: competitive ratio vs %s (%s) ==\n",
-		result.Name, result.XLabel, time.Since(start).Round(time.Millisecond)); err != nil {
+	if _, err := fmt.Fprintf(w, "== %s: competitive ratio vs %s (%s%s) ==\n",
+		result.Name, result.XLabel, elapsed.Round(time.Millisecond), marker); err != nil {
 		return err
 	}
 	if _, err := io.WriteString(w, result.Table()); err != nil {
 		return err
 	}
-	if o.Plot {
+	if o.Plot && len(result.Points) > 0 {
 		if _, err := fmt.Fprintf(w, "\n%s", result.Plot()); err != nil {
 			return err
 		}
 	}
-	_, err = fmt.Fprintln(w)
+	_, err := fmt.Fprintln(w)
 	return err
 }
 

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ func smallOpts() experiments.Options {
 
 func TestPanelsSingle(t *testing.T) {
 	var buf bytes.Buffer
-	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts()})
+	err := Panels(context.Background(), &buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestPanelsSingle(t *testing.T) {
 
 func TestPanelsCSV(t *testing.T) {
 	var buf bytes.Buffer
-	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), CSV: true})
+	err := Panels(context.Background(), &buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), CSV: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestPanelsCSV(t *testing.T) {
 
 func TestPanelsPlot(t *testing.T) {
 	var buf bytes.Buffer
-	err := Panels(&buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), Plot: true})
+	err := Panels(context.Background(), &buf, PanelOptions{Experiment: "fig5.1", Opts: smallOpts(), Plot: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestPanelsPlot(t *testing.T) {
 
 func TestPanelsArch(t *testing.T) {
 	var buf bytes.Buffer
-	err := Panels(&buf, PanelOptions{Experiment: "arch", Opts: smallOpts()})
+	err := Panels(context.Background(), &buf, PanelOptions{Experiment: "arch", Opts: smallOpts()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestPanelsArch(t *testing.T) {
 
 func TestPanelsLatency(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Panels(&buf, PanelOptions{Experiment: "latency", Opts: smallOpts()}); err != nil {
+	if err := Panels(context.Background(), &buf, PanelOptions{Experiment: "latency", Opts: smallOpts()}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "delay/throughput trade-off") {
@@ -81,7 +82,7 @@ func TestPanelsLatency(t *testing.T) {
 }
 
 func TestPanelsUnknown(t *testing.T) {
-	if err := Panels(&bytes.Buffer{}, PanelOptions{Experiment: "fig9.9"}); err == nil {
+	if err := Panels(context.Background(), &bytes.Buffer{}, PanelOptions{Experiment: "fig9.9"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestRunSpec(t *testing.T) {
 	  "traffic": {"sources": 10, "load": 2.0}
 	}`
 	var buf bytes.Buffer
-	if err := RunSpec(&buf, strings.NewReader(specJSON), PanelOptions{}); err != nil {
+	if err := RunSpec(context.Background(), &buf, strings.NewReader(specJSON), PanelOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -107,7 +108,7 @@ func TestRunSpec(t *testing.T) {
 			t.Errorf("spec output missing %q:\n%s", want, out)
 		}
 	}
-	if err := RunSpec(&bytes.Buffer{}, strings.NewReader("{"), PanelOptions{}); err == nil {
+	if err := RunSpec(context.Background(), &bytes.Buffer{}, strings.NewReader("{"), PanelOptions{}); err == nil {
 		t.Error("malformed spec accepted")
 	}
 }

@@ -30,6 +30,13 @@ type Switch struct {
 	// pops the max, push-out pops the min.
 	vq []*bmset.Set
 
+	// Fault-injection overrides (see SetPortSpeedup / SetBufferLimit).
+	// speedOv, when non-nil, holds a per-port speedup override; a
+	// negative entry means "nominal". bufLimit, when positive, caps the
+	// effective shared buffer below the configured B.
+	speedOv  []int
+	bufLimit int
+
 	stats   Stats
 	perPort []PortCounters
 }
@@ -94,6 +101,77 @@ func (s *Switch) PortCounters() []PortCounters {
 // Slot returns the current slot number (completed transmission phases).
 func (s *Switch) Slot() int64 { return s.slot }
 
+// --- Fault-injection overrides -------------------------------------------
+//
+// The methods below are the degradation knobs used by internal/faults:
+// they transiently override the nominal configuration without touching
+// Config, so a fault window can slow a port's cores, black a port out,
+// or squeeze the effective shared buffer, and clearing the override
+// restores nominal behaviour exactly.
+
+// SetPortSpeedup overrides port i's per-slot processing cycles
+// (processing model) or per-slot transmissions (value model). c == 0
+// blacks the port out; a negative c restores the configured Speedup.
+// While a port is blacked out Drain cannot terminate if that port holds
+// packets — fault injectors clear overrides before draining (see
+// internal/faults), and sim.RunTrace bounds drains via DrainMax.
+func (s *Switch) SetPortSpeedup(i, c int) {
+	if i < 0 || i >= s.cfg.Ports {
+		panic(fmt.Sprintf("core: SetPortSpeedup port %d out of [0,%d)", i, s.cfg.Ports))
+	}
+	if s.speedOv == nil {
+		if c < 0 {
+			return
+		}
+		s.speedOv = make([]int, s.cfg.Ports)
+		for j := range s.speedOv {
+			s.speedOv[j] = -1
+		}
+	}
+	s.speedOv[i] = c
+}
+
+// ResetSpeedups clears all per-port speedup overrides, restoring the
+// configured Speedup on every port.
+func (s *Switch) ResetSpeedups() {
+	for i := range s.speedOv {
+		s.speedOv[i] = -1
+	}
+}
+
+// SetBufferLimit transiently caps the effective shared buffer at b
+// packets. Policies observe the squeezed value through View.Buffer and
+// View.Free, so push-out policies evict via their own rule and
+// non-push-out policies tail-drop. Occupancy already above the limit is
+// not force-evicted: push-out admissions stay occupancy-neutral and the
+// excess drains through transmission. b <= 0 (or b >= the configured B)
+// restores the nominal buffer.
+func (s *Switch) SetBufferLimit(b int) {
+	if b <= 0 {
+		s.bufLimit = 0
+		return
+	}
+	s.bufLimit = b
+}
+
+// effSpeedup returns port i's effective per-slot speedup under any
+// active override.
+func (s *Switch) effSpeedup(i int) int {
+	if s.speedOv != nil && s.speedOv[i] >= 0 {
+		return s.speedOv[i]
+	}
+	return s.cfg.Speedup
+}
+
+// effBuffer returns the effective shared buffer under any active
+// squeeze.
+func (s *Switch) effBuffer() int {
+	if s.bufLimit > 0 && s.bufLimit < s.cfg.Buffer {
+		return s.bufLimit
+	}
+	return s.cfg.Buffer
+}
+
 // --- View implementation -------------------------------------------------
 
 // Model implements View.
@@ -102,8 +180,9 @@ func (s *Switch) Model() Model { return s.cfg.Model }
 // Ports implements View.
 func (s *Switch) Ports() int { return s.cfg.Ports }
 
-// Buffer implements View.
-func (s *Switch) Buffer() int { return s.cfg.Buffer }
+// Buffer implements View. It reports the effective buffer, which a
+// transient SetBufferLimit squeeze may hold below the configured B.
+func (s *Switch) Buffer() int { return s.effBuffer() }
 
 // MaxLabel implements View.
 func (s *Switch) MaxLabel() int { return s.cfg.MaxLabel }
@@ -111,8 +190,14 @@ func (s *Switch) MaxLabel() int { return s.cfg.MaxLabel }
 // Occupancy implements View.
 func (s *Switch) Occupancy() int { return s.occ }
 
-// Free implements View.
-func (s *Switch) Free() int { return s.cfg.Buffer - s.occ }
+// Free implements View. Under a buffer squeeze it never goes negative:
+// occupancy above the transient limit reads as a full buffer.
+func (s *Switch) Free() int {
+	if free := s.effBuffer() - s.occ; free > 0 {
+		return free
+	}
+	return 0
+}
 
 // QueueLen implements View.
 func (s *Switch) QueueLen(i int) int {
@@ -200,8 +285,15 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 			return fmt.Errorf("core: policy %s: %w", s.policy.Name(), err)
 		}
 	}
-	if s.occ >= s.cfg.Buffer {
-		return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ, s.cfg.Buffer)
+	// A push-out admission is occupancy-neutral, so during a buffer
+	// squeeze it only needs the physical bound; a plain accept needs
+	// room below the effective (possibly squeezed) buffer.
+	limit := s.effBuffer()
+	if d.Push {
+		limit = s.cfg.Buffer
+	}
+	if s.occ >= limit {
+		return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ, limit)
 	}
 	s.insert(p)
 	s.stats.Accepted++
@@ -243,7 +335,7 @@ func (s *Switch) Transmit() {
 
 func (s *Switch) transmitProcessing() {
 	for i := 0; i < s.cfg.Ports; i++ {
-		budget := s.cfg.Speedup
+		budget := s.effSpeedup(i)
 		for budget > 0 && s.qLen[i] > 0 {
 			use := min(budget, s.holRes[i])
 			s.holRes[i] -= use
@@ -277,7 +369,7 @@ func (s *Switch) transmitProcessing() {
 
 func (s *Switch) transmitValue() {
 	for i := 0; i < s.cfg.Ports; i++ {
-		for c := 0; c < s.cfg.Speedup && !s.vq[i].Empty(); c++ {
+		for c := 0; c < s.effSpeedup(i) && !s.vq[i].Empty(); c++ {
 			v := s.vq[i].PopMax()
 			s.occ--
 			s.stats.Transmitted++
@@ -302,7 +394,10 @@ func (s *Switch) Step(arrivalsInOrder []pkt.Packet) error {
 
 // Drain runs transmission phases with no arrivals until the buffer is
 // empty, returning the number of slots consumed. Total residual work is
-// finite and strictly decreases, so Drain always terminates.
+// finite and strictly decreases, so Drain always terminates — unless a
+// SetPortSpeedup(i, 0) blackout override is active on a non-empty port;
+// callers that inject faults should clear overrides first or use
+// DrainMax.
 func (s *Switch) Drain() int {
 	var slots int
 	for s.occ > 0 {
@@ -312,12 +407,29 @@ func (s *Switch) Drain() int {
 	return slots
 }
 
-// Reset empties the buffer and zeroes all statistics, keeping the
-// configuration and policy.
+// DrainMax is Drain bounded to at most max transmission phases. It
+// returns the slots consumed and whether the buffer actually emptied;
+// sim.RunTrace uses it to turn a non-terminating drain into an error.
+func (s *Switch) DrainMax(max int) (int, bool) {
+	var slots int
+	for s.occ > 0 {
+		if slots >= max {
+			return slots, false
+		}
+		s.Transmit()
+		slots++
+	}
+	return slots, true
+}
+
+// Reset empties the buffer and zeroes all statistics and fault
+// overrides, keeping the configuration and policy.
 func (s *Switch) Reset() {
 	s.occ = 0
 	s.slot = 0
 	s.stats = Stats{}
+	s.speedOv = nil
+	s.bufLimit = 0
 	for i := range s.perPort {
 		s.perPort[i] = PortCounters{}
 	}

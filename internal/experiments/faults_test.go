@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultDegradation(t *testing.T) {
+	opts := smallOpts()
+	opts.Seeds = 1
+	rows, err := FaultDegradation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("%d rows, want the full processing roster", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Policy] {
+			t.Errorf("duplicate policy %q", r.Policy)
+		}
+		seen[r.Policy] = true
+		if r.Nominal <= 0 {
+			t.Errorf("%s nominal ratio %v <= 0", r.Policy, r.Nominal)
+		}
+		if r.Faulted <= 0 {
+			t.Errorf("%s faulted ratio %v <= 0", r.Policy, r.Faulted)
+		}
+		if r.Penalty <= 0 {
+			t.Errorf("%s penalty %v <= 0", r.Policy, r.Penalty)
+		}
+	}
+	for _, want := range []string{"LWD", "LQD", "Greedy"} {
+		if !seen[want] {
+			t.Errorf("roster missing %s", want)
+		}
+	}
+
+	table := FaultTable(rows)
+	for _, want := range []string{"policy", "nominal", "faulted", "penalty", "LWD"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFaultDegradationDeterministic(t *testing.T) {
+	opts := smallOpts()
+	opts.Seeds = 1
+	opts.Slots = 400
+	a, err := FaultDegradation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultDegradation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCanonicalFaultMixSchedule(t *testing.T) {
+	mix := CanonicalFaultMix(2_000)
+	if mix.Empty() {
+		t.Fatal("canonical mix is empty")
+	}
+	if mix.Horizon != 2_000 {
+		t.Errorf("horizon %d, want 2000", mix.Horizon)
+	}
+	if events := mix.Schedule(faultPanelK, 1); len(events) == 0 {
+		t.Error("canonical mix materialized no events")
+	}
+}

@@ -30,6 +30,13 @@ type SPQProc struct {
 	occ   int
 	slot  int64
 	stats core.Stats
+
+	// Fault-injection overrides, mirroring core.Switch: speedOv holds
+	// per-port speedup overrides (negative = nominal) that shrink the
+	// proxy's aggregate core budget, bufLimit transiently caps the
+	// effective buffer.
+	speedOv  []int
+	bufLimit int
 }
 
 // NewSPQProc builds the proxy for the given switch configuration.
@@ -57,13 +64,37 @@ func (s *SPQProc) Stats() core.Stats { return s.stats }
 // Occupancy returns the buffered packet count.
 func (s *SPQProc) Occupancy() int { return s.occ }
 
+// SetPortSpeedup overrides port i's contribution to the proxy's core
+// budget (c == 0 removes it, negative restores the configured Speedup),
+// so the OPT proxy degrades by exactly the capacity a faulted
+// shared-memory switch loses.
+func (s *SPQProc) SetPortSpeedup(i, c int) {
+	s.speedOv = setPortSpeedup(s.speedOv, s.cfg.Ports, i, c)
+}
+
+// ResetSpeedups clears all per-port speedup overrides.
+func (s *SPQProc) ResetSpeedups() { resetSpeedups(s.speedOv) }
+
+// SetBufferLimit transiently caps the proxy's effective buffer at b
+// packets; b <= 0 restores the configured B.
+func (s *SPQProc) SetBufferLimit(b int) { s.bufLimit = clampLimit(b) }
+
+// coreBudget returns the aggregate cores per slot under any active
+// overrides.
+func (s *SPQProc) coreBudget() int {
+	return coreBudget(s.speedOv, s.cfg.Ports, s.cfg.Speedup)
+}
+
+// effBuffer returns the effective buffer under any active squeeze.
+func (s *SPQProc) effBuffer() int { return effBuffer(s.bufLimit, s.cfg.Buffer) }
+
 // Arrive admits p greedily with push-out of the largest residual.
 func (s *SPQProc) Arrive(p pkt.Packet) error {
 	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
 		return err
 	}
 	s.stats.Arrived++
-	if s.occ >= s.cfg.Buffer {
+	if s.occ >= s.effBuffer() {
 		// Evict the largest residual if strictly larger than the arrival.
 		worst := 0
 		for r := s.cfg.MaxLabel; r >= 1; r-- {
@@ -103,7 +134,7 @@ func (s *SPQProc) Step(arrivals []pkt.Packet) error {
 // Transmit applies one cycle to each of the min(occupancy, cores)
 // smallest-residual packets.
 func (s *SPQProc) Transmit() {
-	budget := int64(s.cores)
+	budget := int64(s.coreBudget())
 	for r := 1; r <= s.cfg.MaxLabel && budget > 0; r++ {
 		n := s.res[r]
 		if n == 0 {
@@ -130,6 +161,8 @@ func (s *SPQProc) Transmit() {
 }
 
 // Drain transmits with no arrivals until empty, returning slots used.
+// Like core.Switch.Drain it cannot terminate while every port is
+// blacked out; fault injectors clear overrides before draining.
 func (s *SPQProc) Drain() int {
 	var slots int
 	for s.occ > 0 {
@@ -139,7 +172,21 @@ func (s *SPQProc) Drain() int {
 	return slots
 }
 
-// Reset clears all buffered packets and statistics.
+// DrainMax is Drain bounded to at most max transmission phases,
+// returning the slots used and whether the proxy actually emptied.
+func (s *SPQProc) DrainMax(max int) (int, bool) {
+	var slots int
+	for s.occ > 0 {
+		if slots >= max {
+			return slots, false
+		}
+		s.Transmit()
+		slots++
+	}
+	return slots, true
+}
+
+// Reset clears all buffered packets, statistics and fault overrides.
 func (s *SPQProc) Reset() {
 	for i := range s.res {
 		s.res[i] = 0
@@ -147,6 +194,69 @@ func (s *SPQProc) Reset() {
 	s.occ = 0
 	s.slot = 0
 	s.stats = core.Stats{}
+	s.speedOv = nil
+	s.bufLimit = 0
+}
+
+// --- shared fault-override helpers ---------------------------------------
+
+// setPortSpeedup records an override for port i in ov (allocating it
+// lazily for n ports), returning the possibly-new slice. c < 0 restores
+// nominal.
+func setPortSpeedup(ov []int, n, i, c int) []int {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("opt: SetPortSpeedup port %d out of [0,%d)", i, n))
+	}
+	if ov == nil {
+		if c < 0 {
+			return nil
+		}
+		ov = make([]int, n)
+		for j := range ov {
+			ov[j] = -1
+		}
+	}
+	ov[i] = c
+	return ov
+}
+
+// resetSpeedups restores every entry of ov to nominal.
+func resetSpeedups(ov []int) {
+	for i := range ov {
+		ov[i] = -1
+	}
+}
+
+// coreBudget sums per-port effective speedups under overrides ov.
+func coreBudget(ov []int, ports, speedup int) int {
+	if ov == nil {
+		return ports * speedup
+	}
+	var total int
+	for i := 0; i < ports; i++ {
+		if ov[i] >= 0 {
+			total += ov[i]
+		} else {
+			total += speedup
+		}
+	}
+	return total
+}
+
+// clampLimit normalizes a buffer-limit argument (<= 0 means "none").
+func clampLimit(b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return b
+}
+
+// effBuffer applies limit to the configured buffer.
+func effBuffer(limit, buffer int) int {
+	if limit > 0 && limit < buffer {
+		return limit
+	}
+	return buffer
 }
 
 // SPQVal is the value-model OPT proxy: one shared priority queue ordered
@@ -158,6 +268,10 @@ type SPQVal struct {
 	vals  *bmset.Set
 	slot  int64
 	stats core.Stats
+
+	// Fault-injection overrides; see SPQProc.
+	speedOv  []int
+	bufLimit int
 }
 
 // NewSPQVal builds the proxy for the given switch configuration.
@@ -184,13 +298,34 @@ func (s *SPQVal) Stats() core.Stats { return s.stats }
 // Occupancy returns the buffered packet count.
 func (s *SPQVal) Occupancy() int { return s.vals.Len() }
 
+// SetPortSpeedup overrides port i's contribution to the proxy's
+// transmission budget; see SPQProc.SetPortSpeedup.
+func (s *SPQVal) SetPortSpeedup(i, c int) {
+	s.speedOv = setPortSpeedup(s.speedOv, s.cfg.Ports, i, c)
+}
+
+// ResetSpeedups clears all per-port speedup overrides.
+func (s *SPQVal) ResetSpeedups() { resetSpeedups(s.speedOv) }
+
+// SetBufferLimit transiently caps the proxy's effective buffer at b
+// packets; b <= 0 restores the configured B.
+func (s *SPQVal) SetBufferLimit(b int) { s.bufLimit = clampLimit(b) }
+
+// coreBudget returns per-slot transmissions under any active overrides.
+func (s *SPQVal) coreBudget() int {
+	return coreBudget(s.speedOv, s.cfg.Ports, s.cfg.Speedup)
+}
+
+// effBuffer returns the effective buffer under any active squeeze.
+func (s *SPQVal) effBuffer() int { return effBuffer(s.bufLimit, s.cfg.Buffer) }
+
 // Arrive admits p greedily with push-out of the minimum value.
 func (s *SPQVal) Arrive(p pkt.Packet) error {
 	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
 		return err
 	}
 	s.stats.Arrived++
-	if s.vals.Len() >= s.cfg.Buffer {
+	if s.vals.Len() >= s.effBuffer() {
 		if s.vals.Min() >= p.Value {
 			s.stats.Dropped++
 			return nil
@@ -219,7 +354,7 @@ func (s *SPQVal) Step(arrivals []pkt.Packet) error {
 
 // Transmit sends the min(occupancy, cores) most valuable packets.
 func (s *SPQVal) Transmit() {
-	for c := 0; c < s.cores && !s.vals.Empty(); c++ {
+	for c := 0; c < s.coreBudget() && !s.vals.Empty(); c++ {
 		v := s.vals.PopMax()
 		s.stats.Transmitted++
 		s.stats.TransmittedValue += int64(v)
@@ -230,6 +365,7 @@ func (s *SPQVal) Transmit() {
 }
 
 // Drain transmits with no arrivals until empty, returning slots used.
+// See SPQProc.Drain for the blackout caveat.
 func (s *SPQVal) Drain() int {
 	var slots int
 	for !s.vals.Empty() {
@@ -239,9 +375,25 @@ func (s *SPQVal) Drain() int {
 	return slots
 }
 
-// Reset clears all buffered packets and statistics.
+// DrainMax is Drain bounded to at most max transmission phases,
+// returning the slots used and whether the proxy actually emptied.
+func (s *SPQVal) DrainMax(max int) (int, bool) {
+	var slots int
+	for !s.vals.Empty() {
+		if slots >= max {
+			return slots, false
+		}
+		s.Transmit()
+		slots++
+	}
+	return slots, true
+}
+
+// Reset clears all buffered packets, statistics and fault overrides.
 func (s *SPQVal) Reset() {
 	s.vals.Clear()
 	s.slot = 0
 	s.stats = core.Stats{}
+	s.speedOv = nil
+	s.bufLimit = 0
 }

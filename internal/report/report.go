@@ -140,6 +140,18 @@ go test -bench=. -benchmem ./...    # benchmark harness (ratios as custom metric
   Lemma 8 latency claim in a push-out corner (minimal witness in
   TestLiteralRoutineGap); a conditionally-upgrading repair maintains the
   invariant on every tested instance. DESIGN.md §6 has the full story.
+- **Checkpointed resume.** Paper-scale sweeps (-slots 2000000 -seeds 5)
+  run for hours; smbsim -checkpoint run.ckpt journals every completed
+  (x, seed) sweep cell as a JSON line, and a re-run with the same flag
+  loads the journal and skips finished cells, so a crash or Ctrl-C
+  (which prints the completed points as a partial table and exits with
+  code 2) costs only the in-flight cells. The journal is keyed by sweep
+  name, so one file serves a whole multi-panel run; -cell-timeout bounds
+  runaway cells without killing the sweep.
+- **Fault injection** (cmd/smbsim -experiment faults, -faults "<spec>")
+  wraps every system — each policy and the OPT proxy — in an identical
+  seeded fault schedule, so the degraded ratio stays an apples-to-apples
+  comparison. DESIGN.md §8 documents the fault model.
 
 `
 

@@ -1,0 +1,115 @@
+package sim
+
+// Checkpoint journaling for sweeps: each completed (x, seed) cell is
+// appended to a file as one JSON line, so a paper-scale multi-hour run
+// that crashes or is interrupted can resume where it left off instead
+// of starting over. The journal is keyed by sweep name, so one file can
+// serve a whole multi-panel run.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"smbm/internal/core"
+)
+
+// cellKey identifies one sweep cell by swept value and seed index.
+type cellKey struct {
+	x         int
+	seedIndex int
+}
+
+// checkpointResult is the serialized form of one Result. The empirical
+// ratio is recomputed on load because JSON cannot encode +Inf.
+type checkpointResult struct {
+	Policy        string     `json:"policy"`
+	Throughput    int64      `json:"throughput"`
+	OptThroughput int64      `json:"opt_throughput"`
+	Stats         core.Stats `json:"stats"`
+}
+
+// checkpointRecord is one journal line: a completed cell.
+type checkpointRecord struct {
+	Sweep     string             `json:"sweep"`
+	X         int                `json:"x"`
+	SeedIndex int                `json:"seed_index"`
+	Results   []checkpointResult `json:"results"`
+}
+
+// loadCheckpoint reads the journal at path and returns the completed
+// cells recorded for the named sweep. A missing file is an empty
+// journal. A malformed line (e.g. a torn write from a crash mid-append)
+// ends the scan: every intact line before it still counts, which is
+// exactly the resume semantics a crashed run needs.
+func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
+	done := map[cellKey][]Result{}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec checkpointRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail write; keep the intact prefix
+		}
+		if rec.Sweep != sweep {
+			continue
+		}
+		rs := make([]Result, len(rec.Results))
+		for i, cr := range rec.Results {
+			rs[i] = Result{
+				Policy:        cr.Policy,
+				Throughput:    cr.Throughput,
+				OptThroughput: cr.OptThroughput,
+				Ratio:         ratio(cr.OptThroughput, cr.Throughput),
+				Stats:         cr.Stats,
+			}
+		}
+		done[cellKey{rec.X, rec.SeedIndex}] = rs
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+	}
+	return done, nil
+}
+
+// appendCheckpoint journals one completed cell as a JSON line.
+func appendCheckpoint(w io.Writer, sweep string, x, seedIndex int, results []Result) error {
+	rec := checkpointRecord{
+		Sweep:     sweep,
+		X:         x,
+		SeedIndex: seedIndex,
+		Results:   make([]checkpointResult, len(results)),
+	}
+	for i, r := range results {
+		rec.Results[i] = checkpointResult{
+			Policy:        r.Policy,
+			Throughput:    r.Throughput,
+			OptThroughput: r.OptThroughput,
+			Stats:         r.Stats,
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.Write(line); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+	"smbm/internal/traffic"
+)
+
+// stuckSystem is a deliberately misbehaving System whose buffer never
+// empties: DrainMax always reports failure while packets are buffered.
+type stuckSystem struct{ occ int }
+
+func (s *stuckSystem) Name() string                     { return "stuck" }
+func (s *stuckSystem) Step(arrivals []pkt.Packet) error { s.occ += len(arrivals); return nil }
+func (s *stuckSystem) Drain() int                       { return 0 }
+func (s *stuckSystem) Stats() core.Stats                { return core.Stats{} }
+func (s *stuckSystem) Reset()                           { s.occ = 0 }
+func (s *stuckSystem) DrainMax(max int) (int, bool)     { return max, s.occ == 0 }
+
+func TestRunTraceBoundsDrains(t *testing.T) {
+	tr := traffic.Slots([]pkt.Packet{pkt.NewWork(0, 1)})
+	if _, err := RunTrace(&stuckSystem{}, tr, 0); err == nil ||
+		!strings.Contains(err.Error(), "drain did not empty") {
+		t.Errorf("non-draining system: got %v, want drain-bound error", err)
+	}
+	// An empty stuck system drains trivially.
+	if _, err := RunTrace(&stuckSystem{}, traffic.Slots(nil), 0); err != nil {
+		t.Errorf("empty system: %v", err)
+	}
+	// A negative DrainMax disables the bound and trusts the System.
+	if _, err := RunTraceContext(context.Background(), &stuckSystem{}, tr,
+		RunOptions{DrainMax: -1}); err != nil {
+		t.Errorf("unbounded drain: %v", err)
+	}
+}
+
+func TestRunTraceContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := traffic.Slots(nil, nil)
+	_, err := RunTraceContext(ctx, &stuckSystem{}, tr, RunOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "stuck at slot 0") {
+		t.Errorf("error %v does not name the system and slot", err)
+	}
+}
+
+func TestSweepConfinesPanics(t *testing.T) {
+	s := testSweep()
+	s.Build = func(x int, seed int64) (Instance, error) {
+		if x == 4 {
+			panic("injected test panic")
+		}
+		return buildCell(x, seed)
+	}
+	res, err := s.Run()
+	if err == nil {
+		t.Fatal("panicking cells reported no error")
+	}
+	if res == nil {
+		t.Fatal("panicking cells discarded the completed points")
+	}
+	if !res.Partial {
+		t.Error("result not marked partial")
+	}
+	// The healthy swept values still completed with all seeds.
+	if len(res.Points) != 2 || res.Points[0].X != 2 || res.Points[1].X != 8 {
+		t.Fatalf("points %+v, want x=2 and x=8", res.Points)
+	}
+	for _, p := range res.Points {
+		if n := p.Ratio["LWD"].N; n != 3 {
+			t.Errorf("x=%d has %d replications, want 3", p.X, n)
+		}
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v carries no *CellError", err)
+	}
+	if ce.X != 4 || ce.Sweep != "test" || ce.XLabel != "x" {
+		t.Errorf("cell identity %+v, want sweep test x=4", ce)
+	}
+	if ce.Seed != s.cellSeed(1, ce.SeedIndex) {
+		t.Errorf("cell seed %d does not match the derivation", ce.Seed)
+	}
+	if len(ce.Stack) == 0 {
+		t.Error("panic CellError has no stack")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `sweep "test" cell x=4`) || !strings.Contains(msg, "injected test panic") {
+		t.Errorf("error message %q does not name the cell and panic", msg)
+	}
+}
+
+func TestSweepCancellationReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := testSweep()
+	s.Parallelism = 1
+	var builds int32
+	s.Build = func(x int, seed int64) (Instance, error) {
+		// Cells run in order under Parallelism=1; cancel while building
+		// the fourth cell, after all three x=2 replications completed.
+		if atomic.AddInt32(&builds, 1) == 4 {
+			cancel()
+		}
+		return buildCell(x, seed)
+	}
+	res, err := s.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		t.Errorf("cancellation surfaced as cell failure: %v", ce)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("result %+v, want partial", res)
+	}
+	if len(res.Points) != 1 || res.Points[0].X != 2 {
+		t.Fatalf("points %+v, want only x=2", res.Points)
+	}
+	if n := res.Points[0].Ratio["Greedy"].N; n != 3 {
+		t.Errorf("x=2 has %d replications, want 3", n)
+	}
+}
+
+func TestSweepCellTimeout(t *testing.T) {
+	s := testSweep()
+	s.CellTimeout = time.Nanosecond // every cell blows its deadline
+	res, err := s.Run()
+	if err == nil {
+		t.Fatal("blown deadlines reported no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v, want wrapped DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "cell deadline") {
+		t.Errorf("error %v does not mention the cell deadline", err)
+	}
+	if res == nil || !res.Partial || len(res.Points) != 0 {
+		t.Errorf("result %+v, want empty partial", res)
+	}
+}
+
+func TestSweepValidatesDuplicatesAndParallelism(t *testing.T) {
+	s := testSweep()
+	s.Xs = []int{2, 4, 2}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate Xs: got %v", err)
+	}
+	s = testSweep()
+	s.Parallelism = -3
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "Parallelism") {
+		t.Errorf("negative parallelism: got %v", err)
+	}
+}
+
+func TestSweepCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var builds int32
+	counting := func(x int, seed int64) (Instance, error) {
+		atomic.AddInt32(&builds, 1)
+		return buildCell(x, seed)
+	}
+
+	clean, err := testSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := testSweep()
+	s.Checkpoint = path
+	s.Build = counting
+	first, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&builds); got != 9 {
+		t.Fatalf("first run built %d cells, want 9", got)
+	}
+	if !reflect.DeepEqual(first, clean) {
+		t.Error("checkpointed run differs from plain run")
+	}
+
+	// A re-run against the same journal skips every cell.
+	s = testSweep()
+	s.Checkpoint = path
+	s.Build = counting
+	second, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&builds); got != 9 {
+		t.Fatalf("resumed run rebuilt cells: %d total builds, want 9", got)
+	}
+	if !reflect.DeepEqual(second, clean) {
+		t.Error("resumed result differs from plain run")
+	}
+}
+
+func TestSweepCheckpointResumesInterruptedRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var builds int32
+	s := testSweep()
+	s.Parallelism = 1
+	s.Checkpoint = path
+	s.Build = func(x int, seed int64) (Instance, error) {
+		if atomic.AddInt32(&builds, 1) == 4 {
+			cancel()
+		}
+		return buildCell(x, seed)
+	}
+	res, err := s.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) || res == nil || !res.Partial {
+		t.Fatalf("interrupted run: res=%+v err=%v", res, err)
+	}
+
+	// Resume: only the six cells the interruption lost are rebuilt.
+	var resumedBuilds int32
+	s = testSweep()
+	s.Checkpoint = path
+	s.Build = func(x int, seed int64) (Instance, error) {
+		atomic.AddInt32(&resumedBuilds, 1)
+		return buildCell(x, seed)
+	}
+	resumed, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&resumedBuilds); got != 6 {
+		t.Errorf("resume rebuilt %d cells, want 6", got)
+	}
+	if resumed.Partial {
+		t.Error("resumed run still partial")
+	}
+	clean, err := testSweep().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, clean) {
+		t.Error("resumed result differs from an uninterrupted run")
+	}
+}
+
+func TestSweepCheckpointIgnoresOtherSweeps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.ckpt")
+	s := testSweep()
+	s.Checkpoint = path
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A differently named sweep sharing the journal rebuilds everything.
+	var builds int32
+	other := testSweep()
+	other.Name = "other"
+	other.Checkpoint = path
+	other.Build = func(x int, seed int64) (Instance, error) {
+		atomic.AddInt32(&builds, 1)
+		return buildCell(x, seed)
+	}
+	if _, err := other.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&builds); got != 9 {
+		t.Errorf("other sweep built %d cells, want 9", got)
+	}
+}

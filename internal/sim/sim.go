@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,26 +32,109 @@ type System interface {
 	Reset()
 }
 
+// BoundedDrainer is optionally implemented by Systems whose drain can
+// be capped: DrainMax transmits without arrivals for at most max slots
+// and reports whether the buffer actually emptied. RunTrace uses it to
+// turn a System that never drains (a simulation bug, or a blackout
+// fault left active) into an error instead of an infinite loop.
+type BoundedDrainer interface {
+	// DrainMax drains for at most max slots, returning the slots used
+	// and whether the system emptied.
+	DrainMax(max int) (int, bool)
+}
+
 var (
 	_ System = (*core.Switch)(nil)
 	_ System = (*opt.SPQProc)(nil)
 	_ System = (*opt.SPQVal)(nil)
+
+	_ BoundedDrainer = (*core.Switch)(nil)
+	_ BoundedDrainer = (*opt.SPQProc)(nil)
+	_ BoundedDrainer = (*opt.SPQVal)(nil)
 )
+
+// DefaultDrainMax is the per-drain slot cap applied when RunOptions
+// leaves DrainMax zero. Any correct System empties in at most
+// B·MaxLabel slots, orders of magnitude below this cap, so hitting it
+// indicates a misbehaving System rather than a slow one.
+const DefaultDrainMax = 1 << 20
+
+// RunOptions tunes RunTraceContext beyond the trace itself.
+type RunOptions struct {
+	// FlushEvery drains the buffer every so many slots (0 = only the
+	// final drain).
+	FlushEvery int
+	// DrainMax caps the slots any single drain may consume: 0 applies
+	// DefaultDrainMax, a negative value disables the bound entirely
+	// (only safe for Systems known to terminate).
+	DrainMax int
+	// CheckEvery is the slot interval between context-cancellation
+	// checks (0 = every 64 slots).
+	CheckEvery int
+}
 
 // RunTrace drives sys over the trace, draining the buffer every
 // flushEvery slots (0 disables periodic flushouts) and once more at the
 // end, so buffered inventory never biases throughput comparisons.
+// Drains are bounded by DefaultDrainMax; see RunTraceContext for
+// cancellation and custom bounds.
 func RunTrace(sys System, tr traffic.Trace, flushEvery int) (core.Stats, error) {
+	return RunTraceContext(context.Background(), sys, tr, RunOptions{FlushEvery: flushEvery})
+}
+
+// RunTraceContext is RunTrace with cancellation and configurable
+// drain bounds: it aborts between slots once ctx is done (returning
+// ctx.Err wrapped with the system and slot), and errors out if any
+// drain exceeds the (defaulted) DrainMax cap instead of looping
+// forever on a System that never empties.
+func RunTraceContext(ctx context.Context, sys System, tr traffic.Trace, o RunOptions) (core.Stats, error) {
+	checkEvery := o.CheckEvery
+	if checkEvery <= 0 {
+		checkEvery = 64
+	}
 	for t, burst := range tr {
+		if t%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
+			}
+		}
 		if err := sys.Step(burst); err != nil {
 			return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
 		}
-		if flushEvery > 0 && (t+1)%flushEvery == 0 {
-			sys.Drain()
+		if o.FlushEvery > 0 && (t+1)%o.FlushEvery == 0 {
+			if err := drain(sys, o.DrainMax); err != nil {
+				return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
+			}
 		}
 	}
-	sys.Drain()
+	if err := drain(sys, o.DrainMax); err != nil {
+		return core.Stats{}, fmt.Errorf("sim: %s: %w", sys.Name(), err)
+	}
 	return sys.Stats(), nil
+}
+
+// drain empties sys, bounding the drain via BoundedDrainer when the
+// system supports it (max 0 = DefaultDrainMax, negative = unbounded).
+func drain(sys System, max int) error {
+	if max < 0 {
+		sys.Drain()
+		return nil
+	}
+	if max == 0 {
+		max = DefaultDrainMax
+	}
+	bd, ok := sys.(BoundedDrainer)
+	if !ok {
+		// No bounded drain available; fall back to the plain drain and
+		// trust the System's own termination argument.
+		sys.Drain()
+		return nil
+	}
+	slots, drained := bd.DrainMax(max)
+	if !drained {
+		return fmt.Errorf("drain did not empty the buffer within %d slots (misbehaving System?)", slots)
+	}
+	return nil
 }
 
 // NewOptProxy builds the paper's OPT proxy matching the configuration's
@@ -74,6 +158,14 @@ type Instance struct {
 	// FlushEvery drains all systems every so many slots (0 = only at
 	// the end).
 	FlushEvery int
+	// DrainMax caps the slots any single drain may consume (0 =
+	// DefaultDrainMax, negative = unbounded).
+	DrainMax int
+	// Wrap, when non-nil, wraps every system — the OPT proxy and each
+	// policy switch — before it runs, e.g. with a fault injector
+	// (internal/faults). The wrapper must be deterministic so every
+	// system sees the same degradations.
+	Wrap func(System) (System, error)
 }
 
 // Result reports one policy's performance on an instance.
@@ -94,11 +186,22 @@ type Result struct {
 // Run executes the instance: the OPT proxy once, then every policy on
 // the same trace.
 func (inst Instance) Run() ([]Result, error) {
+	return inst.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the run aborts between slots
+// once ctx is done, returning an error wrapping ctx.Err.
+func (inst Instance) RunContext(ctx context.Context) ([]Result, error) {
+	opts := RunOptions{FlushEvery: inst.FlushEvery, DrainMax: inst.DrainMax}
 	optSys, err := NewOptProxy(inst.Cfg)
 	if err != nil {
 		return nil, err
 	}
-	optStats, err := RunTrace(optSys, inst.Trace, inst.FlushEvery)
+	wrapped, err := inst.wrap(optSys)
+	if err != nil {
+		return nil, err
+	}
+	optStats, err := RunTraceContext(ctx, wrapped, inst.Trace, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +213,11 @@ func (inst Instance) Run() ([]Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := RunTrace(sw, inst.Trace, inst.FlushEvery)
+		sys, err := inst.wrap(sw)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := RunTraceContext(ctx, sys, inst.Trace, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -123,6 +230,18 @@ func (inst Instance) Run() ([]Result, error) {
 		})
 	}
 	return results, nil
+}
+
+// wrap applies the instance's Wrap hook when set.
+func (inst Instance) wrap(sys System) (System, error) {
+	if inst.Wrap == nil {
+		return sys, nil
+	}
+	wrapped, err := inst.Wrap(sys)
+	if err != nil {
+		return nil, fmt.Errorf("sim: wrapping %s: %w", sys.Name(), err)
+	}
+	return wrapped, nil
 }
 
 // ratio returns o/a with the conventions of competitive analysis: 1 when

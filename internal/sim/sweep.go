@@ -1,12 +1,17 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"smbm/internal/metrics"
 	"smbm/internal/tablefmt"
@@ -30,7 +35,47 @@ type Sweep struct {
 	Build func(x int, seed int64) (Instance, error)
 	// Parallelism bounds concurrent cells (default: GOMAXPROCS).
 	Parallelism int
+	// CellTimeout bounds each (x, seed) cell's wall-clock run (0 =
+	// unbounded). A timed-out cell fails with a CellError naming the
+	// cell; the remaining cells keep running.
+	CellTimeout time.Duration
+	// Checkpoint, when non-empty, journals every completed cell to
+	// this file as a JSON line and, on a later run, skips cells already
+	// journaled — making paper-scale sweeps resumable after a crash or
+	// SIGINT. The journal is keyed by sweep Name, so several sweeps can
+	// share one file.
+	Checkpoint string
 }
+
+// CellError is a failure confined to one (x, seed) sweep cell: a Build
+// or Run error, a blown per-cell deadline, or a recovered worker panic.
+// The sweep keeps running the remaining cells and reports the failure —
+// carrying the full cell identity so the offending replication can be
+// reproduced in isolation.
+type CellError struct {
+	// Sweep and XLabel echo the sweep identity.
+	Sweep, XLabel string
+	// X is the swept value of the failed cell.
+	X int
+	// SeedIndex is the replication index, Seed the derived RNG seed.
+	SeedIndex int
+	// Seed is the exact seed passed to Build, for standalone replay.
+	Seed int64
+	// Stack holds the goroutine stack when the cell panicked (nil for
+	// ordinary errors).
+	Stack []byte
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error, naming the failed cell.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("sim: sweep %q cell %s=%d seed[%d]=%d: %v",
+		e.Sweep, e.XLabel, e.X, e.SeedIndex, e.Seed, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is / errors.As.
+func (e *CellError) Unwrap() error { return e.Err }
 
 // PointResult aggregates one swept value across seeds.
 type PointResult struct {
@@ -45,32 +90,132 @@ type PointResult struct {
 	OptThroughput metrics.Summary
 }
 
-// SweepResult is a completed sweep.
+// SweepResult is a completed — or gracefully interrupted — sweep.
 type SweepResult struct {
 	// Name and XLabel echo the sweep.
 	Name, XLabel string
 	// Policies is the policy order for rendering (taken from the first
-	// cell).
+	// completed cell).
 	Policies []string
-	// Points holds one aggregate per swept value, in Xs order.
+	// Points holds one aggregate per swept value, in Xs order. On a
+	// partial run, swept values with no completed cell are omitted and
+	// per-point Summary.N reports how many replications made it.
 	Points []PointResult
+	// Partial reports that not every (x, seed) cell completed — the
+	// run was canceled or some cells failed. The Points present are
+	// still valid aggregates of the completed cells.
+	Partial bool
 }
 
 // Run executes all (x, seed) cells on a bounded worker pool and folds
-// replications in deterministic order.
+// replications in deterministic order. It is RunContext without
+// cancellation.
 func (s *Sweep) Run() (*SweepResult, error) {
+	return s.RunContext(context.Background())
+}
+
+// cellSeed derives the deterministic RNG seed for cell (xi, si).
+func (s *Sweep) cellSeed(xi, si int) int64 {
+	return s.BaseSeed + int64(xi)*1_000_003 + int64(si)*7_919
+}
+
+// validate rejects malformed sweeps up front with clear errors.
+func (s *Sweep) validate() error {
 	if len(s.Xs) == 0 {
-		return nil, fmt.Errorf("sim: sweep %q has no x values", s.Name)
+		return fmt.Errorf("sim: sweep %q has no x values", s.Name)
+	}
+	seen := make(map[int]bool, len(s.Xs))
+	for _, x := range s.Xs {
+		if seen[x] {
+			return fmt.Errorf("sim: sweep %q has duplicate x value %d", s.Name, x)
+		}
+		seen[x] = true
 	}
 	if s.Seeds < 1 {
-		return nil, fmt.Errorf("sim: sweep %q needs at least one seed", s.Name)
+		return fmt.Errorf("sim: sweep %q needs at least one seed", s.Name)
 	}
 	if s.Build == nil {
-		return nil, fmt.Errorf("sim: sweep %q has no Build function", s.Name)
+		return fmt.Errorf("sim: sweep %q has no Build function", s.Name)
+	}
+	if s.Parallelism < 0 {
+		return fmt.Errorf("sim: sweep %q has negative Parallelism %d", s.Name, s.Parallelism)
+	}
+	return nil
+}
+
+// runCell executes one (x, seed) cell, converting failures — including
+// worker panics and blown per-cell deadlines — into a *CellError that
+// names the cell, so one bad replication cannot kill a multi-hour run.
+func (s *Sweep) runCell(ctx context.Context, xi, si int) (res []Result, err error) {
+	x, seed := s.Xs[xi], s.cellSeed(xi, si)
+	fail := func(e error) *CellError {
+		return &CellError{Sweep: s.Name, XLabel: s.XLabel, X: x, SeedIndex: si, Seed: seed, Err: e}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ce := fail(fmt.Errorf("panic: %v", r))
+			ce.Stack = debug.Stack()
+			res, err = nil, ce
+		}
+	}()
+	cellCtx := ctx
+	if s.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, s.CellTimeout)
+		defer cancel()
+	}
+	inst, err := s.Build(x, seed)
+	if err != nil {
+		return nil, fail(err)
+	}
+	res, err = inst.RunContext(cellCtx)
+	if err != nil {
+		if ctx.Err() == nil && cellCtx.Err() != nil {
+			err = fmt.Errorf("cell deadline %v exceeded: %w", s.CellTimeout, err)
+		}
+		return nil, fail(err)
+	}
+	return res, nil
+}
+
+// RunContext executes all (x, seed) cells on a bounded worker pool and
+// folds replications in deterministic order. Robustness semantics:
+//
+//   - A cell failure (Build/Run error, blown CellTimeout, or worker
+//     panic) is confined to that cell: the remaining cells complete and
+//     the failures come back joined in the returned error, each a
+//     *CellError naming its (x, seed) cell.
+//   - Canceling ctx stops dispatching new cells; cells already running
+//     abort at their next slot boundary. The completed cells are
+//     returned as a Partial SweepResult alongside ctx's error, instead
+//     of being discarded.
+//   - With Checkpoint set, completed cells are journaled and a re-run
+//     with the same file resumes, skipping journaled cells.
+//
+// Whenever the returned SweepResult is non-nil its Points are valid
+// aggregates of every completed cell, even when err is non-nil.
+func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
 	}
 	workers := s.Parallelism
-	if workers <= 0 {
+	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Resume: prefill the grid from the checkpoint journal and open it
+	// for appending new cells.
+	var journal *os.File
+	done := map[cellKey][]Result{}
+	if s.Checkpoint != "" {
+		var err error
+		if done, err = loadCheckpoint(s.Checkpoint, s.Name); err != nil {
+			return nil, err
+		}
+		if journal, err = os.OpenFile(s.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint %s: %w", s.Checkpoint, err)
+		}
+		defer journal.Close()
 	}
 
 	type cell struct{ xi, si int }
@@ -78,6 +223,25 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		cell
 		results []Result
 		err     error
+	}
+
+	// The grid gives the Welford fold a deterministic order regardless
+	// of scheduling; okGrid marks which cells actually completed.
+	grid := make([][][]Result, len(s.Xs))
+	okGrid := make([][]bool, len(s.Xs))
+	completed, total := 0, len(s.Xs)*s.Seeds
+	var todo []cell
+	for xi := range s.Xs {
+		grid[xi] = make([][]Result, s.Seeds)
+		okGrid[xi] = make([]bool, s.Seeds)
+		for si := 0; si < s.Seeds; si++ {
+			if res, ok := done[cellKey{s.Xs[xi], si}]; ok {
+				grid[xi][si], okGrid[xi][si] = res, true
+				completed++
+				continue
+			}
+			todo = append(todo, cell{xi, si})
+		}
 	}
 
 	jobs := make(chan cell)
@@ -88,52 +252,68 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				seed := s.BaseSeed + int64(c.xi)*1_000_003 + int64(c.si)*7_919
-				inst, err := s.Build(s.Xs[c.xi], seed)
-				if err != nil {
-					outcomes <- outcome{cell: c, err: err}
+				if ctx.Err() != nil {
+					outcomes <- outcome{cell: c, err: ctx.Err()}
 					continue
 				}
-				res, err := inst.Run()
+				res, err := s.runCell(ctx, c.xi, c.si)
 				outcomes <- outcome{cell: c, results: res, err: err}
 			}
 		}()
 	}
 	go func() {
-		for xi := range s.Xs {
-			for si := 0; si < s.Seeds; si++ {
-				jobs <- cell{xi, si}
+		defer close(jobs)
+		for _, c := range todo {
+			select {
+			case jobs <- c:
+			case <-ctx.Done():
+				return
 			}
 		}
-		close(jobs)
 	}()
 	go func() {
 		wg.Wait()
 		close(outcomes)
 	}()
 
-	// Collect into a fixed grid first so the Welford fold order is
-	// deterministic regardless of scheduling.
-	grid := make([][][]Result, len(s.Xs))
-	for i := range grid {
-		grid[i] = make([][]Result, s.Seeds)
-	}
-	var firstErr error
+	var cellErrs []*CellError
+	var journalErr error
 	for o := range outcomes {
 		if o.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sim: sweep %q %s=%d seed %d: %w", s.Name, s.XLabel, s.Xs[o.xi], o.si, o.err)
+			// A cancellation-induced abort is an interruption, not a
+			// cell failure: the cell simply did not complete.
+			if ctx.Err() != nil && errors.Is(o.err, ctx.Err()) {
+				continue
 			}
+			var ce *CellError
+			if !errors.As(o.err, &ce) {
+				ce = &CellError{Sweep: s.Name, XLabel: s.XLabel, X: s.Xs[o.xi],
+					SeedIndex: o.si, Seed: s.cellSeed(o.xi, o.si), Err: o.err}
+			}
+			cellErrs = append(cellErrs, ce)
 			continue
 		}
-		grid[o.xi][o.si] = o.results
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		grid[o.xi][o.si], okGrid[o.xi][o.si] = o.results, true
+		completed++
+		if journal != nil {
+			if err := appendCheckpoint(journal, s.Name, s.Xs[o.xi], o.si, o.results); err != nil && journalErr == nil {
+				journalErr = err
+			}
+		}
 	}
 
-	out := &SweepResult{Name: s.Name, XLabel: s.XLabel}
+	out := &SweepResult{Name: s.Name, XLabel: s.XLabel, Partial: completed < total}
 	for xi, x := range s.Xs {
+		var any bool
+		for si := 0; si < s.Seeds; si++ {
+			if okGrid[xi][si] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue // no completed cell for this swept value
+		}
 		ratios := make(map[string]*metrics.Welford)
 		thrs := make(map[string]*metrics.Welford)
 		var optW metrics.Welford
@@ -151,8 +331,13 @@ func (s *Sweep) Run() (*SweepResult, error) {
 			}
 		}
 		if out.Policies == nil {
-			for _, r := range grid[xi][0] {
-				out.Policies = append(out.Policies, r.Policy)
+			for si := 0; si < s.Seeds; si++ {
+				if len(grid[xi][si]) > 0 {
+					for _, r := range grid[xi][si] {
+						out.Policies = append(out.Policies, r.Policy)
+					}
+					break
+				}
 			}
 		}
 		pr := PointResult{
@@ -169,7 +354,25 @@ func (s *Sweep) Run() (*SweepResult, error) {
 		}
 		out.Points = append(out.Points, pr)
 	}
-	return out, nil
+
+	// Deterministic error order: by cell position, not scheduling.
+	sort.Slice(cellErrs, func(i, j int) bool {
+		if cellErrs[i].X != cellErrs[j].X {
+			return cellErrs[i].X < cellErrs[j].X
+		}
+		return cellErrs[i].SeedIndex < cellErrs[j].SeedIndex
+	})
+	errs := make([]error, 0, len(cellErrs)+2)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, ce := range cellErrs {
+		errs = append(errs, ce)
+	}
+	if journalErr != nil {
+		errs = append(errs, journalErr)
+	}
+	return out, errors.Join(errs...)
 }
 
 // Table renders the sweep as an aligned text table: one row per swept
