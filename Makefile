@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench panels lowerbounds arch faults report examples clean
+.PHONY: all build test test-race vet bench bench-json panels lowerbounds arch faults report examples clean
 
 all: build vet test test-race
 
@@ -22,6 +22,12 @@ test-race:
 # Full benchmark pass (tables, figures, substrates, ablations).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable performance baseline: per-policy engine micro-benches
+# (ns/slot, allocs/op) and per-panel sweep-cell costs (cells/sec). See
+# DESIGN.md §9 for methodology.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_baseline.json
 
 # Regenerate the paper's evaluation artifacts.
 panels:

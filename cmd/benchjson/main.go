@@ -1,0 +1,263 @@
+// Command benchjson runs the repository's canonical performance
+// benchmarks in-process and writes a machine-readable baseline
+// (BENCH_baseline.json by default):
+//
+//   - per-policy engine micro-benchmarks: ns and allocations per
+//     congested slot of Switch.Step for every roster policy in both
+//     models (steady state must be allocation-free);
+//   - per-panel sweep-cell benchmarks: ns per (x, seed) cell and
+//     cells/sec for the Fig. 5 panels, each cell running the full
+//     policy roster plus the OPT proxy exactly as a sweep does.
+//
+// Regenerate with: make bench-json. Comparing two baselines (before and
+// after an engine change, or across machines) is the supported workflow;
+// absolute numbers are machine-dependent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"smbm/internal/core"
+	"smbm/internal/experiments"
+	"smbm/internal/pkt"
+	"smbm/internal/policy"
+	"smbm/internal/traffic"
+	"smbm/internal/valpolicy"
+)
+
+// Micro is one per-policy engine measurement. An "op" replays a fixed
+// congested trace of microSlots slots through one switch.
+type Micro struct {
+	Policy       string  `json:"policy"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	NsPerSlot    float64 `json:"ns_per_slot"`
+	SlotsPerSec  float64 `json:"slots_per_sec"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	ReplaysTimed int     `json:"replays_timed"`
+}
+
+// Panel is one sweep-cell measurement: the cost of building and running
+// the panel's middle-x cell (full roster + OPT proxy) once.
+type Panel struct {
+	Panel       string  `json:"panel"`
+	X           int     `json:"x"`
+	Policies    int     `json:"policies"`
+	NsPerCell   int64   `json:"ns_per_cell"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	CellsTimed  int     `json:"cells_timed"`
+}
+
+// Baseline is the whole artifact.
+type Baseline struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	BenchTime  string  `json:"bench_time"`
+	MicroSlots int     `json:"micro_slots"`
+	MicroProc  []Micro `json:"micro_processing"`
+	MicroValue []Micro `json:"micro_value"`
+	Panels     []Panel `json:"panels"`
+}
+
+const (
+	microSlots = 256
+	microBurst = 8
+)
+
+// microTrace builds a saturating deterministic burst sequence for the
+// config: 8 uniform arrivals per slot, far above service capacity, so
+// admission (and push-out, for those policies) fires constantly.
+func microTrace(cfg core.Config) traffic.Trace {
+	rng := rand.New(rand.NewSource(1))
+	tr := make(traffic.Trace, microSlots)
+	for s := range tr {
+		bs := make([]pkt.Packet, microBurst)
+		for i := range bs {
+			port := rng.Intn(cfg.Ports)
+			if cfg.Model == core.ModelValue {
+				bs[i] = pkt.NewValue(port, 1+rng.Intn(cfg.MaxLabel))
+			} else {
+				bs[i] = pkt.NewWork(port, cfg.PortWork[port])
+			}
+		}
+		tr[s] = bs
+	}
+	return tr
+}
+
+// microBench measures one policy on one config. The switch is warmed
+// with one full replay before timing so growth allocations (deque
+// reservations, multiset arrays) are excluded: what remains is the
+// steady state, which must be allocation-free.
+func microBench(cfg core.Config, pol core.Policy) (Micro, error) {
+	tr := microTrace(cfg)
+	sw, err := core.New(cfg, pol)
+	if err != nil {
+		return Micro{}, err
+	}
+	replay := func() error {
+		for _, burst := range tr {
+			if err := sw.Step(burst); err != nil {
+				return err
+			}
+		}
+		sw.Drain()
+		sw.Reset()
+		return nil
+	}
+	if err := replay(); err != nil { // warm-up
+		return Micro{}, err
+	}
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := replay(); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return Micro{}, runErr
+	}
+	ns := res.NsPerOp()
+	return Micro{
+		Policy:       pol.Name(),
+		NsPerOp:      ns,
+		AllocsPerOp:  res.AllocsPerOp(),
+		NsPerSlot:    float64(ns) / microSlots,
+		SlotsPerSec:  1e9 * microSlots / float64(ns),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		ReplaysTimed: res.N,
+	}, nil
+}
+
+// panelBench measures one Fig. 5 panel's middle-x cell, Build included,
+// mirroring the top-level BenchmarkFig5_* harness so numbers are
+// comparable with `go test -bench Fig5`.
+func panelBench(id string) (Panel, error) {
+	opts := experiments.Options{
+		Slots:      2000,
+		Seeds:      1,
+		Sources:    100,
+		FlushEvery: 1000,
+		BaseSeed:   1,
+	}
+	sweep, err := experiments.Panel(id, opts)
+	if err != nil {
+		return Panel{}, err
+	}
+	mid := sweep.Xs[len(sweep.Xs)/2]
+	var (
+		runErr   error
+		policies int
+	)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inst, err := sweep.Build(mid, opts.BaseSeed)
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			results, err := inst.Run()
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			policies = len(results)
+		}
+	})
+	if runErr != nil {
+		return Panel{}, runErr
+	}
+	ns := res.NsPerOp()
+	return Panel{
+		Panel:       id,
+		X:           mid,
+		Policies:    policies,
+		NsPerCell:   ns,
+		CellsPerSec: 1e9 / float64(ns),
+		CellsTimed:  res.N,
+	}, nil
+}
+
+func run(out string, benchtime time.Duration) error {
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		return err
+	}
+	base := Baseline{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		BenchTime:  benchtime.String(),
+		MicroSlots: microSlots,
+	}
+
+	procCfg := core.Config{
+		Model: core.ModelProcessing, Ports: 16, Buffer: 128, MaxLabel: 16,
+		Speedup: 1, PortWork: core.ContiguousWorks(16),
+	}
+	for _, p := range append(policy.ForProcessing(), policy.Experimental()...) {
+		m, err := microBench(procCfg, p)
+		if err != nil {
+			return fmt.Errorf("micro %s: %w", p.Name(), err)
+		}
+		base.MicroProc = append(base.MicroProc, m)
+		fmt.Fprintf(os.Stderr, "micro processing %-7s %8.0f ns/slot %3d allocs/op\n", p.Name(), m.NsPerSlot, m.AllocsPerOp)
+	}
+	valCfg := core.Config{
+		Model: core.ModelValue, Ports: 16, Buffer: 128, MaxLabel: 16, Speedup: 1,
+	}
+	for _, p := range append(valpolicy.ForUniform(), valpolicy.Experimental()...) {
+		m, err := microBench(valCfg, p)
+		if err != nil {
+			return fmt.Errorf("micro %s: %w", p.Name(), err)
+		}
+		base.MicroValue = append(base.MicroValue, m)
+		fmt.Fprintf(os.Stderr, "micro value      %-7s %8.0f ns/slot %3d allocs/op\n", p.Name(), m.NsPerSlot, m.AllocsPerOp)
+	}
+
+	for _, id := range experiments.PanelIDs() {
+		p, err := panelBench(id)
+		if err != nil {
+			return fmt.Errorf("panel %s: %w", id, err)
+		}
+		base.Panels = append(base.Panels, p)
+		fmt.Fprintf(os.Stderr, "panel %-7s x=%-4d %10.3f ms/cell  %6.2f cells/sec\n", p.Panel, p.X, float64(p.NsPerCell)/1e6, p.CellsPerSec)
+	}
+
+	buf, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "BENCH_baseline.json", "output path ('-' for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	flag.Parse()
+	if err := run(*out, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

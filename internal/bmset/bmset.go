@@ -5,8 +5,14 @@
 // value, push-out pops the minimum, and the MRD policy needs |Q| and the
 // value sum of Q to compute |Q|/avg(Q).
 //
-// Add, Remove, PopMin, PopMax, Min, Max, Kth and prefix queries are all
-// O(log k).
+// Add, Remove, PopMin, PopMax, Kth and prefix queries are O(log k). A
+// direct multiplicity array alongside the Fenwick trees makes CountOf
+// O(1) and lets Min and Max cache their result: extremes are maintained
+// incrementally on every mutation and only fall back to an O(log k)
+// order-statistics descent when the extreme bucket itself empties. This
+// matters because the value-model admission policies (LQD, MVD, MRD)
+// consult every queue's minimum on every congested arrival — the single
+// hottest query in the paper-scale sweeps.
 package bmset
 
 import "fmt"
@@ -17,8 +23,15 @@ type Set struct {
 	k     int
 	count []int64 // Fenwick over multiplicities, 1-based
 	sum   []int64 // Fenwick over value·multiplicity, 1-based
+	mult  []int32 // direct multiplicities, 1-based
 	size  int
 	total int64 // sum of all elements
+
+	// Cached extremes: valid only when the corresponding flag is set.
+	// Maintained O(1) on Add and on removals that leave the extreme
+	// bucket non-empty; recomputed lazily via Kth otherwise.
+	minv, maxv   int
+	minOK, maxOK bool
 }
 
 // New returns an empty multiset accepting values in [1,k].
@@ -30,6 +43,7 @@ func New(k int) *Set {
 		k:     k,
 		count: make([]int64, k+1),
 		sum:   make([]int64, k+1),
+		mult:  make([]int32, k+1),
 	}
 }
 
@@ -57,22 +71,47 @@ func (s *Set) Avg() float64 {
 func (s *Set) Add(v int) {
 	s.check(v)
 	s.update(v, 1)
+	if s.size == 1 {
+		s.minv, s.maxv = v, v
+		s.minOK, s.maxOK = true, true
+		return
+	}
+	if s.minOK && v < s.minv {
+		s.minv = v
+	}
+	if s.maxOK && v > s.maxv {
+		s.maxv = v
+	}
 }
 
 // Remove deletes one copy of v. It panics if v is not present: removing an
 // absent element indicates a simulator bug.
 func (s *Set) Remove(v int) {
 	s.check(v)
-	if s.CountOf(v) == 0 {
+	if s.mult[v] == 0 {
 		panic(fmt.Sprintf("bmset: Remove(%d) not present", v))
 	}
+	s.remove(v)
+}
+
+// remove deletes one present copy of v, maintaining the cached extremes.
+func (s *Set) remove(v int) {
 	s.update(v, -1)
+	if s.mult[v] > 0 {
+		return // the extreme buckets are unchanged
+	}
+	if s.minOK && v == s.minv {
+		s.minOK = false
+	}
+	if s.maxOK && v == s.maxv {
+		s.maxOK = false
+	}
 }
 
 // CountOf returns the multiplicity of v.
 func (s *Set) CountOf(v int) int {
 	s.check(v)
-	return int(s.prefixCount(v) - s.prefixCount(v-1))
+	return int(s.mult[v])
 }
 
 // CountLE returns the number of elements with value <= v. Values below 1
@@ -99,32 +138,42 @@ func (s *Set) SumLE(v int) int64 {
 }
 
 // Min returns the smallest stored value. It panics on an empty set.
+// Amortized O(1): the cached minimum is reused until its bucket empties.
 func (s *Set) Min() int {
 	if s.size == 0 {
 		panic("bmset: Min on empty set")
 	}
-	return s.Kth(1)
+	if !s.minOK {
+		s.minv = s.Kth(1)
+		s.minOK = true
+	}
+	return s.minv
 }
 
 // Max returns the largest stored value. It panics on an empty set.
+// Amortized O(1), mirroring Min.
 func (s *Set) Max() int {
 	if s.size == 0 {
 		panic("bmset: Max on empty set")
 	}
-	return s.Kth(s.size)
+	if !s.maxOK {
+		s.maxv = s.Kth(s.size)
+		s.maxOK = true
+	}
+	return s.maxv
 }
 
 // PopMin removes and returns the smallest stored value.
 func (s *Set) PopMin() int {
 	v := s.Min()
-	s.update(v, -1)
+	s.remove(v)
 	return v
 }
 
 // PopMax removes and returns the largest stored value.
 func (s *Set) PopMax() int {
 	v := s.Max()
-	s.update(v, -1)
+	s.remove(v)
 	return v
 }
 
@@ -161,9 +210,11 @@ func (s *Set) Clear() {
 	for i := range s.count {
 		s.count[i] = 0
 		s.sum[i] = 0
+		s.mult[i] = 0
 	}
 	s.size = 0
 	s.total = 0
+	s.minOK, s.maxOK = false, false
 }
 
 // Values returns all stored elements in ascending order (with
@@ -171,7 +222,7 @@ func (s *Set) Clear() {
 func (s *Set) Values() []int {
 	out := make([]int, 0, s.size)
 	for v := 1; v <= s.k; v++ {
-		for c := s.CountOf(v); c > 0; c-- {
+		for c := s.mult[v]; c > 0; c-- {
 			out = append(out, v)
 		}
 	}
@@ -189,6 +240,7 @@ func (s *Set) update(v int, delta int64) {
 		s.count[i] += delta
 		s.sum[i] += delta * int64(v)
 	}
+	s.mult[v] += int32(delta)
 	s.size += int(delta)
 	s.total += delta * int64(v)
 }

@@ -1,0 +1,149 @@
+package bmset
+
+import (
+	"sort"
+	"testing"
+)
+
+// refMultiset is the obviously correct reference model: a sorted slice.
+type refMultiset []int
+
+func (r *refMultiset) add(v int) {
+	i := sort.SearchInts(*r, v)
+	*r = append(*r, 0)
+	copy((*r)[i+1:], (*r)[i:])
+	(*r)[i] = v
+}
+
+func (r *refMultiset) removeAt(i int) int {
+	v := (*r)[i]
+	*r = append((*r)[:i], (*r)[i+1:]...)
+	return v
+}
+
+func (r refMultiset) sum() int64 {
+	var t int64
+	for _, v := range r {
+		t += int64(v)
+	}
+	return t
+}
+
+func (r refMultiset) countLE(v int) int { return sort.SearchInts(r, v+1) }
+
+func (r refMultiset) sumLE(v int) int64 {
+	var t int64
+	for _, x := range r {
+		if x <= v {
+			t += int64(x)
+		}
+	}
+	return t
+}
+
+// FuzzSetVsSortedSlice interprets the fuzz input as a program over the
+// multiset and replays it against a sorted-slice model, cross-checking
+// every query — including the cached-extreme paths that this PR made
+// incremental (Min/Max validity across Add/Remove/Pop churn).
+//
+// The first byte picks the bound k in [1,16]; each following byte is an
+// operation: op = b % 8 (0-1 Add, 2 PopMin, 3 PopMax, 4 Remove, 5 Kth,
+// 6 CountLE/SumLE, 7 Clear), with the value/rank derived from b / 8.
+func FuzzSetVsSortedSlice(f *testing.F) {
+	f.Add([]byte{4, 0, 8, 16, 2, 3, 0, 5, 6})              // add/pop churn, k=5
+	f.Add([]byte{0, 0, 0, 0, 2, 2})                        // k=1 degenerate
+	f.Add([]byte{15, 0, 9, 17, 25, 33, 4, 4, 3, 2, 7, 0})  // removes then clear
+	f.Add([]byte{7, 1, 9, 17, 25, 5, 13, 21, 6, 14, 22})   // ranks and prefixes
+	f.Add([]byte{11, 0, 8, 3, 0, 8, 2, 0, 8, 4, 12, 5, 6}) // extreme-cache churn
+	f.Fuzz(func(t *testing.T, program []byte) {
+		if len(program) == 0 {
+			return
+		}
+		k := int(program[0]%16) + 1
+		s := New(k)
+		var ref refMultiset
+		for step, b := range program[1:] {
+			op, arg := int(b%8), int(b/8)
+			switch op {
+			case 0, 1:
+				v := arg%k + 1
+				s.Add(v)
+				ref.add(v)
+			case 2:
+				if len(ref) == 0 {
+					continue
+				}
+				if got, want := s.PopMin(), ref.removeAt(0); got != want {
+					t.Fatalf("step %d: PopMin = %d, want %d", step, got, want)
+				}
+			case 3:
+				if len(ref) == 0 {
+					continue
+				}
+				if got, want := s.PopMax(), ref.removeAt(len(ref)-1); got != want {
+					t.Fatalf("step %d: PopMax = %d, want %d", step, got, want)
+				}
+			case 4:
+				if len(ref) == 0 {
+					continue
+				}
+				v := ref[arg%len(ref)] // always present
+				s.Remove(v)
+				ref.removeAt(sort.SearchInts(ref, v))
+			case 5:
+				if len(ref) == 0 {
+					continue
+				}
+				j := arg%len(ref) + 1
+				if got, want := s.Kth(j), ref[j-1]; got != want {
+					t.Fatalf("step %d: Kth(%d) = %d, want %d", step, j, got, want)
+				}
+			case 6:
+				v := arg%(k+2) - 1 // exercise out-of-range values too
+				if got, want := s.CountLE(v), ref.countLE(v); got != want {
+					t.Fatalf("step %d: CountLE(%d) = %d, want %d", step, v, got, want)
+				}
+				if got, want := s.SumLE(v), ref.sumLE(v); got != want {
+					t.Fatalf("step %d: SumLE(%d) = %d, want %d", step, v, got, want)
+				}
+			case 7:
+				s.Clear()
+				ref = ref[:0]
+			}
+			// Full observable state after every operation.
+			if s.Len() != len(ref) {
+				t.Fatalf("step %d: Len = %d, want %d", step, s.Len(), len(ref))
+			}
+			if s.Empty() != (len(ref) == 0) {
+				t.Fatalf("step %d: Empty = %v with %d elements", step, s.Empty(), len(ref))
+			}
+			if got, want := s.Sum(), ref.sum(); got != want {
+				t.Fatalf("step %d: Sum = %d, want %d", step, got, want)
+			}
+			if len(ref) > 0 {
+				if got, want := s.Min(), ref[0]; got != want {
+					t.Fatalf("step %d: Min = %d, want %d", step, got, want)
+				}
+				if got, want := s.Max(), ref[len(ref)-1]; got != want {
+					t.Fatalf("step %d: Max = %d, want %d", step, got, want)
+				}
+			}
+			for v := 1; v <= k; v++ {
+				want := ref.countLE(v) - ref.countLE(v-1)
+				if got := s.CountOf(v); got != want {
+					t.Fatalf("step %d: CountOf(%d) = %d, want %d", step, v, got, want)
+				}
+			}
+		}
+		// Final full-order comparison.
+		vals := s.Values()
+		if len(vals) != len(ref) {
+			t.Fatalf("final Values len %d, want %d", len(vals), len(ref))
+		}
+		for i, want := range ref {
+			if vals[i] != want {
+				t.Fatalf("final Values[%d] = %d, want %d", i, vals[i], want)
+			}
+		}
+	})
+}

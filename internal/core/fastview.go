@@ -1,0 +1,99 @@
+package core
+
+// FastView is an optional extension of View implemented by engines that
+// maintain per-queue aggregates incrementally instead of recomputing
+// them per query. Policies type-assert their View to FastView and take
+// an allocation-free fast path when it succeeds; every policy keeps its
+// plain-View scan as the fallback (and as the executable reference the
+// differential tests replay), so foreign View implementations keep
+// working unchanged.
+//
+// All slice-returning methods expose live engine state: callers must
+// treat the slices as read-only and must not retain them across engine
+// mutations. Methods that do not apply to the current model return nil,
+// and callers are expected to fall back to the plain View path.
+type FastView interface {
+	View
+
+	// QueueLens returns the live per-queue packet counts (both models).
+	QueueLens() []int
+
+	// QueueTotalWorks returns the live per-queue total residual work,
+	// mirroring View.QueueWork: (|Q_i|-1)·w_i + hol_i in the processing
+	// model, |Q_i| in the value model.
+	QueueTotalWorks() []int
+
+	// QueueMinValues returns the live per-queue minimum buffered value
+	// (0 for an empty queue) in the value model, nil in the processing
+	// model.
+	QueueMinValues() []int
+
+	// QueueSums returns the live per-queue buffered value sums in the
+	// value model, nil in the processing model.
+	QueueSums() []int64
+
+	// PortWorks returns the per-port work configuration w_1..w_n (unit
+	// works in the value model).
+	PortWorks() []int
+
+	// PortInvWorkSum returns Z = Σ_j 1/w_j, precomputed once from the
+	// configuration with the same summation order as the NHST fallback
+	// scan so thresholds are bit-identical.
+	PortInvWorkSum() float64
+
+	// LongestQueue returns the index and length of the longest queue,
+	// ties resolved to the largest index (the LQD ordering). The engine
+	// maintains the answer incrementally across admissions, push-outs
+	// and transmissions; amortized O(1).
+	LongestQueue() (idx, length int)
+
+	// HeaviestQueue returns the index and total residual work of the
+	// queue with the most buffered work, ties resolved to the largest
+	// index (the LWD ordering). Amortized O(1); equals LongestQueue in
+	// the value model.
+	HeaviestQueue() (idx, work int)
+}
+
+// argmax is a lazily repaired argmax-with-largest-index-tie-break cache
+// over a slice of per-queue keys. Increasing a key repairs the cache in
+// O(1); decreasing the current argmax's key invalidates it, and the next
+// query rescans. Under the simulator's workloads queries (one per
+// congested arrival) outnumber invalidations (at most one per port per
+// slot), so the amortized cost is far below the per-packet O(n) rescan
+// it replaces.
+type argmax struct {
+	idx int
+	ok  bool
+}
+
+// bump repairs the cache after keys[i] increased.
+func (a *argmax) bump(keys []int, i int) {
+	if !a.ok {
+		return
+	}
+	if keys[i] > keys[a.idx] || (keys[i] == keys[a.idx] && i >= a.idx) {
+		a.idx = i
+	}
+}
+
+// drop invalidates the cache after keys[i] decreased, when necessary.
+func (a *argmax) drop(i int) {
+	if a.ok && i == a.idx {
+		a.ok = false
+	}
+}
+
+// top returns the argmax index and key, rescanning if invalidated.
+func (a *argmax) top(keys []int) (int, int) {
+	if !a.ok {
+		best := 0
+		for j := 1; j < len(keys); j++ {
+			if keys[j] >= keys[best] {
+				best = j
+			}
+		}
+		a.idx = best
+		a.ok = true
+	}
+	return a.idx, keys[a.idx]
+}

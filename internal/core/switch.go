@@ -21,14 +21,30 @@ type Switch struct {
 	// Processing model state. A queue holding len packets with
 	// head-of-line residual hol has total residual work
 	// (len-1)*w_i + hol; arrivals records the arrival slot of each
-	// buffered packet in FIFO order for latency accounting.
+	// buffered packet in FIFO order for latency accounting. qWork
+	// mirrors QueueWork incrementally so FastView consumers avoid the
+	// per-queue recomputation.
 	qLen     []int
 	holRes   []int
+	qWork    []int
 	arrivals []deque.Deque
 
 	// Value model state: one bounded multiset per queue; transmission
-	// pops the max, push-out pops the min.
-	vq []*bmset.Set
+	// pops the max, push-out pops the min. vLen, vMin and vSum mirror
+	// the per-queue length, minimum (0 when empty) and value sum so
+	// FastView consumers read slices instead of querying each multiset.
+	vq   []*bmset.Set
+	vLen []int
+	vMin []int
+	vSum []int64
+
+	// Incrementally maintained argmax caches over the per-queue length
+	// and total-work keys, and the precomputed NHST normalizer
+	// Z = sum_j 1/w_j (summed in ascending port order so FastView
+	// consumers match the fallback scan bit for bit).
+	lenMax     argmax
+	workMax    argmax
+	invWorkSum float64
 
 	// Fault-injection overrides (see SetPortSpeedup / SetBufferLimit).
 	// speedOv, when non-nil, holds a per-port speedup override; a
@@ -40,6 +56,11 @@ type Switch struct {
 	stats   Stats
 	perPort []PortCounters
 }
+
+// reserveCap bounds the per-queue deque pre-reservation: queues are
+// pre-sized to min(B, reserveCap) so steady-state pushes never allocate
+// without letting a huge configured buffer pin memory across all ports.
+const reserveCap = 4096
 
 // New builds a switch from cfg driven by policy.
 func New(cfg Config, policy Policy) (*Switch, error) {
@@ -58,14 +79,41 @@ func New(cfg Config, policy Policy) (*Switch, error) {
 	if cfg.Model == ModelProcessing {
 		s.qLen = make([]int, cfg.Ports)
 		s.holRes = make([]int, cfg.Ports)
+		s.qWork = make([]int, cfg.Ports)
 		s.arrivals = make([]deque.Deque, cfg.Ports)
+		reserve := min(cfg.Buffer, reserveCap)
+		for i := range s.arrivals {
+			s.arrivals[i].Reserve(reserve)
+		}
 	} else {
 		s.vq = make([]*bmset.Set, cfg.Ports)
 		for i := range s.vq {
 			s.vq[i] = bmset.New(cfg.MaxLabel)
 		}
+		s.vLen = make([]int, cfg.Ports)
+		s.vMin = make([]int, cfg.Ports)
+		s.vSum = make([]int64, cfg.Ports)
+	}
+	// Same ascending-port summation order as the NHST fallback scan so
+	// FastView thresholds are bit-identical to the plain-View path.
+	for _, w := range s.works {
+		s.invWorkSum += 1 / float64(w)
 	}
 	return s, nil
+}
+
+// SetPolicy swaps the driving policy on an empty switch, enabling engine
+// reuse across policies within a sweep cell (see sim.Run). It fails when
+// packets are buffered: admission state belongs to exactly one policy.
+func (s *Switch) SetPolicy(policy Policy) error {
+	if policy == nil {
+		return fmt.Errorf("%w: nil policy", ErrBadConfig)
+	}
+	if s.occ != 0 {
+		return fmt.Errorf("core: SetPolicy with %d packets buffered; Reset first", s.occ)
+	}
+	s.policy = policy
+	return nil
 }
 
 // MustNew is New that panics on error; for tests and examples with
@@ -204,7 +252,7 @@ func (s *Switch) QueueLen(i int) int {
 	if s.cfg.Model == ModelProcessing {
 		return s.qLen[i]
 	}
-	return s.vq[i].Len()
+	return s.vLen[i]
 }
 
 // PortWork implements View.
@@ -213,12 +261,9 @@ func (s *Switch) PortWork(i int) int { return s.works[i] }
 // QueueWork implements View.
 func (s *Switch) QueueWork(i int) int {
 	if s.cfg.Model == ModelValue {
-		return s.vq[i].Len()
+		return s.vLen[i]
 	}
-	if s.qLen[i] == 0 {
-		return 0
-	}
-	return (s.qLen[i]-1)*s.works[i] + s.holRes[i]
+	return s.qWork[i]
 }
 
 // QueueMinValue implements View.
@@ -229,10 +274,7 @@ func (s *Switch) QueueMinValue(i int) int {
 		}
 		return 1
 	}
-	if s.vq[i].Empty() {
-		return 0
-	}
-	return s.vq[i].Min()
+	return s.vMin[i]
 }
 
 // QueueMaxValue implements View.
@@ -254,10 +296,58 @@ func (s *Switch) QueueValueSum(i int) int64 {
 	if s.cfg.Model == ModelProcessing {
 		return int64(s.qLen[i])
 	}
-	return s.vq[i].Sum()
+	return s.vSum[i]
 }
 
 var _ View = (*Switch)(nil)
+
+// --- FastView implementation ---------------------------------------------
+
+// QueueLens implements FastView.
+func (s *Switch) QueueLens() []int {
+	if s.cfg.Model == ModelProcessing {
+		return s.qLen
+	}
+	return s.vLen
+}
+
+// QueueTotalWorks implements FastView.
+func (s *Switch) QueueTotalWorks() []int {
+	if s.cfg.Model == ModelProcessing {
+		return s.qWork
+	}
+	return s.vLen
+}
+
+// QueueMinValues implements FastView. It is nil in the processing model.
+func (s *Switch) QueueMinValues() []int { return s.vMin }
+
+// QueueSums implements FastView. It is nil in the processing model.
+func (s *Switch) QueueSums() []int64 { return s.vSum }
+
+// PortWorks implements FastView.
+func (s *Switch) PortWorks() []int { return s.works }
+
+// PortInvWorkSum implements FastView.
+func (s *Switch) PortInvWorkSum() float64 { return s.invWorkSum }
+
+// LongestQueue implements FastView.
+func (s *Switch) LongestQueue() (int, int) {
+	if s.cfg.Model == ModelProcessing {
+		return s.lenMax.top(s.qLen)
+	}
+	return s.lenMax.top(s.vLen)
+}
+
+// HeaviestQueue implements FastView.
+func (s *Switch) HeaviestQueue() (int, int) {
+	if s.cfg.Model == ModelProcessing {
+		return s.workMax.top(s.qWork)
+	}
+	return s.lenMax.top(s.vLen)
+}
+
+var _ FastView = (*Switch)(nil)
 
 // --- Simulation -----------------------------------------------------------
 
@@ -336,27 +426,32 @@ func (s *Switch) Transmit() {
 func (s *Switch) transmitProcessing() {
 	for i := 0; i < s.cfg.Ports; i++ {
 		budget := s.effSpeedup(i)
+		if budget == 0 || s.qLen[i] == 0 {
+			continue
+		}
+		// Per-port accumulators: counters are batched into stats and
+		// perPort once per port instead of per completion.
+		var (
+			cycles    int64
+			completed int64
+			latSum    int64
+		)
+		pc := &s.perPort[i]
 		for budget > 0 && s.qLen[i] > 0 {
 			use := min(budget, s.holRes[i])
 			s.holRes[i] -= use
+			s.qWork[i] -= use
 			budget -= use
-			s.stats.CyclesUsed += int64(use)
+			cycles += int64(use)
 			if s.holRes[i] > 0 {
 				break
 			}
 			// Head-of-line packet completed: transmit it.
 			s.qLen[i]--
 			s.occ--
-			s.stats.Transmitted++
-			s.stats.TransmittedValue++
-			s.stats.TransmittedWork += int64(s.works[i])
-			arrived := s.arrivals[i].PopFront()
-			latency := s.slot - arrived
-			s.stats.LatencySlots += latency
-			pc := &s.perPort[i]
-			pc.Transmitted++
-			pc.TransmittedValue++
-			pc.LatencySlots += latency
+			completed++
+			latency := s.slot - s.arrivals[i].PopFront()
+			latSum += latency
 			if latency > pc.MaxLatency {
 				pc.MaxLatency = latency
 			}
@@ -364,21 +459,51 @@ func (s *Switch) transmitProcessing() {
 				s.holRes[i] = s.works[i]
 			}
 		}
+		if cycles > 0 {
+			// Any consumed cycle lowers the queue's total work, but its
+			// length (the lenMax key) only changes on a completion.
+			s.workMax.drop(i)
+		}
+		s.stats.CyclesUsed += cycles
+		if completed > 0 {
+			s.lenMax.drop(i)
+			s.stats.Transmitted += completed
+			s.stats.TransmittedValue += completed
+			s.stats.TransmittedWork += completed * int64(s.works[i])
+			s.stats.LatencySlots += latSum
+			pc.Transmitted += completed
+			pc.TransmittedValue += completed
+			pc.LatencySlots += latSum
+		}
 	}
 }
 
 func (s *Switch) transmitValue() {
 	for i := 0; i < s.cfg.Ports; i++ {
-		for c := 0; c < s.effSpeedup(i) && !s.vq[i].Empty(); c++ {
-			v := s.vq[i].PopMax()
-			s.occ--
-			s.stats.Transmitted++
-			s.stats.TransmittedValue += int64(v)
-			s.stats.TransmittedWork++
-			s.stats.CyclesUsed++
-			s.perPort[i].Transmitted++
-			s.perPort[i].TransmittedValue += int64(v)
+		// The speedup override cannot change mid-phase, so hoist it and
+		// pop the exact count instead of re-testing per packet.
+		pops := min(s.effSpeedup(i), s.vLen[i])
+		if pops == 0 {
+			continue
 		}
+		var sum int64
+		for c := 0; c < pops; c++ {
+			sum += int64(s.vq[i].PopMax())
+		}
+		s.vLen[i] -= pops
+		s.vSum[i] -= sum
+		if s.vLen[i] == 0 {
+			s.vMin[i] = 0
+		}
+		s.lenMax.drop(i)
+		s.occ -= pops
+		p64 := int64(pops)
+		s.stats.Transmitted += p64
+		s.stats.TransmittedValue += sum
+		s.stats.TransmittedWork += p64
+		s.stats.CyclesUsed += p64
+		s.perPort[i].Transmitted += p64
+		s.perPort[i].TransmittedValue += sum
 	}
 }
 
@@ -437,13 +562,19 @@ func (s *Switch) Reset() {
 		for i := range s.qLen {
 			s.qLen[i] = 0
 			s.holRes[i] = 0
+			s.qWork[i] = 0
 			s.arrivals[i].Clear()
 		}
 	} else {
-		for _, q := range s.vq {
+		for i, q := range s.vq {
 			q.Clear()
+			s.vLen[i] = 0
+			s.vMin[i] = 0
+			s.vSum[i] = 0
 		}
 	}
+	s.lenMax = argmax{}
+	s.workMax = argmax{}
 }
 
 // TotalWork returns the total residual work buffered across all queues.
@@ -471,10 +602,22 @@ func (s *Switch) evict(victim int) error {
 			// The evicted tail was also the head-of-line packet; any
 			// cycles already spent on it are wasted.
 			s.holRes[victim] = 0
+			s.qWork[victim] = 0
+		} else {
+			s.qWork[victim] -= s.works[victim]
 		}
+		s.workMax.drop(victim)
 	} else {
-		s.vq[victim].PopMin()
+		m := s.vq[victim].PopMin()
+		s.vLen[victim]--
+		s.vSum[victim] -= int64(m)
+		if s.vLen[victim] == 0 {
+			s.vMin[victim] = 0
+		} else {
+			s.vMin[victim] = s.vq[victim].Min()
+		}
 	}
+	s.lenMax.drop(victim)
 	s.occ--
 	s.stats.PushedOut++
 	s.perPort[victim].PushedOut++
@@ -483,15 +626,24 @@ func (s *Switch) evict(victim int) error {
 
 // insert appends p to its destination queue.
 func (s *Switch) insert(p pkt.Packet) {
+	i := p.Port
 	if s.cfg.Model == ModelProcessing {
-		i := p.Port
 		s.qLen[i]++
 		s.arrivals[i].PushBack(s.slot)
 		if s.qLen[i] == 1 {
 			s.holRes[i] = s.works[i]
 		}
+		s.qWork[i] += s.works[i]
+		s.lenMax.bump(s.qLen, i)
+		s.workMax.bump(s.qWork, i)
 	} else {
-		s.vq[p.Port].Add(p.Value)
+		s.vq[i].Add(p.Value)
+		s.vLen[i]++
+		s.vSum[i] += int64(p.Value)
+		if s.vLen[i] == 1 || p.Value < s.vMin[i] {
+			s.vMin[i] = p.Value
+		}
+		s.lenMax.bump(s.vLen, i)
 	}
 	s.occ++
 }
@@ -513,6 +665,27 @@ func (s *Switch) verify() error {
 			}
 			if s.arrivals[i].Len() != l {
 				return fmt.Errorf("core: queue %d arrival log len %d != len %d", i, s.arrivals[i].Len(), l)
+			}
+			want := 0
+			if l > 0 {
+				want = (l-1)*s.works[i] + s.holRes[i]
+			}
+			if s.qWork[i] != want {
+				return fmt.Errorf("core: queue %d incremental work %d != recomputed %d", i, s.qWork[i], want)
+			}
+		} else {
+			if s.vLen[i] != s.vq[i].Len() {
+				return fmt.Errorf("core: queue %d incremental len %d != multiset %d", i, s.vLen[i], s.vq[i].Len())
+			}
+			if s.vSum[i] != s.vq[i].Sum() {
+				return fmt.Errorf("core: queue %d incremental sum %d != multiset %d", i, s.vSum[i], s.vq[i].Sum())
+			}
+			wantMin := 0
+			if !s.vq[i].Empty() {
+				wantMin = s.vq[i].Min()
+			}
+			if s.vMin[i] != wantMin {
+				return fmt.Errorf("core: queue %d incremental min %d != multiset %d", i, s.vMin[i], wantMin)
 			}
 		}
 		sum += l

@@ -6,22 +6,84 @@
 //
 // All operations are O(1) amortized. The zero value is an empty deque
 // ready for use.
+//
+// # Capacity management
+//
+// The buffer grows by doubling and shrinks by halving with explicit
+// hysteresis: a grow happens only when the deque is full, a shrink only
+// when it is at most a quarter full, so at least cap/4 operations
+// separate two opposite resizes and resize cost stays O(1) amortized.
+//
+// Two knobs bound memory behaviour for long-running simulations:
+//
+//   - Reserve pre-sizes the buffer and pins a floor under the shrink
+//     hysteresis, so a queue sized for its worst case (e.g. the shared
+//     buffer bound B) never allocates again on the hot path;
+//   - Clear releases the backing array outright when its capacity
+//     exceeds both the reserved floor and clearRetainLimit, so one
+//     bursty queue cannot pin peak-burst memory for the rest of a
+//     multi-hour sweep.
 package deque
 
 // Deque is a double-ended queue of int64 values backed by a ring buffer.
 type Deque struct {
-	buf   []int64
-	head  int // index of front element
-	count int
+	buf      []int64
+	head     int // index of front element
+	count    int
+	reserved int // capacity floor set by Reserve (0 = none)
+	resFloor int // ceilPow2(reserved) cached for the hot shrink check
 }
 
-const minCapacity = 8
+const (
+	// minCapacity is the smallest non-empty buffer ever allocated.
+	minCapacity = 8
+	// clearRetainLimit bounds the capacity Clear retains for an
+	// unreserved deque: a buffer larger than this is released so a past
+	// burst does not pin memory forever. Reserve raises the bound.
+	clearRetainLimit = 1024
+)
 
 // Len returns the number of elements.
 func (d *Deque) Len() int { return d.count }
 
 // Empty reports whether the deque holds no elements.
 func (d *Deque) Empty() bool { return d.count == 0 }
+
+// Cap returns the current capacity of the backing array.
+func (d *Deque) Cap() int { return len(d.buf) }
+
+// Reserve grows the backing array to hold at least n elements and pins
+// that capacity as a floor: neither shrink nor Clear ever drops the
+// buffer below it. Reserving the worst-case queue length up front makes
+// every subsequent push allocation-free. A smaller n than a previous
+// reservation lowers the floor but never discards the current buffer.
+func (d *Deque) Reserve(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.reserved = n
+	if n > minCapacity {
+		d.resFloor = ceilPow2(n)
+	} else {
+		d.resFloor = 0
+	}
+	if n > len(d.buf) {
+		d.resize(ceilPow2(n))
+	}
+}
+
+// Reserved returns the capacity floor set by Reserve (0 when unset).
+func (d *Deque) Reserved() int { return d.reserved }
+
+// floor returns the smallest capacity shrink and Clear may leave behind.
+// It is consulted on every pop (via shrink), so the power-of-two rounding
+// is precomputed in Reserve rather than recomputed here.
+func (d *Deque) floor() int {
+	if d.resFloor > 0 {
+		return d.resFloor
+	}
+	return minCapacity
+}
 
 // PushBack appends v at the back.
 func (d *Deque) PushBack(v int64) {
@@ -88,10 +150,23 @@ func (d *Deque) At(i int) int64 {
 	return d.buf[d.index(i)]
 }
 
-// Clear removes all elements, retaining capacity.
+// Clear removes all elements. Capacity up to max(reserved, 1024) is
+// retained for reuse; anything larger — the residue of a past burst — is
+// released to the allocator so a single spike cannot pin peak memory for
+// the remainder of a long run.
 func (d *Deque) Clear() {
 	d.head = 0
 	d.count = 0
+	limit := d.floor()
+	if limit < clearRetainLimit {
+		limit = clearRetainLimit
+	}
+	if len(d.buf) > limit {
+		d.buf = nil
+		if d.reserved > 0 {
+			d.resize(ceilPow2(d.reserved))
+		}
+	}
 }
 
 // index maps a logical offset from the head to a physical buffer index.
@@ -108,13 +183,23 @@ func (d *Deque) grow() {
 	if d.count < len(d.buf) {
 		return
 	}
-	d.resize(max(minCapacity, len(d.buf)*2))
+	next := len(d.buf) * 2
+	if next < minCapacity {
+		next = minCapacity
+	}
+	if f := d.floor(); next < f {
+		next = f
+	}
+	d.resize(next)
 }
 
 // shrink halves the buffer when it is at most a quarter full, bounding
-// memory after bursts drain.
+// memory after bursts drain. The quarter-full trigger (grow fires at
+// full, shrink at 1/4) is the hysteresis that keeps alternating
+// push/pop sequences from thrashing between resizes; the floor from
+// Reserve (or minCapacity) is never crossed.
 func (d *Deque) shrink() {
-	if len(d.buf) > minCapacity && d.count <= len(d.buf)/4 {
+	if len(d.buf) > d.floor() && d.count <= len(d.buf)/4 {
 		d.resize(len(d.buf) / 2)
 	}
 }
@@ -126,4 +211,13 @@ func (d *Deque) resize(capacity int) {
 	}
 	d.buf = buf
 	d.head = 0
+}
+
+// ceilPow2 returns the smallest power of two >= n (minimum minCapacity).
+func ceilPow2(n int) int {
+	c := minCapacity
+	for c < n {
+		c *= 2
+	}
+	return c
 }

@@ -9,13 +9,39 @@ import "math"
 // lower bound H_k >= ln k + γ (Theorem 5).
 const EulerGamma = 0.57721566490153286060651209008240243
 
+// harmonicTableSize bounds the precomputed H_n table. Covers every port
+// count the simulator sweeps (and then some) so the NHDT/NHDTW admission
+// hot path, which evaluates H_m per arriving packet, costs one array
+// load instead of an O(n) summation.
+const harmonicTableSize = 1 << 11
+
+// harmonicTable[i] = H_i for i < harmonicTableSize. Each entry is
+// computed by the same backward summation as the slow path, so table
+// lookups are bit-identical to the values Harmonic returned before the
+// table existed (differential tests depend on this).
+var harmonicTable = func() [harmonicTableSize]float64 {
+	var t [harmonicTableSize]float64
+	for n := 1; n < harmonicTableSize; n++ {
+		var h float64
+		for i := n; i >= 1; i-- {
+			h += 1 / float64(i)
+		}
+		t[n] = h
+	}
+	return t
+}()
+
 // Harmonic returns H_n = 1 + 1/2 + ... + 1/n, with H_0 = 0. Values are
-// computed by direct summation for small n and by the asymptotic
-// expansion for large n; the switch point keeps both absolute error below
-// 1e-12 and the function O(1) for huge n.
+// served from a precomputed table for small n (O(1), the admission-path
+// case), computed by direct summation for mid-range n, and by the
+// asymptotic expansion for large n; the switch points keep absolute
+// error below 1e-12 and the function O(1) for huge n.
 func Harmonic(n int) float64 {
 	if n <= 0 {
 		return 0
+	}
+	if n < harmonicTableSize {
+		return harmonicTable[n]
 	}
 	if n <= 1<<16 {
 		// Sum smallest terms first to bound floating-point error.

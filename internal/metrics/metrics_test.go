@@ -54,6 +54,78 @@ func TestKnownMoments(t *testing.T) {
 	}
 }
 
+// TestCI95StudentT pins the Student-t half-width against hand-computed
+// intervals for the small seed counts sweeps actually use.
+func TestCI95StudentT(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{1, 2, 3} {
+		w.Add(x)
+	}
+	// n=3: mean 1±... mean=2, std=1, stderr=1/sqrt(3), t_{0.975,2}=4.303.
+	wantHalf := 4.303 / math.Sqrt(3)
+	lo, hi := w.CI95()
+	if math.Abs((hi-lo)/2-wantHalf) > 1e-9 {
+		t.Errorf("n=3 half-width = %v, want %v", (hi-lo)/2, wantHalf)
+	}
+	if math.Abs((hi+lo)/2-2) > 1e-12 {
+		t.Errorf("CI [%v, %v] not centered on the mean", lo, hi)
+	}
+	// The t interval must be strictly wider than the old z=1.96 one.
+	if zHalf := 1.96 * w.StdErr(); (hi-lo)/2 <= zHalf {
+		t.Errorf("t half-width %v not wider than z half-width %v", (hi-lo)/2, zHalf)
+	}
+}
+
+// TestCI95DegenerateBelowTwo asserts the n<2 contract: no spread
+// estimate exists, so the interval collapses to [mean, mean] instead of
+// pretending z·0 confidence.
+func TestCI95DegenerateBelowTwo(t *testing.T) {
+	var w Welford
+	if lo, hi := w.CI95(); lo != 0 || hi != 0 {
+		t.Errorf("empty CI = [%v, %v], want [0, 0]", lo, hi)
+	}
+	w.Add(4.2)
+	if lo, hi := w.CI95(); lo != 4.2 || hi != 4.2 {
+		t.Errorf("n=1 CI = [%v, %v], want [4.2, 4.2]", lo, hi)
+	}
+}
+
+// TestTCrit95 checks the table/approximation seam: exact values at the
+// small-df end, a monotone decrease toward the normal quantile, and an
+// accurate approximation just past the table boundary.
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int64
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {5, 2.571}, {10, 2.228}, {30, 2.042},
+	}
+	for _, c := range cases {
+		if got := tCrit95(c.df); got != c.want {
+			t.Errorf("tCrit95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Approximation region: reference values t_{0.975,40}=2.021,
+	// t_{0.975,60}=2.000, t_{0.975,120}=1.980.
+	approx := []struct {
+		df   int64
+		want float64
+	}{{40, 2.021}, {60, 2.000}, {120, 1.980}}
+	for _, c := range approx {
+		if got := tCrit95(c.df); math.Abs(got-c.want) > 0.003 {
+			t.Errorf("tCrit95(%d) = %v, want %v ± 0.003", c.df, got, c.want)
+		}
+	}
+	for df := int64(1); df < 200; df++ {
+		if tCrit95(df+1) >= tCrit95(df) {
+			t.Fatalf("tCrit95 not strictly decreasing at df=%d: %v -> %v", df, tCrit95(df), tCrit95(df+1))
+		}
+	}
+	if got := tCrit95(1 << 20); math.Abs(got-1.96) > 1e-2 {
+		t.Errorf("tCrit95(large) = %v, want ~1.96", got)
+	}
+}
+
 func TestJainIndex(t *testing.T) {
 	cases := []struct {
 		name string

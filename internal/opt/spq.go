@@ -28,6 +28,7 @@ type SPQProc struct {
 	cores int
 	res   []int64 // res[r] = packets with residual work r, 1-based
 	occ   int
+	hi    int // upper bound on the largest non-empty residual (lazily tightened)
 	slot  int64
 	stats core.Stats
 
@@ -96,13 +97,17 @@ func (s *SPQProc) Arrive(p pkt.Packet) error {
 	s.stats.Arrived++
 	if s.occ >= s.effBuffer() {
 		// Evict the largest residual if strictly larger than the arrival.
+		// hi bounds the scan: buckets above it are empty by invariant, so
+		// the scan starts where the last one left off instead of at
+		// MaxLabel, and tightens hi for the next congested arrival.
 		worst := 0
-		for r := s.cfg.MaxLabel; r >= 1; r-- {
+		for r := s.hi; r >= 1; r-- {
 			if s.res[r] > 0 {
 				worst = r
 				break
 			}
 		}
+		s.hi = worst
 		if worst <= p.Work {
 			s.stats.Dropped++
 			return nil
@@ -112,6 +117,9 @@ func (s *SPQProc) Arrive(p pkt.Packet) error {
 		s.stats.PushedOut++
 	}
 	s.res[p.Work]++
+	if p.Work > s.hi {
+		s.hi = p.Work
+	}
 	s.occ++
 	s.stats.Accepted++
 	if s.occ > s.stats.MaxOccupancy {
@@ -135,7 +143,9 @@ func (s *SPQProc) Step(arrivals []pkt.Packet) error {
 // smallest-residual packets.
 func (s *SPQProc) Transmit() {
 	budget := int64(s.coreBudget())
-	for r := 1; r <= s.cfg.MaxLabel && budget > 0; r++ {
+	// Cycles only move packets to smaller residuals, so hi stays a valid
+	// upper bound and the scan never visits the empty buckets above it.
+	for r := 1; r <= s.hi && budget > 0; r++ {
 		n := s.res[r]
 		if n == 0 {
 			continue
@@ -192,6 +202,7 @@ func (s *SPQProc) Reset() {
 		s.res[i] = 0
 	}
 	s.occ = 0
+	s.hi = 0
 	s.slot = 0
 	s.stats = core.Stats{}
 	s.speedOv = nil
@@ -354,12 +365,20 @@ func (s *SPQVal) Step(arrivals []pkt.Packet) error {
 
 // Transmit sends the min(occupancy, cores) most valuable packets.
 func (s *SPQVal) Transmit() {
-	for c := 0; c < s.coreBudget() && !s.vals.Empty(); c++ {
-		v := s.vals.PopMax()
-		s.stats.Transmitted++
-		s.stats.TransmittedValue += int64(v)
-		s.stats.CyclesUsed++
+	// coreBudget is O(n) under active overrides and cannot change
+	// mid-phase: hoist it, pop the exact count, batch the counters.
+	pops := s.coreBudget()
+	if n := s.vals.Len(); pops > n {
+		pops = n
 	}
+	var sum int64
+	for c := 0; c < pops; c++ {
+		sum += int64(s.vals.PopMax())
+	}
+	p64 := int64(pops)
+	s.stats.Transmitted += p64
+	s.stats.TransmittedValue += sum
+	s.stats.CyclesUsed += p64
 	s.slot++
 	s.stats.Slots++
 }

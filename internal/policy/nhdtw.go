@@ -34,16 +34,31 @@ func (NHDTW) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()
 	}
-	wi := v.QueueWork(p.Port) + v.PortWork(p.Port) // virtual add
 	var m, sum int
-	for j := 0; j < v.Ports(); j++ {
-		w := v.QueueWork(j)
-		if j == p.Port {
-			w += v.PortWork(p.Port)
+	if f, ok := v.(core.FastView); ok {
+		works, lens := f.QueueTotalWorks(), f.QueueLens()
+		pw := f.PortWorks()[p.Port]
+		wi := works[p.Port] + pw // virtual add
+		for j, w := range works {
+			if j == p.Port {
+				w += pw
+			}
+			if w >= wi {
+				m++
+				sum += lens[j]
+			}
 		}
-		if w >= wi {
-			m++
-			sum += v.QueueLen(j)
+	} else {
+		wi := v.QueueWork(p.Port) + v.PortWork(p.Port) // virtual add
+		for j := 0; j < v.Ports(); j++ {
+			w := v.QueueWork(j)
+			if j == p.Port {
+				w += v.PortWork(p.Port)
+			}
+			if w >= wi {
+				m++
+				sum += v.QueueLen(j)
+			}
 		}
 	}
 	threshold := float64(v.Buffer()) * hmath.Harmonic(m) / hmath.Harmonic(v.Ports())

@@ -23,6 +23,27 @@ func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
 		return core.Accept()
 	}
 	i := p.Port
+	if f, ok := v.(core.FastView); ok {
+		// The engine maintains the real argmax (largest-index ties)
+		// incrementally; fold in the virtual arrival analytically. With
+		// real top (ti, tk) and p's queue at lens[i]+1: a strictly
+		// larger virtual length wins outright; an equal one wins only on
+		// the index tie-break; otherwise the real top stands (ti != i
+		// there, since lens[i] == tk would put the virtual length above
+		// tk). This reproduces the reference scan below exactly.
+		ti, tk := f.LongestQueue()
+		winner := ti
+		if li := f.QueueLens()[i] + 1; li > tk || (li == tk && i > ti) {
+			winner = i
+		}
+		if winner != i {
+			return core.PushOut(winner)
+		}
+		return core.Drop()
+	}
+	// Reference scan: the executable definition of the ordering, kept as
+	// the fallback for foreign View implementations and replayed by the
+	// differential tests against the FastView branch above.
 	longest, longestLen := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		l := v.QueueLen(j)
@@ -87,6 +108,17 @@ func (BPD1) Admit(v core.View, p pkt.Packet) core.Decision {
 // largest index is the biggest processing requirement; among equal works
 // the larger index is an arbitrary but fixed tie-break.
 func biggestNonEmpty(v core.View, minLen int) int {
+	if f, ok := v.(core.FastView); ok {
+		// Same top-down scan over the live length slice: no per-queue
+		// interface dispatch on the admission hot path.
+		lens := f.QueueLens()
+		for j := len(lens) - 1; j >= 0; j-- {
+			if lens[j] >= minLen {
+				return j
+			}
+		}
+		return -1
+	}
 	for j := v.Ports() - 1; j >= 0; j-- {
 		if v.QueueLen(j) >= minLen {
 			return j
@@ -113,6 +145,19 @@ func (LWD) Admit(v core.View, p pkt.Packet) core.Decision {
 		return core.Accept()
 	}
 	i := p.Port
+	if f, ok := v.(core.FastView); ok {
+		// Mirror of LQD's fast path on the total-work key: the engine's
+		// real argmax plus the analytic virtual add of w_i.
+		ti, tk := f.HeaviestQueue()
+		winner := ti
+		if wi := f.QueueTotalWorks()[i] + f.PortWorks()[i]; wi > tk || (wi == tk && i > ti) {
+			winner = i
+		}
+		if winner != i {
+			return core.PushOut(winner)
+		}
+		return core.Drop()
+	}
 	heaviest, heaviestWork := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		w := v.QueueWork(j)

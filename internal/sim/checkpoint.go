@@ -42,9 +42,14 @@ type checkpointRecord struct {
 
 // loadCheckpoint reads the journal at path and returns the completed
 // cells recorded for the named sweep. A missing file is an empty
-// journal. A malformed line (e.g. a torn write from a crash mid-append)
-// ends the scan: every intact line before it still counts, which is
-// exactly the resume semantics a crashed run needs.
+// journal.
+//
+// Only a malformed *final* line is tolerated: that is the signature of a
+// torn write from a crash mid-append (the journal is opened O_APPEND and
+// each record is one line), and every intact line before it still
+// counts. A malformed line with more data after it is genuine corruption
+// — silently resuming past it would re-run some cells and trust the rest
+// of a damaged file — so it is reported as an error naming the line.
 func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
 	done := map[cellKey][]Result{}
 	f, err := os.Open(path)
@@ -57,16 +62,32 @@ func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo, badLine := 0, 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if badLine != 0 {
+			return nil, fmt.Errorf("sim: checkpoint %s: malformed record at line %d followed by more data: journal is corrupt, not torn; refusing to resume (move the file aside to start over)", path, badLine)
+		}
+		// The journal is shared across sweeps: probe-decode only the key
+		// field first so foreign records are skipped without paying for
+		// their full Results payload.
+		var probe struct {
+			Sweep string `json:"sweep"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			badLine = lineNo // tolerated iff this turns out to be the final line
+			continue
+		}
+		if probe.Sweep != sweep {
+			continue
+		}
 		var rec checkpointRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
-			break // torn tail write; keep the intact prefix
-		}
-		if rec.Sweep != sweep {
+			badLine = lineNo
 			continue
 		}
 		rs := make([]Result, len(rec.Results))

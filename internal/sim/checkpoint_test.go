@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smbm/internal/core"
+)
+
+// ckptLine renders one valid journal line via the production encoder.
+func ckptLine(t *testing.T, sweep string, x, si int) string {
+	t.Helper()
+	var b strings.Builder
+	res := []Result{{Policy: "Greedy", Throughput: 10, OptThroughput: 12, Stats: core.Stats{Arrived: 20}}}
+	if err := appendCheckpoint(&b, sweep, x, si, res); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func writeCkpt(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckpointToleratesTornFinalLine pins the crash-resume contract: a
+// partial record at the very end of the journal — the signature of a
+// write torn by a crash mid-append — is dropped, and every intact line
+// before it still counts.
+func TestCheckpointToleratesTornFinalLine(t *testing.T) {
+	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+ckptLine(t, "s", 1, 1)+`{"sweep":"s","x":2,"seed_ind`)
+	done, err := loadCheckpoint(path, "s")
+	if err != nil {
+		t.Fatalf("torn final line rejected: %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("recovered %d cells, want 2", len(done))
+	}
+	for _, key := range []cellKey{{1, 0}, {1, 1}} {
+		if _, ok := done[key]; !ok {
+			t.Errorf("intact cell %+v lost", key)
+		}
+	}
+	// The empirical ratio is recomputed on load (JSON cannot carry +Inf).
+	if got := done[cellKey{1, 0}][0].Ratio; got != 1.2 {
+		t.Errorf("recomputed ratio = %v, want 1.2", got)
+	}
+}
+
+// TestCheckpointRejectsMidFileCorruption asserts the bugfix this PR
+// makes: a malformed line with more data after it is corruption, not a
+// torn tail, and silently truncating there would drop completed work.
+// The loader must fail and name the offending line.
+func TestCheckpointRejectsMidFileCorruption(t *testing.T) {
+	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+"GARBAGE not json\n"+ckptLine(t, "s", 1, 1))
+	_, err := loadCheckpoint(path, "s")
+	if err == nil {
+		t.Fatal("mid-file corruption loaded without error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error %q does not name line 2", err)
+	}
+
+	// The sweep surfaces the same failure instead of starting a run that
+	// would re-journal over a damaged file.
+	s := testSweep()
+	s.Checkpoint = path
+	s.Name = "s"
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("sweep on corrupt journal: got %v, want line-2 corruption error", err)
+	}
+}
+
+// TestCheckpointSkipsForeignRecordsWithoutFullDecode asserts that
+// records of other sweeps are skipped on the cheap probe path: even a
+// foreign record whose payload does not match the full schema must not
+// disturb the load, because only its sweep key is examined.
+func TestCheckpointSkipsForeignRecordsWithoutFullDecode(t *testing.T) {
+	foreign := `{"sweep":"other","x":true,"results":"not-an-array"}` + "\n"
+	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+foreign+ckptLine(t, "s", 2, 0))
+	done, err := loadCheckpoint(path, "s")
+	if err != nil {
+		t.Fatalf("foreign record broke the load: %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("recovered %d cells, want 2", len(done))
+	}
+}
+
+// TestCheckpointMissingFileIsEmpty pins the first-run behaviour.
+func TestCheckpointMissingFileIsEmpty(t *testing.T) {
+	done, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"), "s")
+	if err != nil {
+		t.Fatalf("missing journal errored: %v", err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("missing journal recovered %d cells", len(done))
+	}
+}

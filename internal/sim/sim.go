@@ -192,12 +192,51 @@ func (inst Instance) Run() ([]Result, error) {
 // RunContext is Run with cancellation: the run aborts between slots
 // once ctx is done, returning an error wrapping ctx.Err.
 func (inst Instance) RunContext(ctx context.Context) ([]Result, error) {
+	var sc Scratch
+	return inst.RunScratch(ctx, &sc)
+}
+
+// Scratch caches the systems an instance run builds — the OPT proxy and
+// one switch reused across the competing policies — keyed by the switch
+// configuration. A sweep worker that replays many (x, seed) cells with
+// the same Config (the common case: only the trace seed varies) then
+// reuses warmed buffers instead of reallocating every queue for every
+// cell. Systems are Reset before reuse, so results are identical to
+// building fresh ones; a configuration change simply rebuilds. Not safe
+// for concurrent use: keep one Scratch per goroutine.
+type Scratch struct {
+	key string
+	opt System
+	sw  *core.Switch
+}
+
+// fingerprint renders cfg into a cache key (Config carries a slice, so
+// it is not comparable directly).
+func fingerprint(cfg core.Config) string {
+	return fmt.Sprintf("%v|%d|%d|%d|%d|%v|%t",
+		cfg.Model, cfg.Ports, cfg.Buffer, cfg.MaxLabel, cfg.Speedup, cfg.PortWork, cfg.CheckInvariants)
+}
+
+// RunScratch is RunContext reusing systems cached in sc across calls
+// that share a configuration. A fresh Scratch reproduces RunContext
+// exactly (RunContext is implemented on top of it).
+func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, error) {
 	opts := RunOptions{FlushEvery: inst.FlushEvery, DrainMax: inst.DrainMax}
-	optSys, err := NewOptProxy(inst.Cfg)
-	if err != nil {
-		return nil, err
+	if key := fingerprint(inst.Cfg); sc.key != key {
+		sc.key, sc.opt, sc.sw = key, nil, nil
 	}
-	wrapped, err := inst.wrap(optSys)
+	if sc.opt == nil {
+		optSys, err := NewOptProxy(inst.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		sc.opt = optSys
+	} else {
+		// Reset at acquire time, not release time: a panic or error in a
+		// previous cell may have left the system mid-run.
+		sc.opt.Reset()
+	}
+	wrapped, err := inst.wrap(sc.opt)
 	if err != nil {
 		return nil, err
 	}
@@ -209,11 +248,19 @@ func (inst Instance) RunContext(ctx context.Context) ([]Result, error) {
 
 	results := make([]Result, 0, len(inst.Policies))
 	for _, p := range inst.Policies {
-		sw, err := core.New(inst.Cfg, p)
-		if err != nil {
-			return nil, err
+		if sc.sw == nil {
+			sw, err := core.New(inst.Cfg, p)
+			if err != nil {
+				return nil, err
+			}
+			sc.sw = sw
+		} else {
+			sc.sw.Reset()
+			if err := sc.sw.SetPolicy(p); err != nil {
+				return nil, err
+			}
 		}
-		sys, err := inst.wrap(sw)
+		sys, err := inst.wrap(sc.sw)
 		if err != nil {
 			return nil, err
 		}

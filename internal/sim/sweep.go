@@ -146,7 +146,7 @@ func (s *Sweep) validate() error {
 // runCell executes one (x, seed) cell, converting failures — including
 // worker panics and blown per-cell deadlines — into a *CellError that
 // names the cell, so one bad replication cannot kill a multi-hour run.
-func (s *Sweep) runCell(ctx context.Context, xi, si int) (res []Result, err error) {
+func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si int) (res []Result, err error) {
 	x, seed := s.Xs[xi], s.cellSeed(xi, si)
 	fail := func(e error) *CellError {
 		return &CellError{Sweep: s.Name, XLabel: s.XLabel, X: x, SeedIndex: si, Seed: seed, Err: e}
@@ -168,7 +168,7 @@ func (s *Sweep) runCell(ctx context.Context, xi, si int) (res []Result, err erro
 	if err != nil {
 		return nil, fail(err)
 	}
-	res, err = inst.RunContext(cellCtx)
+	res, err = inst.RunScratch(cellCtx, sc)
 	if err != nil {
 		if ctx.Err() == nil && cellCtx.Err() != nil {
 			err = fmt.Errorf("cell deadline %v exceeded: %w", s.CellTimeout, err)
@@ -251,12 +251,15 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One Scratch per worker: cells sharing a configuration
+			// reuse its systems; runCell resets them before each use.
+			var sc Scratch
 			for c := range jobs {
 				if ctx.Err() != nil {
 					outcomes <- outcome{cell: c, err: ctx.Err()}
 					continue
 				}
-				res, err := s.runCell(ctx, c.xi, c.si)
+				res, err := s.runCell(ctx, &sc, c.xi, c.si)
 				outcomes <- outcome{cell: c, results: res, err: err}
 			}
 		}()

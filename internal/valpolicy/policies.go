@@ -24,7 +24,8 @@ func (NHSTV) Admit(v core.View, p pkt.Packet) core.Decision {
 		return core.Drop()
 	}
 	k := v.MaxLabel()
-	// |Q_i| < B/((k−v+1)·H_k)  ⇔  |Q_i|·(k−v+1)·H_k < B.
+	// |Q_i| < B/((k−v+1)·H_k)  ⇔  |Q_i|·(k−v+1)·H_k < B. O(1) per
+	// arrival already: one length read plus a table-backed H_k lookup.
 	lhs := float64(v.QueueLen(p.Port)) * float64(k-p.Value+1) * hmath.Harmonic(k)
 	if lhs < float64(v.Buffer()) {
 		return core.Accept()
@@ -50,6 +51,32 @@ func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
 		return core.Accept()
 	}
 	i := p.Port
+	if f, ok := v.(core.FastView); ok {
+		if lens, mins := f.QueueLens(), f.QueueMinValues(); mins != nil {
+			// Same scan as the fallback below, over the engine's live
+			// slices: no per-queue interface dispatch or multiset
+			// queries on the congested-arrival hot path.
+			longest, longestLen := -1, -1
+			for j, l := range lens {
+				if j == i {
+					l++ // virtually add p
+				}
+				switch {
+				case l > longestLen:
+					longest, longestLen = j, l
+				case l == longestLen && mins[j] < mins[longest]:
+					longest = j
+				}
+			}
+			if longest != i {
+				return core.PushOut(longest)
+			}
+			if lens[i] > 0 && mins[i] < p.Value {
+				return core.PushOut(i)
+			}
+			return core.Drop()
+		}
+	}
 	longest, longestLen := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		l := v.QueueLen(j)
@@ -108,6 +135,27 @@ func mvdAdmit(v core.View, p pkt.Packet, minLen int) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
+	if f, ok := v.(core.FastView); ok {
+		if lens, mins := f.QueueLens(), f.QueueMinValues(); mins != nil {
+			victim, minVal := -1, 0
+			for j, l := range lens {
+				if l < minLen {
+					continue
+				}
+				mv := mins[j]
+				switch {
+				case victim == -1 || mv < minVal:
+					victim, minVal = j, mv
+				case mv == minVal && l > lens[victim]:
+					victim = j
+				}
+			}
+			if victim >= 0 && minVal < p.Value {
+				return core.PushOut(victim)
+			}
+			return core.Drop()
+		}
+	}
 	victim, minVal := -1, 0
 	for j := 0; j < v.Ports(); j++ {
 		if v.QueueLen(j) < minLen {
@@ -159,6 +207,32 @@ func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 	victim := -1
 	var bestNum, bestDen int64
 	globalMin := 0
+	if f, ok := v.(core.FastView); ok {
+		if lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums(); mins != nil {
+			for j := range lens {
+				l, sum := int64(lens[j]), sums[j]
+				if j == p.Port {
+					l++ // virtually add p
+					sum += int64(p.Value)
+				}
+				if l == 0 {
+					continue
+				}
+				mv := mins[j] // 0 on an empty queue: only possible for j == p.Port
+				if mv > 0 && (globalMin == 0 || mv < globalMin) {
+					globalMin = mv
+				}
+				num, den := l*l, sum
+				switch {
+				case victim == -1 || num*bestDen > bestNum*den:
+					victim, bestNum, bestDen = j, num, den
+				case num*bestDen == bestNum*den && minOrInfSlices(lens, mins, j) < minOrInfSlices(lens, mins, victim):
+					victim, bestNum, bestDen = j, num, den
+				}
+			}
+			return mrdDecide(v, p, victim, globalMin)
+		}
+	}
 	for j := 0; j < v.Ports(); j++ {
 		l, sum := int64(v.QueueLen(j)), v.QueueValueSum(j)
 		if j == p.Port {
@@ -180,6 +254,12 @@ func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 			victim, bestNum, bestDen = j, num, den
 		}
 	}
+	return mrdDecide(v, p, victim, globalMin)
+}
+
+// mrdDecide turns MRD's max-ratio scan result into a decision; shared by
+// the FastView and plain-View scans, which must agree exactly.
+func mrdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 	if victim != p.Port {
 		if globalMin <= p.Value {
 			return core.PushOut(victim)
@@ -199,6 +279,14 @@ func minOrInf(v core.View, j int) int {
 		return int(^uint(0) >> 1)
 	}
 	return v.QueueMinValue(j)
+}
+
+// minOrInfSlices is minOrInf over the FastView slices.
+func minOrInfSlices(lens, mins []int, j int) int {
+	if lens[j] == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return mins[j]
 }
 
 var (

@@ -31,6 +31,22 @@ func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 	victim := -1
 	var bestSum int64
 	globalMin := 0
+	if f, ok := v.(core.FastView); ok {
+		if lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums(); mins != nil {
+			for j, l := range lens {
+				if l == 0 {
+					continue
+				}
+				if mv := mins[j]; globalMin == 0 || mv < globalMin {
+					globalMin = mv
+				}
+				if sum := sums[j]; victim == -1 || sum > bestSum {
+					victim, bestSum = j, sum
+				}
+			}
+			return tvdDecide(v, p, victim, globalMin)
+		}
+	}
 	for j := 0; j < v.Ports(); j++ {
 		if v.QueueLen(j) == 0 {
 			continue
@@ -43,6 +59,12 @@ func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 			victim, bestSum = j, sum
 		}
 	}
+	return tvdDecide(v, p, victim, globalMin)
+}
+
+// tvdDecide turns TVD's max-sum scan result into a decision; shared by
+// the FastView and plain-View scans, which must agree exactly.
+func tvdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 	if victim != p.Port {
 		if globalMin <= p.Value {
 			return core.PushOut(victim)
