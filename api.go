@@ -34,10 +34,17 @@ type (
 	Switch = core.Switch
 	// Stats carries a run's conservation-checkable counters.
 	Stats = core.Stats
-	// Trace is a materialized arrival sequence, one burst per slot.
+	// Trace is a materialized arrival sequence, one burst per slot. A
+	// Trace is itself a Provider, so it drops into every streaming API.
 	Trace = traffic.Trace
 	// Source produces per-slot arrival bursts.
 	Source = traffic.Source
+	// Provider is a re-derivable arrival stream of known length; every
+	// replay opens its own cursor, so runs are bit-identical without
+	// sharing state.
+	Provider = traffic.Provider
+	// Cursor is an open read position over a Provider's slot stream.
+	Cursor = traffic.Cursor
 	// MMPPConfig parameterizes the paper's on-off bursty traffic.
 	MMPPConfig = traffic.MMPPConfig
 	// LabelMode selects how generated packets are labeled.
@@ -182,16 +189,29 @@ func NewMMPP(cfg MMPPConfig) (Source, error) { return traffic.NewMMPP(cfg) }
 // RecordTrace materializes the next slots slots of src.
 func RecordTrace(src Source, slots int) Trace { return traffic.Record(src, slots) }
 
-// RunTrace drives sys over the trace with periodic flushouts (0 = final
-// drain only) and returns its counters.
-func RunTrace(sys System, tr Trace, flushEvery int) (Stats, error) {
-	return sim.RunTrace(sys, tr, flushEvery)
+// NewMMPPProvider wraps a seeded MMPP spec as a Provider of the given
+// length: every cursor regenerates the identical stream, holding
+// O(Sources) state regardless of slots.
+func NewMMPPProvider(cfg MMPPConfig, slots int) (Provider, error) {
+	return traffic.NewMMPPProvider(cfg, slots)
 }
 
-// CompetitiveRatio runs p and the OPT proxy on the same trace and
-// returns OPT's objective divided by p's.
-func CompetitiveRatio(cfg Config, p Policy, tr Trace, flushEvery int) (float64, error) {
-	inst := Instance{Cfg: cfg, Policies: []Policy{p}, Trace: tr, FlushEvery: flushEvery}
+// OpenTraceFile returns a Provider that streams a trace file (text or
+// binary format) record by record, so replaying it costs O(peak burst)
+// memory regardless of the file's length.
+func OpenTraceFile(path string) (Provider, error) { return traffic.OpenFile(path) }
+
+// RunTrace drives sys over the arrival stream with periodic flushouts
+// (0 = final drain only) and returns its counters. A materialized
+// Trace is itself a Provider, so both shapes work.
+func RunTrace(sys System, src Provider, flushEvery int) (Stats, error) {
+	return sim.RunTrace(sys, src, flushEvery)
+}
+
+// CompetitiveRatio runs p and the OPT proxy on the same arrival stream
+// and returns OPT's objective divided by p's.
+func CompetitiveRatio(cfg Config, p Policy, src Provider, flushEvery int) (float64, error) {
+	inst := Instance{Cfg: cfg, Policies: []Policy{p}, Provider: src, FlushEvery: flushEvery}
 	res, err := inst.Run()
 	if err != nil {
 		return 0, err
@@ -199,9 +219,10 @@ func CompetitiveRatio(cfg Config, p Policy, tr Trace, flushEvery int) (float64, 
 	return res[0].Ratio, nil
 }
 
-// Compare runs every policy and the OPT proxy on the same trace.
-func Compare(cfg Config, policies []Policy, tr Trace, flushEvery int) ([]Result, error) {
-	return Instance{Cfg: cfg, Policies: policies, Trace: tr, FlushEvery: flushEvery}.Run()
+// Compare runs every policy and the OPT proxy on the same arrival
+// stream.
+func Compare(cfg Config, policies []Policy, src Provider, flushEvery int) ([]Result, error) {
+	return Instance{Cfg: cfg, Policies: policies, Provider: src, FlushEvery: flushEvery}.Run()
 }
 
 // LowerBounds returns the paper's lower-bound constructions (Theorems
@@ -341,17 +362,18 @@ type Degradation struct {
 }
 
 // DegradationReport runs every policy and the OPT proxy on the same
-// trace twice — once nominal and once under spec, injected with the
-// identical schedule into each system — and reports the per-policy
-// ratio erosion. A zero spec Horizon defaults to the trace length.
-func DegradationReport(cfg Config, policies []Policy, tr Trace, flushEvery int, spec FaultSpec, seed int64) ([]Degradation, error) {
-	inst := Instance{Cfg: cfg, Policies: policies, Trace: tr, FlushEvery: flushEvery}
+// arrival stream twice — once nominal and once under spec, injected
+// with the identical schedule into each system — and reports the
+// per-policy ratio erosion. A zero spec Horizon defaults to the stream
+// length.
+func DegradationReport(cfg Config, policies []Policy, src Provider, flushEvery int, spec FaultSpec, seed int64) ([]Degradation, error) {
+	inst := Instance{Cfg: cfg, Policies: policies, Provider: src, FlushEvery: flushEvery}
 	base, err := inst.Run()
 	if err != nil {
 		return nil, err
 	}
 	if spec.Horizon == 0 {
-		spec.Horizon = int64(len(tr))
+		spec.Horizon = int64(src.Slots())
 	}
 	inst.Wrap = faults.Wrapper(spec, cfg.Ports, seed)
 	degraded, err := inst.Run()

@@ -7,7 +7,10 @@
 //     models (steady state must be allocation-free);
 //   - per-panel sweep-cell benchmarks: ns per (x, seed) cell and
 //     cells/sec for the Fig. 5 panels, each cell running the full
-//     policy roster plus the OPT proxy exactly as a sweep does.
+//     policy roster plus the OPT proxy exactly as a sweep does;
+//   - trace-memory measurements: resident arrival bytes per slot for a
+//     materialized trace versus a streamed provider cursor, the number
+//     that certifies the streaming pipeline's O(1)-in-slots memory.
 //
 // Regenerate with: make bench-json. Comparing two baselines (before and
 // after an engine change, or across machines) is the supported workflow;
@@ -55,18 +58,31 @@ type Panel struct {
 	CellsTimed  int     `json:"cells_timed"`
 }
 
+// TraceMemory reports the resident arrival memory of one provider mode:
+// the heap bytes held alive by the arrivals while a replay is under way
+// (a whole materialized trace, or one streaming cursor mid-stream),
+// normalized per slot. The streamed figure should be orders of
+// magnitude below the materialized one and independent of Slots.
+type TraceMemory struct {
+	Mode          string  `json:"mode"`
+	Slots         int     `json:"slots"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	BytesPerSlot  float64 `json:"bytes_per_slot"`
+}
+
 // Baseline is the whole artifact.
 type Baseline struct {
-	Generated  string  `json:"generated"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	NumCPU     int     `json:"num_cpu"`
-	BenchTime  string  `json:"bench_time"`
-	MicroSlots int     `json:"micro_slots"`
-	MicroProc  []Micro `json:"micro_processing"`
-	MicroValue []Micro `json:"micro_value"`
-	Panels     []Panel `json:"panels"`
+	Generated   string        `json:"generated"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	BenchTime   string        `json:"bench_time"`
+	MicroSlots  int           `json:"micro_slots"`
+	MicroProc   []Micro       `json:"micro_processing"`
+	MicroValue  []Micro       `json:"micro_value"`
+	Panels      []Panel       `json:"panels"`
+	TraceMemory []TraceMemory `json:"trace_memory"`
 }
 
 const (
@@ -192,6 +208,86 @@ func panelBench(id string) (Panel, error) {
 	}, nil
 }
 
+// memSlots is the trace length of the trace-memory measurement — long
+// enough that the materialized trace dwarfs every fixed overhead, short
+// enough to stay fast.
+const memSlots = 200_000
+
+// heapAlloc returns the live heap after a full collection.
+func heapAlloc() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// heapDelta clamps a heap-growth measurement at zero (GC noise can
+// shrink unrelated allocations between the two readings).
+func heapDelta(before, after int64) int64 {
+	if after < before {
+		return 0
+	}
+	return after - before
+}
+
+// traceMemory measures the resident arrival bytes of a materialized
+// trace versus a streaming MMPP cursor halfway through the same
+// stream, on the standard 16-port processing workload.
+func traceMemory() ([]TraceMemory, error) {
+	mcfg := traffic.MMPPConfig{
+		Sources:      100,
+		POnOff:       0.1,
+		POffOn:       0.01,
+		Label:        traffic.LabelWorkByPort,
+		Ports:        16,
+		MaxLabel:     16,
+		PortWork:     core.ContiguousWorks(16),
+		PortAffinity: true,
+		Seed:         1,
+	}
+	mcfg.LambdaOn = mcfg.LambdaForRate(2.5 * 16)
+
+	row := func(mode string, resident int64) TraceMemory {
+		return TraceMemory{
+			Mode:          mode,
+			Slots:         memSlots,
+			ResidentBytes: resident,
+			BytesPerSlot:  float64(resident) / memSlots,
+		}
+	}
+
+	// Materialized: the whole trace resident at once.
+	gen, err := traffic.NewMMPP(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	before := heapAlloc()
+	tr := traffic.Record(gen, memSlots)
+	materialized := heapDelta(before, heapAlloc())
+	runtime.KeepAlive(tr)
+	tr = nil
+	_ = tr
+
+	// Streamed: one open cursor mid-stream.
+	prov, err := traffic.NewMMPPProvider(mcfg, memSlots)
+	if err != nil {
+		return nil, err
+	}
+	before = heapAlloc()
+	cur, err := prov.Open()
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < memSlots/2; t++ {
+		cur.Next()
+	}
+	streamed := heapDelta(before, heapAlloc())
+	runtime.KeepAlive(cur)
+	cur.Close()
+
+	return []TraceMemory{row("materialized", materialized), row("streamed", streamed)}, nil
+}
+
 func run(out string, benchtime time.Duration) error {
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		return err
@@ -237,6 +333,15 @@ func run(out string, benchtime time.Duration) error {
 		}
 		base.Panels = append(base.Panels, p)
 		fmt.Fprintf(os.Stderr, "panel %-7s x=%-4d %10.3f ms/cell  %6.2f cells/sec\n", p.Panel, p.X, float64(p.NsPerCell)/1e6, p.CellsPerSec)
+	}
+
+	tms, err := traceMemory()
+	if err != nil {
+		return fmt.Errorf("trace memory: %w", err)
+	}
+	base.TraceMemory = tms
+	for _, tm := range tms {
+		fmt.Fprintf(os.Stderr, "trace memory %-13s %10d bytes  %8.2f bytes/slot\n", tm.Mode, tm.ResidentBytes, tm.BytesPerSlot)
 	}
 
 	buf, err := json.MarshalIndent(base, "", "  ")

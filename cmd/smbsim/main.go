@@ -13,7 +13,8 @@
 //	smbsim -experiment fig5.1       # one panel
 //	smbsim -experiment arch         # architecture comparison
 //	smbsim -experiment faults       # fault-degradation comparison
-//	smbsim -slots 2000000 -seeds 5  # paper-scale run
+//	smbsim -scale paper             # paper scale: 2·10⁶ slots, 500 sources
+//	smbsim -slots 2000000 -seeds 5  # custom scale
 //	smbsim -plot                    # append ASCII charts
 //	smbsim -csv > panels.csv        # machine-readable output
 //
@@ -51,6 +52,7 @@ const (
 func main() {
 	var (
 		experiment  = flag.String("experiment", "", "experiment to run (fig5.1 ... fig5.9, arch, latency, faults); empty runs the nine panels")
+		scale       = flag.String("scale", "", `option preset: "laptop" (default) or "paper" (2000000 slots, 500 sources, streamed in O(1) trace memory per worker); explicit flags override the preset`)
 		slots       = flag.Int("slots", 0, "trace length per replication (default 4000; paper uses 2000000)")
 		seeds       = flag.Int("seeds", 0, "replications per point (default 3)")
 		sources     = flag.Int("sources", 0, "MMPP on-off sources (default 100; paper uses 500)")
@@ -66,16 +68,33 @@ func main() {
 	)
 	flag.Parse()
 
+	// Resolve the scale preset first, then let explicit flags override
+	// its fields.
+	scaleOpts, scaleErr := experiments.ScaleOptions(*scale)
+	if scaleErr != nil {
+		fmt.Fprintln(os.Stderr, "smbsim:", scaleErr)
+		os.Exit(exitFailure)
+	}
+	if *slots != 0 {
+		scaleOpts.Slots = *slots
+	}
+	if *seeds != 0 {
+		scaleOpts.Seeds = *seeds
+	}
+	if *sources != 0 {
+		scaleOpts.Sources = *sources
+	}
+	if *flushEvery != 0 {
+		scaleOpts.FlushEvery = *flushEvery
+	}
+	if *seed != 0 {
+		scaleOpts.BaseSeed = *seed
+	}
+	scaleOpts.Parallelism = *workers
+
 	opts := cli.PanelOptions{
 		Experiment: *experiment,
-		Opts: experiments.Options{
-			Slots:       *slots,
-			Seeds:       *seeds,
-			Sources:     *sources,
-			FlushEvery:  *flushEvery,
-			BaseSeed:    *seed,
-			Parallelism: *workers,
-		},
+		Opts:       scaleOpts,
 		Plot:        *asPlot,
 		CSV:         *asCSV,
 		CellTimeout: *cellTimeout,

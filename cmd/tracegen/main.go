@@ -6,11 +6,17 @@
 //	tracegen -slots 10000 -ports 16 -mode work > trace.txt
 //	tracegen -stats < trace.txt
 //	tracegen -replay LWD -ports 16 -mode work -buffer 256 < trace.txt
+//	tracegen -replay LWD -ports 16 -mode work -in trace.txt   # streamed
+//
+// With -in, -stats and -replay stream the trace from the file instead
+// of materializing stdin, so arbitrarily long traces are processed in
+// O(peak burst) memory.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"smbm/internal/cli"
@@ -31,13 +37,24 @@ func main() {
 		replay   = flag.String("replay", "", "read a trace from stdin and replay it under the named policy")
 		buffer   = flag.Int("buffer", 0, "buffer size for -replay (default 2x ports)")
 		flush    = flag.Int("flush", 0, "flushout period for -replay (0 = final drain only)")
+		input    = flag.String("in", "", "stream the trace from this file instead of reading stdin (-stats, -replay)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *stats:
-		err = cli.Stats(os.Stdout, os.Stdin)
+		r := io.Reader(os.Stdin)
+		if *input != "" {
+			f, ferr := os.Open(*input)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", ferr)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		err = cli.Stats(os.Stdout, r)
 	case *replay != "":
 		err = cli.Replay(os.Stdout, os.Stdin, cli.ReplayOptions{
 			Policy:   *replay,
@@ -46,6 +63,7 @@ func main() {
 			Buffer:   *buffer,
 			Flush:    *flush,
 			Mode:     *mode,
+			Input:    *input,
 		})
 	default:
 		err = cli.Generate(os.Stdout, cli.GenerateOptions{

@@ -92,29 +92,39 @@ func (c Construction) Run() (Outcome, error) {
 }
 
 // measure returns the throughput p achieves during the counted window.
+// The repeating script is streamed through a traffic.Repeat cursor —
+// the "then the process repeats" of the proofs as a re-derivable
+// Provider — with the throughput snapshot taken at the warm-up
+// boundary.
 func (c Construction) measure(p core.Policy) (int64, error) {
 	sw, err := core.New(c.Cfg, p)
 	if err != nil {
 		return 0, fmt.Errorf("adversary %s: %w", c.ID, err)
 	}
-	runRound := func() error {
-		for t, burst := range c.Round {
-			if err := sw.Step(burst); err != nil {
-				return fmt.Errorf("adversary %s: %s slot %d: %w", c.ID, p.Name(), t, err)
-			}
-		}
-		return nil
+	prov := traffic.Repeat{Round: c.Round, Rounds: c.Warmup + c.Rounds}
+	cur, err := prov.Open()
+	if err != nil {
+		return 0, fmt.Errorf("adversary %s: %w", c.ID, err)
 	}
-	for r := 0; r < c.Warmup; r++ {
-		if err := runRound(); err != nil {
-			return 0, err
+	defer cur.Close()
+	warm := c.Warmup * len(c.Round)
+	slots := prov.Slots()
+	var before int64
+	took := false
+	for t := 0; t < slots; t++ {
+		if t == warm {
+			before = sw.Stats().Throughput(c.Cfg.Model)
+			took = true
+		}
+		if err := sw.Step(cur.Next()); err != nil {
+			return 0, fmt.Errorf("adversary %s: %s slot %d: %w", c.ID, p.Name(), t%max(len(c.Round), 1), err)
 		}
 	}
-	before := sw.Stats().Throughput(c.Cfg.Model)
-	for r := 0; r < c.Rounds; r++ {
-		if err := runRound(); err != nil {
-			return 0, err
-		}
+	if err := cur.Err(); err != nil {
+		return 0, fmt.Errorf("adversary %s: %w", c.ID, err)
+	}
+	if !took {
+		before = sw.Stats().Throughput(c.Cfg.Model)
 	}
 	return sw.Stats().Throughput(c.Cfg.Model) - before, nil
 }

@@ -80,17 +80,20 @@ func Generate(w io.Writer, o GenerateOptions) error {
 }
 
 // Stats reads a trace (text or binary) from r and writes summary
-// statistics to w.
+// statistics to w. The trace is streamed in a single pass, so
+// arbitrarily long files are summarized in O(peak burst) memory.
 func Stats(w io.Writer, r io.Reader) error {
-	tr, err := traffic.ReadAnyTrace(r)
+	cur, slots, err := traffic.StreamAny(r)
 	if err != nil {
 		return err
 	}
+	defer cur.Close()
 	var (
 		packets, work, value int
 		peak                 int
 	)
-	for _, slot := range tr {
+	for t := 0; t < slots; t++ {
+		slot := cur.Next()
 		packets += len(slot)
 		if len(slot) > peak {
 			peak = len(slot)
@@ -100,7 +103,9 @@ func Stats(w io.Writer, r io.Reader) error {
 			value += p.Value
 		}
 	}
-	slots := len(tr)
+	if err := cur.Err(); err != nil {
+		return err
+	}
 	rate := 0.0
 	if slots > 0 {
 		rate = float64(packets) / float64(slots)
@@ -123,14 +128,30 @@ type ReplayOptions struct {
 	Ports, MaxLabel, Buffer, Flush int
 	// Mode matches GenerateOptions.Mode.
 	Mode string
+	// Input, when non-empty, streams the trace from this file path
+	// instead of materializing r: each replay (policy and OPT proxy)
+	// re-reads the file through its own cursor, so memory stays
+	// O(peak burst) regardless of trace length.
+	Input string
 }
 
-// Replay reads a trace from r, drives the named policy and the OPT proxy
-// over it, and writes the outcome to w.
+// Replay reads a trace from r — or streams it from o.Input when set —
+// drives the named policy and the OPT proxy over it, and writes the
+// outcome to w.
 func Replay(w io.Writer, r io.Reader, o ReplayOptions) error {
-	tr, err := traffic.ReadAnyTrace(r)
-	if err != nil {
-		return err
+	var src traffic.Provider
+	if o.Input != "" {
+		fp, err := traffic.OpenFile(o.Input)
+		if err != nil {
+			return err
+		}
+		src = fp
+	} else {
+		tr, err := traffic.ReadAnyTrace(r)
+		if err != nil {
+			return err
+		}
+		src = tr
 	}
 	maxLabel := o.MaxLabel
 	if maxLabel == 0 {
@@ -161,7 +182,7 @@ func Replay(w io.Writer, r io.Reader, o ReplayOptions) error {
 	if err != nil {
 		return err
 	}
-	st, err := sim.RunTrace(sw, tr, o.Flush)
+	st, err := sim.RunTrace(sw, src, o.Flush)
 	if err != nil {
 		return err
 	}
@@ -169,7 +190,7 @@ func Replay(w io.Writer, r io.Reader, o ReplayOptions) error {
 	if err != nil {
 		return err
 	}
-	optStats, err := sim.RunTrace(opt, tr, o.Flush)
+	optStats, err := sim.RunTrace(opt, src, o.Flush)
 	if err != nil {
 		return err
 	}

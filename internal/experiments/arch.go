@@ -64,11 +64,10 @@ func Architectures(o Options) ([]ArchRow, error) {
 		Seed:         o.BaseSeed,
 	}
 	mcfg.LambdaOn = mcfg.LambdaForRate(2.0 * procCapacity(k, 1))
-	gen, err := traffic.NewMMPP(mcfg)
+	prov, err := traffic.NewMMPPProvider(mcfg, o.Slots)
 	if err != nil {
 		return nil, err
 	}
-	trace := traffic.Record(gen, o.Slots)
 
 	sharedCfg := core.Config{
 		Model:    core.ModelProcessing,
@@ -159,7 +158,7 @@ func Architectures(o Options) ([]ArchRow, error) {
 	rows := make([]ArchRow, 0, len(entries))
 	var best int64
 	for _, e := range entries {
-		stats, err := sim.RunTrace(e.sys, trace, o.FlushEvery)
+		stats, err := sim.RunTrace(e.sys, prov, o.FlushEvery)
 		if err != nil {
 			return nil, err
 		}

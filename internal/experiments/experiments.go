@@ -51,6 +51,34 @@ func Defaults() Options {
 	}
 }
 
+// PaperScale returns the paper's Section V evaluation scale: 2·10⁶
+// slots and 500 MMPP on-off sources per replication, one seed. Panels
+// built at this scale stream arrivals from seeded generator specs, so
+// per-worker trace memory stays O(Sources) regardless of the slot
+// count.
+func PaperScale() Options {
+	return Options{
+		Slots:      2_000_000,
+		Seeds:      1,
+		Sources:    500,
+		FlushEvery: 1000,
+		BaseSeed:   1,
+	}
+}
+
+// ScaleOptions resolves a named option preset: "" or "laptop" for
+// Defaults, "paper" for PaperScale.
+func ScaleOptions(name string) (Options, error) {
+	switch name {
+	case "", "laptop":
+		return Defaults(), nil
+	case "paper":
+		return PaperScale(), nil
+	default:
+		return Options{}, fmt.Errorf("experiments: unknown scale %q (want laptop or paper)", name)
+	}
+}
+
 func (o Options) withDefaults() Options {
 	d := Defaults()
 	if o.Slots == 0 {
@@ -150,14 +178,14 @@ func procInstance(k, b, c int, rate float64, o Options, seed int64) (sim.Instanc
 		Seed:         seed,
 	}
 	mcfg.LambdaOn = mcfg.LambdaForRate(rate)
-	gen, err := traffic.NewMMPP(mcfg)
+	prov, err := traffic.NewMMPPProvider(mcfg, o.Slots)
 	if err != nil {
 		return sim.Instance{}, err
 	}
 	return sim.Instance{
 		Cfg:        cfg,
 		Policies:   policy.ForProcessing(),
-		Trace:      traffic.Record(gen, o.Slots),
+		Provider:   prov,
 		FlushEvery: o.FlushEvery,
 	}, nil
 }
@@ -248,14 +276,14 @@ func valInstance(k, b, c int, rate float64, label traffic.LabelMode, spiky bool,
 		mcfg.PortAffinity = label == traffic.LabelValueByPort
 	}
 	mcfg.LambdaOn = mcfg.LambdaForRate(rate)
-	gen, err := traffic.NewMMPP(mcfg)
+	prov, err := traffic.NewMMPPProvider(mcfg, o.Slots)
 	if err != nil {
 		return sim.Instance{}, err
 	}
 	return sim.Instance{
 		Cfg:        cfg,
 		Policies:   policies,
-		Trace:      traffic.Record(gen, o.Slots),
+		Provider:   prov,
 		FlushEvery: o.FlushEvery,
 	}, nil
 }

@@ -55,12 +55,17 @@ func TestProcInstanceShape(t *testing.T) {
 	if len(inst.Policies) != 8 {
 		t.Errorf("%d policies, want 8", len(inst.Policies))
 	}
-	if len(inst.Trace) != smallOpts().Slots {
-		t.Errorf("trace %d slots", len(inst.Trace))
+	if inst.Provider.Slots() != smallOpts().Slots {
+		t.Errorf("provider %d slots", inst.Provider.Slots())
 	}
 	// All packets legal for the config.
-	for _, slot := range inst.Trace {
-		for _, p := range slot {
+	cur, err := inst.Provider.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for t2 := 0; t2 < inst.Provider.Slots(); t2++ {
+		for _, p := range cur.Next() {
 			if p.Work != inst.Cfg.PortWork[p.Port] {
 				t.Fatalf("packet %+v violates the configuration", p)
 			}
@@ -79,8 +84,13 @@ func TestValInstanceShape(t *testing.T) {
 	if len(inst.Policies) != 8 { // by-port roster includes NHSTV
 		t.Errorf("%d policies, want 8", len(inst.Policies))
 	}
-	for _, slot := range inst.Trace {
-		for _, p := range slot {
+	cur, err := inst.Provider.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for t2 := 0; t2 < inst.Provider.Slots(); t2++ {
+		for _, p := range cur.Next() {
 			if p.Value != p.Port+1 {
 				t.Fatalf("by-port packet %+v", p)
 			}

@@ -42,7 +42,7 @@ func Latency(o Options) ([]LatencyRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		optStats, err := sim.RunTrace(optSys, inst.Trace, inst.FlushEvery)
+		optStats, err := sim.RunTrace(optSys, inst.Provider, inst.FlushEvery)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +51,7 @@ func Latency(o Options) ([]LatencyRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			stats, err := sim.RunTrace(sw, inst.Trace, inst.FlushEvery)
+			stats, err := sim.RunTrace(sw, inst.Provider, inst.FlushEvery)
 			if err != nil {
 				return nil, err
 			}

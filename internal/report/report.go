@@ -109,7 +109,7 @@ the code.
 Regenerate pieces interactively with:
 
 ` + "```" + `
-go run ./cmd/smbsim                 # Fig. 5 panels (add -slots 2000000 -sources 500 for paper scale)
+go run ./cmd/smbsim                 # Fig. 5 panels (add -scale paper for the paper-scale preset)
 go run ./cmd/smbsim -experiment arch
 go run ./cmd/lowerbound             # theorem table
 go run ./cmd/conjecture             # open-problem hunts
@@ -140,7 +140,22 @@ go test -bench=. -benchmem ./...    # benchmark harness (ratios as custom metric
   Lemma 8 latency claim in a push-out corner (minimal witness in
   TestLiteralRoutineGap); a conditionally-upgrading repair maintains the
   invariant on every tested instance. DESIGN.md §6 has the full story.
-- **Checkpointed resume.** Paper-scale sweeps (-slots 2000000 -seeds 5)
+- **Paper-scale recipe.** The full-size evaluation is one flag:
+
+  ` + "```" + `
+  go run ./cmd/smbsim -scale paper -workers 8 -checkpoint paper.ckpt
+  ` + "```" + `
+
+  -scale paper selects the 2·10^6-slot, 500-source preset
+  (experiments.PaperScale); explicit -slots/-seeds/-sources flags still
+  override individual fields. Arrivals stream from seeded MMPP cursors
+  instead of materialized traces, so per-worker trace memory is O(1) in
+  the slot count — benchjson's trace_memory metric records the
+  measured bytes/slot for both modes — and the same seeds reproduce the
+  same ratios bit-for-bit at any -workers setting (enforced by
+  internal/sim/stream_differential_test.go). DESIGN.md §10 documents
+  the Provider contract.
+- **Checkpointed resume.** Paper-scale sweeps (-scale paper -seeds 5)
   run for hours; smbsim -checkpoint run.ckpt journals every completed
   (x, seed) sweep cell as a JSON line, and a re-run with the same flag
   loads the journal and skips finished cells, so a crash or Ctrl-C

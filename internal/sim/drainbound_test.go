@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"smbm/internal/core"
+)
+
+// TestDrainBound pins the configuration-derived drain budget: the
+// nominal bound is B·MaxLabel plus slack, degenerate or overflowing
+// shapes fall back to the DefaultDrainMax ceiling, and the bound never
+// exceeds that ceiling.
+func TestDrainBound(t *testing.T) {
+	cases := []struct {
+		name   string
+		buffer int
+		label  int
+		want   int
+	}{
+		{"nominal", 12, 4, 12*4 + drainSlack},
+		{"tiny", 1, 1, 1 + drainSlack},
+		{"zero-buffer", 0, 4, DefaultDrainMax},
+		{"zero-label", 12, 0, DefaultDrainMax},
+		{"near-ceiling", DefaultDrainMax, 1, DefaultDrainMax},
+		{"overflow", math.MaxInt / 2, 8, DefaultDrainMax},
+	}
+	for _, c := range cases {
+		cfg := core.Config{Buffer: c.buffer, MaxLabel: c.label}
+		if got := DrainBound(cfg); got != c.want {
+			t.Errorf("%s: DrainBound(B=%d, L=%d) = %d, want %d",
+				c.name, c.buffer, c.label, got, c.want)
+		}
+		if got := DrainBound(cfg); got > DefaultDrainMax {
+			t.Errorf("%s: bound %d exceeds ceiling", c.name, got)
+		}
+	}
+}
+
+// TestInstanceUsesDrainBound checks runOptions derives the tighter
+// default while an explicit DrainMax wins.
+func TestInstanceUsesDrainBound(t *testing.T) {
+	cfg := core.Config{
+		Model:    core.ModelProcessing,
+		Ports:    2,
+		Buffer:   4,
+		MaxLabel: 2,
+		Speedup:  1,
+		PortWork: []int{1, 2},
+	}
+	inst := Instance{Cfg: cfg}
+	if got := inst.runOptions().DrainMax; got != DrainBound(cfg) {
+		t.Errorf("derived DrainMax %d, want %d", got, DrainBound(cfg))
+	}
+	inst.DrainMax = 7
+	if got := inst.runOptions().DrainMax; got != 7 {
+		t.Errorf("explicit DrainMax %d, want 7", got)
+	}
+}

@@ -1,13 +1,22 @@
 // Package sim is the experiment harness: it drives switch systems over
-// traces with periodic flushouts, compares policies against the OPT
-// proxy, and runs seeded parameter sweeps on a bounded worker pool to
-// regenerate the paper's evaluation series.
+// arrival streams with periodic flushouts, compares policies against
+// the OPT proxy, and runs seeded parameter sweeps on a bounded worker
+// pool to regenerate the paper's evaluation series.
+//
+// Arrivals flow through traffic.Provider: every replay opens its own
+// cursor over a re-derivable source (a seeded generator spec, a trace
+// file, or a materialized trace), so per-replay arrival memory is
+// independent of the trace length for generator- and file-backed
+// providers — the property that makes the paper's 2·10⁶-slot runs fit
+// on ordinary machines.
 package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"smbm/internal/core"
 	"smbm/internal/opt"
@@ -53,52 +62,91 @@ var (
 	_ BoundedDrainer = (*opt.SPQVal)(nil)
 )
 
-// DefaultDrainMax is the per-drain slot cap applied when RunOptions
-// leaves DrainMax zero. Any correct System empties in at most
-// B·MaxLabel slots, orders of magnitude below this cap, so hitting it
-// indicates a misbehaving System rather than a slow one.
+// DefaultDrainMax is the absolute per-drain slot ceiling, applied when
+// neither the caller nor a configuration-derived bound (DrainBound)
+// tightens it. Any correct System empties in at most B·MaxLabel slots,
+// orders of magnitude below this cap, so hitting it indicates a
+// misbehaving System rather than a slow one.
 const DefaultDrainMax = 1 << 20
 
-// RunOptions tunes RunTraceContext beyond the trace itself.
+// drainSlack pads the configuration-derived drain bound so boundary
+// effects (a head-of-line packet mid-service at the drain's start,
+// fault overrides cleared one slot late) can never trip the bound on a
+// correct System.
+const drainSlack = 64
+
+// DrainBound returns the drain-slot budget implied by cfg: a full
+// buffer of B packets, each needing at most MaxLabel work, empties in
+// at most B·MaxLabel slots even on a single unit-speed core, so the
+// bound is B·MaxLabel plus slack — far tighter than DefaultDrainMax
+// for realistic configurations, which turns a wedged System into a
+// prompt error instead of a 2²⁰-slot spin. DefaultDrainMax remains the
+// absolute ceiling for degenerate configurations (zero or huge
+// products).
+func DrainBound(cfg core.Config) int {
+	b := cfg.Buffer * cfg.MaxLabel
+	if cfg.Buffer > 0 && cfg.MaxLabel > 0 && b/cfg.Buffer != cfg.MaxLabel {
+		return DefaultDrainMax // product overflowed
+	}
+	if b <= 0 || b > DefaultDrainMax-drainSlack {
+		return DefaultDrainMax
+	}
+	return b + drainSlack
+}
+
+// RunOptions tunes RunTraceContext beyond the arrival stream itself.
 type RunOptions struct {
 	// FlushEvery drains the buffer every so many slots (0 = only the
 	// final drain).
 	FlushEvery int
 	// DrainMax caps the slots any single drain may consume: 0 applies
 	// DefaultDrainMax, a negative value disables the bound entirely
-	// (only safe for Systems known to terminate).
+	// (only safe for Systems known to terminate). Instance runs derive
+	// a tighter default from the configuration via DrainBound.
 	DrainMax int
-	// CheckEvery is the slot interval between context-cancellation
-	// checks (0 = every 64 slots).
+	// CheckEvery is the slot interval between context-cancellation and
+	// cursor-failure checks (0 = every 64 slots).
 	CheckEvery int
 }
 
-// RunTrace drives sys over the trace, draining the buffer every
-// flushEvery slots (0 disables periodic flushouts) and once more at the
-// end, so buffered inventory never biases throughput comparisons.
-// Drains are bounded by DefaultDrainMax; see RunTraceContext for
-// cancellation and custom bounds.
-func RunTrace(sys System, tr traffic.Trace, flushEvery int) (core.Stats, error) {
-	return RunTraceContext(context.Background(), sys, tr, RunOptions{FlushEvery: flushEvery})
+// RunTrace drives sys over the arrival stream, draining the buffer
+// every flushEvery slots (0 disables periodic flushouts) and once more
+// at the end, so buffered inventory never biases throughput
+// comparisons. A materialized traffic.Trace is itself a Provider, so
+// existing call sites pass traces unchanged. Drains are bounded by
+// DefaultDrainMax; see RunTraceContext for cancellation and custom
+// bounds.
+func RunTrace(sys System, src traffic.Provider, flushEvery int) (core.Stats, error) {
+	return RunTraceContext(context.Background(), sys, src, RunOptions{FlushEvery: flushEvery})
 }
 
-// RunTraceContext is RunTrace with cancellation and configurable
-// drain bounds: it aborts between slots once ctx is done (returning
-// ctx.Err wrapped with the system and slot), and errors out if any
-// drain exceeds the (defaulted) DrainMax cap instead of looping
+// RunTraceContext is RunTrace with cancellation and configurable drain
+// bounds: it opens one cursor over src and pulls slots from it, aborts
+// between slots once ctx is done (returning ctx.Err wrapped with the
+// system and slot), propagates cursor stream failures, and errors out
+// if any drain exceeds the (defaulted) DrainMax cap instead of looping
 // forever on a System that never empties.
-func RunTraceContext(ctx context.Context, sys System, tr traffic.Trace, o RunOptions) (core.Stats, error) {
+func RunTraceContext(ctx context.Context, sys System, src traffic.Provider, o RunOptions) (core.Stats, error) {
 	checkEvery := o.CheckEvery
 	if checkEvery <= 0 {
 		checkEvery = 64
 	}
-	for t, burst := range tr {
+	cur, err := src.Open()
+	if err != nil {
+		return core.Stats{}, fmt.Errorf("sim: %s: opening arrivals: %w", sys.Name(), err)
+	}
+	defer cur.Close()
+	slots := src.Slots()
+	for t := 0; t < slots; t++ {
 		if t%checkEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
 			}
+			if err := cur.Err(); err != nil {
+				return core.Stats{}, fmt.Errorf("sim: %s at slot %d: arrivals: %w", sys.Name(), t, err)
+			}
 		}
-		if err := sys.Step(burst); err != nil {
+		if err := sys.Step(cur.Next()); err != nil {
 			return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
 		}
 		if o.FlushEvery > 0 && (t+1)%o.FlushEvery == 0 {
@@ -106,6 +154,9 @@ func RunTraceContext(ctx context.Context, sys System, tr traffic.Trace, o RunOpt
 				return core.Stats{}, fmt.Errorf("sim: %s at slot %d: %w", sys.Name(), t, err)
 			}
 		}
+	}
+	if err := cur.Err(); err != nil {
+		return core.Stats{}, fmt.Errorf("sim: %s: arrivals: %w", sys.Name(), err)
 	}
 	if err := drain(sys, o.DrainMax); err != nil {
 		return core.Stats{}, fmt.Errorf("sim: %s: %w", sys.Name(), err)
@@ -147,20 +198,30 @@ func NewOptProxy(cfg core.Config) (System, error) {
 }
 
 // Instance is one simulation cell: a switch configuration, the competing
-// policies, and a trace they all see.
+// policies, and the arrival stream they all replay.
 type Instance struct {
 	// Cfg is the shared switch configuration.
 	Cfg core.Config
-	// Policies compete on the trace.
+	// Policies compete on the arrival stream.
 	Policies []core.Policy
-	// Trace is the arrival sequence all systems replay.
-	Trace traffic.Trace
+	// Provider supplies the arrivals. Every replay — the OPT proxy and
+	// each policy — opens its own cursor, so runs are bit-identical
+	// and share no mutable state; a seeded generator spec
+	// (traffic.MMPPProvider) or trace file (traffic.FileProvider)
+	// keeps per-replay memory independent of the slot count. A
+	// materialized traffic.Trace is itself a Provider.
+	Provider traffic.Provider
 	// FlushEvery drains all systems every so many slots (0 = only at
 	// the end).
 	FlushEvery int
-	// DrainMax caps the slots any single drain may consume (0 =
-	// DefaultDrainMax, negative = unbounded).
+	// DrainMax caps the slots any single drain may consume (0 = the
+	// configuration-derived DrainBound, negative = unbounded).
 	DrainMax int
+	// Parallelism fans the OPT proxy and the per-policy replays out
+	// over a bounded worker pool (0 or 1 = sequential). Because every
+	// replay opens its own cursor, results are bit-identical to the
+	// sequential order either way.
+	Parallelism int
 	// Wrap, when non-nil, wraps every system — the OPT proxy and each
 	// policy switch — before it runs, e.g. with a fault injector
 	// (internal/faults). The wrapper must be deterministic so every
@@ -184,7 +245,7 @@ type Result struct {
 }
 
 // Run executes the instance: the OPT proxy once, then every policy on
-// the same trace.
+// the same arrival stream.
 func (inst Instance) Run() ([]Result, error) {
 	return inst.RunContext(context.Background())
 }
@@ -203,7 +264,8 @@ func (inst Instance) RunContext(ctx context.Context) ([]Result, error) {
 // reuses warmed buffers instead of reallocating every queue for every
 // cell. Systems are Reset before reuse, so results are identical to
 // building fresh ones; a configuration change simply rebuilds. Not safe
-// for concurrent use: keep one Scratch per goroutine.
+// for concurrent use: keep one Scratch per goroutine (parallel instance
+// runs build their own per-replay systems and bypass it).
 type Scratch struct {
 	key string
 	opt System
@@ -217,11 +279,26 @@ func fingerprint(cfg core.Config) string {
 		cfg.Model, cfg.Ports, cfg.Buffer, cfg.MaxLabel, cfg.Speedup, cfg.PortWork, cfg.CheckInvariants)
 }
 
+// runOptions resolves the per-replay RunOptions for the instance,
+// deriving the drain bound from the configuration when unset.
+func (inst Instance) runOptions() RunOptions {
+	opts := RunOptions{FlushEvery: inst.FlushEvery, DrainMax: inst.DrainMax}
+	if opts.DrainMax == 0 {
+		opts.DrainMax = DrainBound(inst.Cfg)
+	}
+	return opts
+}
+
 // RunScratch is RunContext reusing systems cached in sc across calls
 // that share a configuration. A fresh Scratch reproduces RunContext
-// exactly (RunContext is implemented on top of it).
+// exactly (RunContext is implemented on top of it). With Parallelism
+// above one the replays fan out over their own freshly built systems
+// instead, leaving sc untouched.
 func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, error) {
-	opts := RunOptions{FlushEvery: inst.FlushEvery, DrainMax: inst.DrainMax}
+	if inst.Parallelism > 1 {
+		return inst.runParallel(ctx)
+	}
+	opts := inst.runOptions()
 	if key := fingerprint(inst.Cfg); sc.key != key {
 		sc.key, sc.opt, sc.sw = key, nil, nil
 	}
@@ -240,7 +317,7 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 	if err != nil {
 		return nil, err
 	}
-	optStats, err := RunTraceContext(ctx, wrapped, inst.Trace, opts)
+	optStats, err := RunTraceContext(ctx, wrapped, inst.Provider, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -264,16 +341,103 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 		if err != nil {
 			return nil, err
 		}
-		stats, err := RunTraceContext(ctx, sys, inst.Trace, opts)
+		stats, err := RunTraceContext(ctx, sys, inst.Provider, opts)
 		if err != nil {
 			return nil, err
 		}
+		throughput := stats.Throughput(inst.Cfg.Model)
 		results = append(results, Result{
 			Policy:        p.Name(),
-			Throughput:    stats.Throughput(inst.Cfg.Model),
+			Throughput:    throughput,
 			OptThroughput: optThroughput,
-			Ratio:         ratio(optThroughput, stats.Throughput(inst.Cfg.Model)),
+			Ratio:         ratio(optThroughput, throughput),
 			Stats:         stats,
+		})
+	}
+	return results, nil
+}
+
+// runParallel fans the OPT proxy and the per-policy replays out over a
+// bounded worker pool. Every replay builds its own system and opens
+// its own cursor over the Provider, so nothing mutable is shared and
+// the results are bit-identical to the sequential path; the fan-out is
+// how a paper-scale cell (long trace, full roster) uses the sweep's
+// worker budget when there are fewer cells than workers.
+func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
+	opts := inst.runOptions()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Replay 0 is the OPT proxy; replay 1+i is policy i.
+	n := len(inst.Policies) + 1
+	stats := make([]core.Stats, n)
+	errs := make([]error, n)
+	build := func(i int) (System, error) {
+		if i == 0 {
+			return NewOptProxy(inst.Cfg)
+		}
+		return core.New(inst.Cfg, inst.Policies[i-1])
+	}
+
+	sem := make(chan struct{}, inst.Parallelism)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				errs[i] = ctx.Err()
+				return
+			}
+			sys, err := build(i)
+			if err == nil {
+				sys, err = inst.wrap(sys)
+			}
+			if err == nil {
+				stats[i], err = RunTraceContext(ctx, sys, inst.Provider, opts)
+			}
+			if err != nil {
+				errs[i] = err
+				cancel() // stop the sibling replays promptly
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Deterministic error selection: a genuine failure beats the
+	// cancellation noise it induced in sibling replays.
+	var firstErr error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	optThroughput := stats[0].Throughput(inst.Cfg.Model)
+	results := make([]Result, 0, len(inst.Policies))
+	for i, p := range inst.Policies {
+		st := stats[i+1]
+		throughput := st.Throughput(inst.Cfg.Model)
+		results = append(results, Result{
+			Policy:        p.Name(),
+			Throughput:    throughput,
+			OptThroughput: optThroughput,
+			Ratio:         ratio(optThroughput, throughput),
+			Stats:         st,
 		})
 	}
 	return results, nil

@@ -104,7 +104,7 @@ func TestInstanceRunProcessing(t *testing.T) {
 	inst := Instance{
 		Cfg:      procCfg(),
 		Policies: []core.Policy{policy.Greedy{}, policy.LWD{}},
-		Trace: traffic.Slots(
+		Provider: traffic.Slots(
 			pkt.Concat(pkt.Burst(pkt.NewWork(0, 1), 8), pkt.Burst(pkt.NewWork(2, 3), 8)),
 			nil, nil,
 		),
@@ -133,7 +133,7 @@ func TestInstanceRunValueModel(t *testing.T) {
 	inst := Instance{
 		Cfg:      valCfg(),
 		Policies: []core.Policy{valpolicy.MRD{}},
-		Trace: traffic.Slots(
+		Provider: traffic.Slots(
 			pkt.Concat(pkt.Burst(pkt.NewValue(0, 5), 4), pkt.Burst(pkt.NewValue(1, 1), 8)),
 		),
 	}

@@ -146,7 +146,10 @@ func (s *Sweep) validate() error {
 // runCell executes one (x, seed) cell, converting failures — including
 // worker panics and blown per-cell deadlines — into a *CellError that
 // names the cell, so one bad replication cannot kill a multi-hour run.
-func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si int) (res []Result, err error) {
+// intra is the cell's share of the sweep's worker budget for fanning
+// its replays out in parallel; a Build that sets Parallelism itself
+// wins over the split.
+func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si, intra int) (res []Result, err error) {
 	x, seed := s.Xs[xi], s.cellSeed(xi, si)
 	fail := func(e error) *CellError {
 		return &CellError{Sweep: s.Name, XLabel: s.XLabel, X: x, SeedIndex: si, Seed: seed, Err: e}
@@ -167,6 +170,9 @@ func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si int) (res []Res
 	inst, err := s.Build(x, seed)
 	if err != nil {
 		return nil, fail(err)
+	}
+	if intra > 1 && inst.Parallelism == 0 {
+		inst.Parallelism = intra
 	}
 	res, err = inst.RunScratch(cellCtx, sc)
 	if err != nil {
@@ -244,10 +250,22 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		}
 	}
 
+	// Budget split: with fewer pending cells than workers (the
+	// paper-scale shape — one long cell per panel point), spend the
+	// spare workers inside the cells, fanning each cell's OPT proxy and
+	// per-policy replays out in parallel. Results stay bit-identical
+	// because every replay opens its own cursor over the cell's
+	// Provider.
+	cellWorkers, intra := workers, 1
+	if n := len(todo); n > 0 && n < workers {
+		cellWorkers = n
+		intra = workers / n
+	}
+
 	jobs := make(chan cell)
 	outcomes := make(chan outcome)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cellWorkers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -259,7 +277,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 					outcomes <- outcome{cell: c, err: ctx.Err()}
 					continue
 				}
-				res, err := s.runCell(ctx, &sc, c.xi, c.si)
+				res, err := s.runCell(ctx, &sc, c.xi, c.si, intra)
 				outcomes <- outcome{cell: c, results: res, err: err}
 			}
 		}()

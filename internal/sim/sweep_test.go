@@ -30,7 +30,7 @@ func buildCell(x int, seed int64) (Instance, error) {
 	return Instance{
 		Cfg:      cfg,
 		Policies: []core.Policy{policy.Greedy{}, policy.LWD{}},
-		Trace:    traffic.Slots(burst, nil),
+		Provider: traffic.Slots(burst, nil),
 	}, nil
 }
 

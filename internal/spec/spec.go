@@ -201,14 +201,14 @@ func (e *Experiment) ToSweep() (*sim.Sweep, error) {
 			if err != nil {
 				return sim.Instance{}, err
 			}
-			gen, err := traffic.NewMMPP(mcfg)
+			prov, err := traffic.NewMMPPProvider(mcfg, slots)
 			if err != nil {
 				return sim.Instance{}, err
 			}
 			return sim.Instance{
 				Cfg:        cfg,
 				Policies:   policies,
-				Trace:      traffic.Record(gen, slots),
+				Provider:   prov,
 				FlushEvery: flush,
 			}, nil
 		},

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"smbm/internal/pkt"
 )
 
 // FuzzReadTrace hardens the trace parser: arbitrary input must either
@@ -31,6 +33,81 @@ func FuzzReadTrace(f *testing.F) {
 		if len(back) != len(tr) || back.Packets() != tr.Packets() {
 			t.Fatalf("round-trip changed shape: %d/%d slots, %d/%d packets",
 				len(back), len(tr), back.Packets(), tr.Packets())
+		}
+	})
+}
+
+// FuzzTextRoundTrip drives the text serialization from the other
+// direction: an arbitrary structured trace decoded from the fuzz bytes
+// must survive Write → ReadTrace exactly, packet for packet, and the
+// streaming reader must agree with the materializing one on the same
+// bytes. (The binary format has the equivalent structured coverage in
+// TestBinaryRoundTrip.)
+func FuzzTextRoundTrip(f *testing.F) {
+	f.Add(uint8(3), []byte{0, 1, 2, 3, 1, 0, 1, 1})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(0), []byte{0, 0, 0, 0})
+	f.Add(uint8(5), []byte{4, 255, 128, 7, 4, 1, 1, 1, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, nslots uint8, data []byte) {
+		slots := int(nslots)
+		tr := make(Trace, slots)
+		// Decode 4-byte records (slot, port, work, value); the slot byte
+		// is reduced modulo the slot count so every record is in range.
+		for i := 0; i+4 <= len(data) && i < 4*256; i += 4 {
+			if slots == 0 {
+				break
+			}
+			s := int(data[i]) % slots
+			tr[s] = append(tr[s], pkt.Packet{
+				Port:  int(data[i+1]),
+				Work:  int(data[i+2]),
+				Value: int(data[i+3]),
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		raw := buf.Bytes()
+		back, err := ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("ReadTrace of Write output: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round-trip slots %d, want %d", len(back), len(tr))
+		}
+		for s := range tr {
+			if len(back[s]) != len(tr[s]) {
+				t.Fatalf("slot %d: %d packets, want %d", s, len(back[s]), len(tr[s]))
+			}
+			for j := range tr[s] {
+				if back[s][j] != tr[s][j] {
+					t.Fatalf("slot %d packet %d: %+v, want %+v", s, j, back[s][j], tr[s][j])
+				}
+			}
+		}
+		// Streaming reader must agree with the materializing one.
+		cur, n, err := StreamText(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("StreamText of Write output: %v", err)
+		}
+		defer cur.Close()
+		if n != slots {
+			t.Fatalf("streamed slot count %d, want %d", n, slots)
+		}
+		for s := 0; s < n; s++ {
+			burst := cur.Next()
+			if len(burst) != len(tr[s]) {
+				t.Fatalf("streamed slot %d: %d packets, want %d", s, len(burst), len(tr[s]))
+			}
+			for j := range burst {
+				if burst[j] != tr[s][j] {
+					t.Fatalf("streamed slot %d packet %d: %+v, want %+v", s, j, burst[j], tr[s][j])
+				}
+			}
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("stream error on Write output: %v", err)
 		}
 	})
 }
