@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench bench-json panels lowerbounds arch faults report examples clean
+.PHONY: all build test test-race vet lint bench bench-json panels lowerbounds arch faults report examples clean
 
-all: build vet test test-race
+all: build vet lint test test-race
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: gofmt hygiene plus the smblint suite (determinism,
+# seeding, wall-clock, hot-path allocation, cursor sticky-error and doc
+# contracts — see DESIGN.md §11). Fails on any diagnostic.
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/smblint ./...
+
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrency-sensitive harness packages.
+# Race-detector pass over the concurrency-sensitive harness packages and
+# the shared-state providers they drive.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/...
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/... ./internal/traffic/... ./internal/adversary/...
 
 # Full benchmark pass (tables, figures, substrates, ablations).
 bench:

@@ -38,24 +38,24 @@ import (
 // Micro is one per-policy engine measurement. An "op" replays a fixed
 // congested trace of microSlots slots through one switch.
 type Micro struct {
-	Policy       string  `json:"policy"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	NsPerSlot    float64 `json:"ns_per_slot"`
-	SlotsPerSec  float64 `json:"slots_per_sec"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	ReplaysTimed int     `json:"replays_timed"`
+	Policy       string  `json:"policy"`        // policy name
+	NsPerOp      int64   `json:"ns_per_op"`     // mean ns per replay op
+	AllocsPerOp  int64   `json:"allocs_per_op"` // heap allocations per op
+	NsPerSlot    float64 `json:"ns_per_slot"`   // NsPerOp / microSlots
+	SlotsPerSec  float64 `json:"slots_per_sec"` // simulated slots per second
+	BytesPerOp   int64   `json:"bytes_per_op"`  // heap bytes per op
+	ReplaysTimed int     `json:"replays_timed"` // replays inside the timed window
 }
 
 // Panel is one sweep-cell measurement: the cost of building and running
 // the panel's middle-x cell (full roster + OPT proxy) once.
 type Panel struct {
-	Panel       string  `json:"panel"`
-	X           int     `json:"x"`
-	Policies    int     `json:"policies"`
-	NsPerCell   int64   `json:"ns_per_cell"`
-	CellsPerSec float64 `json:"cells_per_sec"`
-	CellsTimed  int     `json:"cells_timed"`
+	Panel       string  `json:"panel"`         // panel id (figure name)
+	X           int     `json:"x"`             // swept-parameter value of the timed cell
+	Policies    int     `json:"policies"`      // roster size including the OPT proxy
+	NsPerCell   int64   `json:"ns_per_cell"`   // mean ns to run one cell
+	CellsPerSec float64 `json:"cells_per_sec"` // cells per second
+	CellsTimed  int     `json:"cells_timed"`   // cells inside the timed window
 }
 
 // TraceMemory reports the resident arrival memory of one provider mode:
@@ -64,25 +64,25 @@ type Panel struct {
 // normalized per slot. The streamed figure should be orders of
 // magnitude below the materialized one and independent of Slots.
 type TraceMemory struct {
-	Mode          string  `json:"mode"`
-	Slots         int     `json:"slots"`
-	ResidentBytes int64   `json:"resident_bytes"`
-	BytesPerSlot  float64 `json:"bytes_per_slot"`
+	Mode          string  `json:"mode"`           // "materialized" or "streamed"
+	Slots         int     `json:"slots"`          // trace length in slots
+	ResidentBytes int64   `json:"resident_bytes"` // heap bytes held mid-replay
+	BytesPerSlot  float64 `json:"bytes_per_slot"` // ResidentBytes / Slots
 }
 
 // Baseline is the whole artifact.
 type Baseline struct {
-	Generated   string        `json:"generated"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	NumCPU      int           `json:"num_cpu"`
-	BenchTime   string        `json:"bench_time"`
-	MicroSlots  int           `json:"micro_slots"`
-	MicroProc   []Micro       `json:"micro_processing"`
-	MicroValue  []Micro       `json:"micro_value"`
-	Panels      []Panel       `json:"panels"`
-	TraceMemory []TraceMemory `json:"trace_memory"`
+	Generated   string        `json:"generated"`        // RFC 3339 timestamp
+	GoVersion   string        `json:"go_version"`       // runtime.Version()
+	GOOS        string        `json:"goos"`             // build OS
+	GOARCH      string        `json:"goarch"`           // build architecture
+	NumCPU      int           `json:"num_cpu"`          // logical CPUs
+	BenchTime   string        `json:"bench_time"`       // timed window per measurement
+	MicroSlots  int           `json:"micro_slots"`      // slots per micro replay op
+	MicroProc   []Micro       `json:"micro_processing"` // processing-model policy rows
+	MicroValue  []Micro       `json:"micro_value"`      // value-model policy rows
+	Panels      []Panel       `json:"panels"`           // sweep-cell rows
+	TraceMemory []TraceMemory `json:"trace_memory"`     // arrival-memory rows
 }
 
 const (
@@ -283,6 +283,10 @@ func traceMemory() ([]TraceMemory, error) {
 	}
 	streamed := heapDelta(before, heapAlloc())
 	runtime.KeepAlive(cur)
+	if err := cur.Err(); err != nil {
+		cur.Close()
+		return nil, err
+	}
 	cur.Close()
 
 	return []TraceMemory{row("materialized", materialized), row("streamed", streamed)}, nil

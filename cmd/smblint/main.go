@@ -1,0 +1,110 @@
+// Command smblint runs the repository's static-analysis suite
+// (internal/lint/suite) over go package patterns and reports every
+// contract violation in file:line:col form, exiting non-zero when any
+// diagnostic is produced. It is the multichecker behind `make lint`
+// and the CI lint job:
+//
+//	go run ./cmd/smblint ./...          # whole module
+//	go run ./cmd/smblint -run detmap ./internal/sim/...
+//	go run ./cmd/smblint -list          # roster + docs
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 load or internal
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smbm/internal/lint"
+	"smbm/internal/lint/suite"
+)
+
+// main parses flags and delegates to run.
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run executes the driver and returns the process exit code.
+func run(args []string) int {
+	flags := flag.NewFlagSet("smblint", flag.ContinueOnError)
+	runFilter := flags.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flags.Bool("list", false, "list the analyzer roster and exit")
+	flags.Usage = func() {
+		fmt.Fprintf(flags.Output(), "usage: smblint [-run a,b] [-list] [packages]\n")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runFilter != "" {
+		var err error
+		analyzers, err = filterAnalyzers(analyzers, *runFilter)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smblint:", err)
+			return 2
+		}
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smblint:", err)
+		return 2
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := lint.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smblint:", err)
+				return 2
+			}
+			all = append(all, diags...)
+		}
+	}
+	lint.SortDiagnostics(all)
+	for _, d := range all {
+		fmt.Println(d)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "smblint: %d violation(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+// filterAnalyzers selects the named analyzers from the roster.
+func filterAnalyzers(all []*lint.Analyzer, names string) ([]*lint.Analyzer, error) {
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
+}

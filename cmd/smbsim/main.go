@@ -93,8 +93,8 @@ func main() {
 	scaleOpts.Parallelism = *workers
 
 	opts := cli.PanelOptions{
-		Experiment: *experiment,
-		Opts:       scaleOpts,
+		Experiment:  *experiment,
+		Opts:        scaleOpts,
 		Plot:        *asPlot,
 		CSV:         *asCSV,
 		CellTimeout: *cellTimeout,

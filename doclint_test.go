@@ -1,99 +1,36 @@
 package smbm_test
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"path/filepath"
 	"strings"
 	"testing"
+
+	"smbm/internal/lint"
+	"smbm/internal/lint/exporteddoc"
 )
 
 // TestEveryExportedSymbolIsDocumented walks the whole module and fails
 // on any exported declaration without a doc comment — the "doc comments
-// on every public item" deliverable, enforced mechanically.
+// on every public item" deliverable, enforced mechanically. The walker
+// lives in the exporteddoc analyzer (internal/lint/exporteddoc), which
+// `make lint` also runs; this test is the thin in-tree wrapper so the
+// contract holds under plain `go test ./...` too.
 func TestEveryExportedSymbolIsDocumented(t *testing.T) {
-	var missing []string
-	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if name == "testdata" || strings.HasPrefix(name, ".") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-			return nil
-		}
-		fset := token.NewFileSet()
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return err
-		}
-		for _, decl := range file.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				if d.Name.IsExported() && d.Doc == nil {
-					missing = append(missing, loc(path, fset, d.Pos(), "func "+d.Name.Name))
-				}
-			case *ast.GenDecl:
-				groupDocumented := d.Doc != nil
-				for _, spec := range d.Specs {
-					switch s := spec.(type) {
-					case *ast.TypeSpec:
-						if s.Name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
-							missing = append(missing, loc(path, fset, s.Pos(), "type "+s.Name.Name))
-						}
-						// Exported struct fields need comments too.
-						if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
-							for _, f := range st.Fields.List {
-								for _, n := range f.Names {
-									if n.IsExported() && f.Doc == nil && f.Comment == nil {
-										missing = append(missing, loc(path, fset, n.Pos(), s.Name.Name+"."+n.Name))
-									}
-								}
-							}
-						}
-					case *ast.ValueSpec:
-						for _, n := range s.Names {
-							if n.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
-								missing = append(missing, loc(path, fset, n.Pos(), "value "+n.Name))
-							}
-						}
-					}
-				}
-			}
-		}
-		return nil
-	})
+	pkgs, err := lint.LoadSyntax(".")
 	if err != nil {
 		t.Fatal(err)
+	}
+	var missing []string
+	for _, pkg := range pkgs {
+		diags, err := lint.RunAnalyzer(exporteddoc.Analyzer, pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			missing = append(missing, d.String())
+		}
 	}
 	if len(missing) > 0 {
 		t.Errorf("%d exported symbols lack doc comments:\n  %s",
 			len(missing), strings.Join(missing, "\n  "))
 	}
-}
-
-func loc(path string, fset *token.FileSet, pos token.Pos, what string) string {
-	p := fset.Position(pos)
-	return path + ":" + itoa(p.Line) + ": " + what
-}
-
-func itoa(n int) string {
-	if n == 0 {
-		return "0"
-	}
-	var b [12]byte
-	i := len(b)
-	for n > 0 {
-		i--
-		b[i] = byte('0' + n%10)
-		n /= 10
-	}
-	return string(b[i:])
 }

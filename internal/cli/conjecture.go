@@ -17,7 +17,8 @@ type ConjectureOptions struct {
 	Policies []string
 	// Trials, Climb, Slots and Seed tune the search.
 	Trials, Climb, Slots int
-	Seed                 int64
+	// Seed seeds the hunt's random exploration.
+	Seed int64
 }
 
 // Conjecture runs worst-case hunts and writes the certified worst ratios

@@ -304,6 +304,8 @@ var _ View = (*Switch)(nil)
 // --- FastView implementation ---------------------------------------------
 
 // QueueLens implements FastView.
+//
+//smb:hotpath
 func (s *Switch) QueueLens() []int {
 	if s.cfg.Model == ModelProcessing {
 		return s.qLen
@@ -312,6 +314,8 @@ func (s *Switch) QueueLens() []int {
 }
 
 // QueueTotalWorks implements FastView.
+//
+//smb:hotpath
 func (s *Switch) QueueTotalWorks() []int {
 	if s.cfg.Model == ModelProcessing {
 		return s.qWork
@@ -320,18 +324,28 @@ func (s *Switch) QueueTotalWorks() []int {
 }
 
 // QueueMinValues implements FastView. It is nil in the processing model.
+//
+//smb:hotpath
 func (s *Switch) QueueMinValues() []int { return s.vMin }
 
 // QueueSums implements FastView. It is nil in the processing model.
+//
+//smb:hotpath
 func (s *Switch) QueueSums() []int64 { return s.vSum }
 
 // PortWorks implements FastView.
+//
+//smb:hotpath
 func (s *Switch) PortWorks() []int { return s.works }
 
 // PortInvWorkSum implements FastView.
+//
+//smb:hotpath
 func (s *Switch) PortInvWorkSum() float64 { return s.invWorkSum }
 
 // LongestQueue implements FastView.
+//
+//smb:hotpath
 func (s *Switch) LongestQueue() (int, int) {
 	if s.cfg.Model == ModelProcessing {
 		return s.lenMax.top(s.qLen)
@@ -340,6 +354,8 @@ func (s *Switch) LongestQueue() (int, int) {
 }
 
 // HeaviestQueue implements FastView.
+//
+//smb:hotpath
 func (s *Switch) HeaviestQueue() (int, int) {
 	if s.cfg.Model == ModelProcessing {
 		return s.workMax.top(s.qWork)
@@ -509,6 +525,8 @@ func (s *Switch) transmitValue() {
 
 // Step runs one full time slot: the arrival phase over the given burst
 // (in order), then the transmission phase.
+//
+//smb:hotpath
 func (s *Switch) Step(arrivalsInOrder []pkt.Packet) error {
 	if err := s.ArriveBurst(arrivalsInOrder); err != nil {
 		return err

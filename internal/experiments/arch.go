@@ -27,7 +27,8 @@ type ArchRow struct {
 	// HeavyMean and HeavyMax are the mean and maximum latency of the
 	// most expensive traffic class — the starvation evidence.
 	HeavyMean float64
-	HeavyMax  int64
+	// HeavyMax is the maximum heavy-class latency (see HeavyMean).
+	HeavyMax int64
 	// HeavyDelivery is transmitted/arrived for the most expensive
 	// class.
 	HeavyDelivery float64

@@ -1,0 +1,193 @@
+// Package cursorerr implements the sticky-error contract check for
+// streaming cursors (DESIGN.md §10), modeled on the standard library's
+// rows.Err vet check: a failed traffic.Cursor emits empty bursts from
+// the failing slot on, so a loop that drains one and never polls Err
+// would silently simulate a truncated stream. Every loop calling
+// cur.Next() on a cursor-shaped value (method set with Next() and
+// Err() error) must therefore be followed — at its own or any
+// enclosing nesting level of the same function — by a cur.Err() call
+// on the same cursor.
+//
+// Matching is structural rather than by import path, so any cursor
+// implementing the Next/Err shape is covered and fixtures need not
+// import the engine.
+package cursorerr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the cursorerr analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "cursorerr",
+	Doc: "every loop draining a cursor (Next()+Err() error method set) " +
+		"must be followed by an Err() check on that cursor",
+	Run: run,
+}
+
+// run applies cursorerr to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			lint.WalkStmts(body, func(s ast.Stmt, following [][]ast.Stmt) {
+				switch s.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+				default:
+					return
+				}
+				for _, cur := range drainedCursors(pass, s) {
+					if !errChecked(pass, cur, following) {
+						pass.Reportf(s.Pos(), "loop drains cursor %s but is not followed by a %s.Err() check (sticky-error contract)", cur.text, cur.text)
+					}
+				}
+			})
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every declared function and function literal
+// body in the file.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+// cursorRef identifies one drained cursor: the receiver's resolved
+// object (for plain identifiers) or its textual rendering, plus the
+// display text.
+type cursorRef struct {
+	obj  types.Object
+	text string
+}
+
+// drainedCursors returns the distinct cursor-shaped receivers whose
+// Next() is called directly inside the loop (nested loops drain on
+// their own account and function literals run at another time).
+func drainedCursors(pass *lint.Pass, loop ast.Stmt) []cursorRef {
+	var out []cursorRef
+	seen := map[string]bool{}
+	first := true
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if !first {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				return false
+			}
+		}
+		first = false
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Next" {
+			return true
+		}
+		if !cursorShaped(pass, pass.TypeOf(sel.X)) {
+			return true
+		}
+		ref := resolve(pass, sel.X)
+		if !seen[ref.text] {
+			seen[ref.text] = true
+			out = append(out, ref)
+		}
+		return true
+	})
+	return out
+}
+
+// cursorShaped reports whether t's method set (value or pointer) has
+// both Next() with no parameters and Err() error.
+func cursorShaped(pass *lint.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasNiladic(pass, t, "Next", false) && hasNiladic(pass, t, "Err", true)
+}
+
+// hasNiladic reports whether t has a no-parameter method of the given
+// name; wantErr additionally requires a single error result.
+func hasNiladic(pass *lint.Pass, t types.Type, name string, wantErr bool) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, pass.Pkg, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 0 {
+		return false
+	}
+	if !wantErr {
+		return true
+	}
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// resolve renders the receiver expression into a comparable reference.
+func resolve(pass *lint.Pass, expr ast.Expr) cursorRef {
+	if id, ok := expr.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return cursorRef{obj: obj, text: id.Name}
+		}
+	}
+	return cursorRef{text: types.ExprString(expr)}
+}
+
+// errChecked reports whether any statement following the loop (at any
+// enclosing nesting level) calls Err() on the same cursor.
+func errChecked(pass *lint.Pass, cur cursorRef, following [][]ast.Stmt) bool {
+	for _, list := range following {
+		for _, stmt := range list {
+			if containsErrCall(pass, stmt, cur) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsErrCall reports whether stmt's subtree calls cur.Err().
+func containsErrCall(pass *lint.Pass, stmt ast.Stmt, cur cursorRef) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Err" {
+			return true
+		}
+		ref := resolve(pass, sel.X)
+		if (cur.obj != nil && ref.obj == cur.obj) || (cur.obj == nil && ref.text == cur.text) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

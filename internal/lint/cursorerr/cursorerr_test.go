@@ -1,0 +1,14 @@
+package cursorerr_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/cursorerr"
+	"smbm/internal/lint/linttest"
+)
+
+// TestCursorerr runs the analyzer over one flagged and one clean
+// fixture package.
+func TestCursorerr(t *testing.T) {
+	linttest.Run(t, "testdata", cursorerr.Analyzer, "drain", "drainclean")
+}

@@ -1,0 +1,50 @@
+// Package drain is a cursorerr fixture: loops that drain a
+// cursor-shaped value without a following Err() check are flagged.
+package drain
+
+// Cursor is cursor-shaped: niladic Next plus Err() error.
+type Cursor struct{ n int }
+
+// Next emits the next burst.
+func (c *Cursor) Next() []int { c.n--; return nil }
+
+// Err reports the sticky error.
+func (c *Cursor) Err() error { return nil }
+
+// Close releases the cursor.
+func (c *Cursor) Close() error { return nil }
+
+// Source has Next but no Err: not cursor-shaped.
+type Source struct{}
+
+// Next emits the next burst.
+func (s *Source) Next() []int { return nil }
+
+// Warm drains a fixed number of bursts and forgets the error.
+func Warm(cur *Cursor, n int) {
+	for t := 0; t < n; t++ { // want `loop drains cursor cur but is not followed by a cur.Err\(\) check`
+		cur.Next()
+	}
+}
+
+// RangeDrain drains inside a range loop and forgets the error.
+func RangeDrain(cur *Cursor, xs []int) {
+	for range xs { // want `loop drains cursor cur but is not followed by a cur.Err\(\) check`
+		cur.Next()
+	}
+}
+
+// WrongCursor checks Err on a different cursor.
+func WrongCursor(a, b *Cursor) {
+	for i := 0; i < 3; i++ { // want `loop drains cursor a but is not followed by a a.Err\(\) check`
+		a.Next()
+	}
+	_ = b.Err()
+}
+
+// NotACursor drains a Source: no Err method, no contract.
+func NotACursor(src *Source, n int) {
+	for t := 0; t < n; t++ {
+		src.Next()
+	}
+}

@@ -1,0 +1,57 @@
+// Package drainclean is a cursorerr fixture whose drain loops all
+// honor the sticky-error contract.
+package drainclean
+
+// Cursor is cursor-shaped: niladic Next plus Err() error.
+type Cursor struct{ n int }
+
+// Next emits the next burst.
+func (c *Cursor) Next() []int { c.n--; return nil }
+
+// Err reports the sticky error.
+func (c *Cursor) Err() error { return nil }
+
+// After checks Err immediately after the loop.
+func After(cur *Cursor, n int) error {
+	for t := 0; t < n; t++ {
+		cur.Next()
+	}
+	return cur.Err()
+}
+
+// Outer drains inside an if block; the Err check sits at the
+// enclosing nesting level, which still follows the loop.
+func Outer(cur *Cursor, warm bool) error {
+	if warm {
+		for t := 0; t < 4; t++ {
+			cur.Next()
+		}
+	}
+	return cur.Err()
+}
+
+// Branched checks Err in a following if statement.
+func Branched(cur *Cursor, xs []int) int {
+	total := 0
+	for range xs {
+		total += len(cur.Next())
+	}
+	if err := cur.Err(); err != nil {
+		return -1
+	}
+	return total
+}
+
+// Inner performs a periodic Err poll inside the loop and a final one
+// after it, mirroring the engine's drain loops.
+func Inner(cur *Cursor, n int) error {
+	for t := 0; t < n; t++ {
+		cur.Next()
+		if t%8 == 0 {
+			if err := cur.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return cur.Err()
+}

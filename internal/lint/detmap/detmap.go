@@ -1,0 +1,205 @@
+// Package detmap implements the determinism analyzer for map
+// iteration: engine packages must not range over maps, because Go
+// randomizes map iteration order and any order-dependent computation
+// would break the bit-identical replay contract the differential tests
+// pin (materialized vs streamed vs parallel engines, DESIGN.md §10).
+//
+// A map range is accepted in exactly two shapes:
+//
+//   - the sorted-keys idiom: a range whose body only collects the keys
+//     into a slice that is sorted (package sort or slices) before any
+//     later use;
+//   - an explicit //smb:nondet-ok <reason> annotation on the range
+//     line (or the line above) recording why iteration order provably
+//     cannot leak into results. The reason is mandatory.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the detmap analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "detmap",
+	Doc: "forbid map iteration in engine packages unless keys are sorted " +
+		"first or the site is annotated //smb:nondet-ok <reason>",
+	Run: run,
+}
+
+// run applies detmap to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() || !lint.EnginePackage(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			lint.WalkStmts(body, func(s ast.Stmt, following [][]ast.Stmt) {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !isMap(pass.TypeOf(rs.X)) {
+					return
+				}
+				check(pass, rs, following)
+			})
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file: declared
+// functions plus function literals (whose bodies WalkStmts does not
+// descend into).
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		}
+		return true
+	})
+	return bodies
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// check validates one map range statement.
+func check(pass *lint.Pass, rs *ast.RangeStmt, following [][]ast.Stmt) {
+	if ann, ok := pass.AnnotationAt("nondet-ok", rs.Pos()); ok {
+		if ann.Reason == "" {
+			pass.Reportf(rs.Pos(), "//smb:nondet-ok requires a reason explaining why map order cannot leak into results")
+		}
+		return
+	}
+	if sortedKeysIdiom(pass, rs, following) {
+		return
+	}
+	if appendsInBody(pass, rs) {
+		pass.Reportf(rs.Pos(), "map iteration order leaks into an append in an engine package; collect and sort the keys first, or annotate //smb:nondet-ok <reason>")
+		return
+	}
+	pass.Reportf(rs.Pos(), "non-deterministic map iteration in an engine package; collect and sort the keys first, or annotate //smb:nondet-ok <reason>")
+}
+
+// sortedKeysIdiom recognizes the canonical deterministic-iteration
+// shape: the body is exactly `keys = append(keys, k)` for the range's
+// key variable, and a later statement in scope sorts keys via package
+// sort or slices.
+func sortedKeysIdiom(pass *lint.Pass, rs *ast.RangeStmt, following [][]ast.Stmt) bool {
+	if len(rs.Body.List) != 1 || rs.Value != nil {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || assign.Tok != token.ASSIGN || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst := identObject(pass, assign.Lhs[0])
+	if dst == nil {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	if identObject(pass, call.Args[0]) != dst {
+		return false
+	}
+	if identObject(pass, call.Args[1]) == nil || identObject(pass, call.Args[1]) != identObject(pass, rs.Key) {
+		return false
+	}
+	// The collected keys must be sorted somewhere after the loop.
+	for _, list := range following {
+		for _, stmt := range list {
+			if containsSortOf(pass, stmt, dst) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// identObject resolves expr to its object when it is a plain
+// identifier (use or definition), nil otherwise.
+func identObject(pass *lint.Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+// containsSortOf reports whether stmt contains a sort/slices call whose
+// first argument is the given object.
+func containsSortOf(pass *lint.Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+			if identObject(pass, call.Args[0]) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// appendsInBody reports whether the range body calls the append
+// builtin — the shape where iteration order leaks directly into slice
+// contents.
+func appendsInBody(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" {
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

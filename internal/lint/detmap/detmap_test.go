@@ -1,0 +1,14 @@
+package detmap_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/detmap"
+	"smbm/internal/lint/linttest"
+)
+
+// TestDetmap runs the analyzer over one flagged engine-named fixture
+// and one clean non-engine fixture.
+func TestDetmap(t *testing.T) {
+	linttest.Run(t, "testdata", detmap.Analyzer, "core", "cli")
+}

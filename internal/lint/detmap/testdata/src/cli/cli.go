@@ -1,0 +1,12 @@
+// Package cli is a detmap fixture for a non-engine package: map
+// iteration is allowed outside the deterministic engine set.
+package cli
+
+// Report may iterate maps freely for human-facing output.
+func Report(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

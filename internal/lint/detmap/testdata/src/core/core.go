@@ -1,0 +1,115 @@
+// Package core is a detmap fixture standing in for an engine package
+// (matched by its final import-path element).
+package core
+
+import (
+	"slices"
+	"sort"
+)
+
+// Flagged ranges over a map directly: iteration order is randomized.
+func Flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `non-deterministic map iteration`
+		total += v
+	}
+	return total
+}
+
+// FlaggedAppend leaks iteration order into slice contents.
+func FlaggedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `order leaks into an append`
+		out = append(out, k+"!")
+	}
+	return out
+}
+
+// CollectNoSort collects keys but never sorts them, so the idiom does
+// not apply.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `order leaks into an append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the canonical deterministic iteration idiom and is
+// accepted without annotation.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedSlices is the same idiom via package slices.
+func SortedSlices(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		_ = m[k]
+	}
+	return keys
+}
+
+// HelperSorted hides the sort behind a helper, so the idiom is not
+// recognized and the loop must be annotated or rewritten.
+func HelperSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `order leaks into an append`
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	return keys
+}
+
+// sortInts sorts through an extra call layer the analyzer does not
+// chase.
+func sortInts(ks []int) { sort.Ints(ks) }
+
+// Annotated documents why iteration order cannot leak into results.
+func Annotated(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	//smb:nondet-ok map-to-map copy; destination order is irrelevant
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// AnnotatedTrailing uses the trailing-comment placement.
+func AnnotatedTrailing(m map[string]int) int {
+	n := 0
+	for range m { //smb:nondet-ok pure count; order cannot matter
+		n++
+	}
+	return n
+}
+
+// AnnotatedNoReason is missing the mandatory reason text.
+func AnnotatedNoReason(m map[string]int) int {
+	n := 0
+	//smb:nondet-ok
+	for range m { // want `requires a reason`
+		n++
+	}
+	return n
+}
+
+// InClosure is flagged inside function literals too.
+func InClosure(m map[string]int) func() int {
+	return func() int {
+		total := 0
+		for _, v := range m { // want `non-deterministic map iteration`
+			total += v
+		}
+		return total
+	}
+}

@@ -1,0 +1,73 @@
+// Package exporteddoc enforces the "doc comments on every public
+// item" deliverable mechanically: every exported function, type,
+// struct field and value declaration must carry a doc comment (or, for
+// specs and fields, a trailing line comment; for specs inside a
+// documented group declaration, the group doc suffices). It is the
+// analyzer form of the original doclint test walker and needs no type
+// information, so it also runs in syntax-only mode.
+package exporteddoc
+
+import (
+	"go/ast"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the exporteddoc analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "exporteddoc",
+	Doc: "every exported function, type, struct field and value must " +
+		"carry a doc comment",
+	Run: run,
+}
+
+// run applies exporteddoc to one package.
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					pass.Reportf(d.Pos(), "exported func %s lacks a doc comment", d.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(pass, d)
+			}
+		}
+	}
+	return nil
+}
+
+// checkGenDecl checks the specs of one const/var/type declaration. A
+// doc comment on the group covers all of its specs.
+func checkGenDecl(pass *lint.Pass, d *ast.GenDecl) {
+	groupDocumented := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+				pass.Reportf(s.Pos(), "exported type %s lacks a doc comment", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				checkFields(pass, s.Name.Name, st)
+			}
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if n.IsExported() && !groupDocumented && s.Doc == nil && s.Comment == nil {
+					pass.Reportf(n.Pos(), "exported value %s lacks a doc comment", n.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkFields checks the exported fields of one exported struct type.
+func checkFields(pass *lint.Pass, typeName string, st *ast.StructType) {
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			if n.IsExported() && f.Doc == nil && f.Comment == nil {
+				pass.Reportf(n.Pos(), "exported field %s.%s lacks a doc comment", typeName, n.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package exporteddoc_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/exporteddoc"
+	"smbm/internal/lint/linttest"
+)
+
+// TestExporteddoc runs the analyzer over one flagged and one clean
+// fixture package.
+func TestExporteddoc(t *testing.T) {
+	linttest.Run(t, "testdata", exporteddoc.Analyzer, "undoc", "doc")
+}

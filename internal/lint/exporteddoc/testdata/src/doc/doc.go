@@ -1,0 +1,27 @@
+// Package doc is an exporteddoc fixture whose exported declarations
+// are all documented, through every accepted channel.
+package doc
+
+// Exported has a doc comment.
+func Exported() {}
+
+func unexported() {}
+
+// Config is documented; its exported fields are too.
+type Config struct {
+	// Size is documented above.
+	Size int
+	Name string // Name is documented by a trailing comment.
+	note string
+}
+
+// Grouped declarations share the group doc.
+var (
+	Default = Config{}
+	Limit   = 8
+)
+
+type (
+	ID    int // ID is documented by a line comment.
+	local int
+)

@@ -1,0 +1,19 @@
+// Package undoc is an exporteddoc fixture: every kind of undocumented
+// exported declaration is flagged.
+package undoc
+
+func Exported() {} // want `exported func Exported lacks a doc comment`
+
+// documented is unexported: no doc needed, but it has one anyway.
+func documented() {}
+
+type Config struct { // want `exported type Config lacks a doc comment`
+	// Size is documented.
+	Size int
+	Name string // want `exported field Config.Name lacks a doc comment`
+	note string
+}
+
+var Default = Config{} // want `exported value Default lacks a doc comment`
+
+const Limit = 8 // want `exported value Limit lacks a doc comment`

@@ -1,0 +1,230 @@
+// Package hotalloc implements the static hot-path allocation gate,
+// complementing the dynamic 0 allocs/op benchmark contract (DESIGN.md
+// §9): a function whose doc comment carries //smb:hotpath must stay
+// free of the constructs that allocate or defeat inlining on every
+// call:
+//
+//   - fmt.* calls (formatting allocates and boxes its arguments);
+//   - defer statements and go statements;
+//   - function literals (closure environments escape);
+//   - map and slice composite literals;
+//   - implicit interface conversions of non-pointer-shaped values at
+//     call arguments, returns, assignments and var initializers
+//     (boxing allocates; pointers, channels, maps and funcs are
+//     pointer-shaped and box for free).
+//
+// A provably cold line inside a hot function (an error exit, a
+// once-per-run fallback) can be exempted with //smb:alloc-ok <reason>;
+// the reason is mandatory.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the hotalloc analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocating constructs (fmt, defer, closures, map/slice " +
+		"literals, interface boxing) in //smb:hotpath functions",
+	Run: run,
+}
+
+// run applies hotalloc to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !lint.FuncAnnotated("hotpath", fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one hot function's body. Function literals are
+// reported but not descended into: their bodies are separate
+// (non-hot) functions once flagged.
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	sig, _ := pass.TypeOf(fn.Name).(*types.Signature)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			reportAt(pass, n.Pos(), "closure literal in hot path: the environment escapes to the heap")
+			return false
+		case *ast.DeferStmt:
+			reportAt(pass, n.Pos(), "defer in hot path: defer records allocate and defeat inlining")
+		case *ast.GoStmt:
+			reportAt(pass, n.Pos(), "goroutine launch in hot path")
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.ReturnStmt:
+			checkReturn(pass, n, sig)
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.ValueSpec:
+			checkValueSpec(pass, n)
+		}
+		return true
+	})
+}
+
+// checkCompositeLit flags map and slice literals, which always
+// allocate their backing store.
+func checkCompositeLit(pass *lint.Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		reportAt(pass, lit.Pos(), "map literal allocates in hot path")
+	case *types.Slice:
+		reportAt(pass, lit.Pos(), "slice literal allocates in hot path")
+	}
+}
+
+// checkCall flags fmt calls and boxing at argument positions, and
+// boxing through explicit conversions to interface types.
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 {
+			checkBoxing(pass, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		return
+	}
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		reportAt(pass, call.Pos(), "fmt.%s in hot path: formatting allocates", fn.Name())
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // a slice passed through as-is does not box per element
+			}
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				dst = s.Elem()
+			}
+		case i < params.Len():
+			dst = params.At(i).Type()
+		}
+		checkBoxing(pass, arg, dst, "argument")
+	}
+}
+
+// checkReturn flags boxing at return positions of the hot function.
+func checkReturn(pass *lint.Pass, ret *ast.ReturnStmt, sig *types.Signature) {
+	if sig == nil || len(ret.Results) != sig.Results().Len() {
+		return // naked return or single-call multi-value return
+	}
+	for i, res := range ret.Results {
+		checkBoxing(pass, res, sig.Results().At(i).Type(), "return value")
+	}
+}
+
+// checkAssign flags boxing when assigning into interface-typed
+// destinations.
+func checkAssign(pass *lint.Pass, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		checkBoxing(pass, assign.Rhs[i], pass.TypeOf(lhs), "assignment")
+	}
+}
+
+// checkValueSpec flags boxing in `var x Iface = expr` initializers.
+func checkValueSpec(pass *lint.Pass, spec *ast.ValueSpec) {
+	if len(spec.Values) != len(spec.Names) {
+		return
+	}
+	for i, name := range spec.Names {
+		checkBoxing(pass, spec.Values[i], pass.TypeOf(name), "initializer")
+	}
+}
+
+// checkBoxing reports an implicit interface conversion that allocates:
+// destination is an interface, source is a concrete type that is not
+// pointer-shaped.
+func checkBoxing(pass *lint.Pass, expr ast.Expr, dst types.Type, where string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) || pointerShaped(src) {
+		return
+	}
+	reportAt(pass, expr.Pos(), "implicit conversion of %s to %s at %s boxes on the heap in hot path", src, dst, where)
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// calleeFunc resolves the called function object, nil for builtins,
+// conversions and anonymous function values.
+func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// reportAt emits a diagnostic unless the line carries //smb:alloc-ok
+// with a reason; an annotation without a reason is itself a violation.
+func reportAt(pass *lint.Pass, pos token.Pos, format string, args ...any) {
+	if ann, ok := pass.AnnotationAt("alloc-ok", pos); ok {
+		if ann.Reason == "" {
+			pass.Reportf(pos, "//smb:alloc-ok requires a reason explaining why this line is cold")
+		}
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,14 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/hotalloc"
+	"smbm/internal/lint/linttest"
+)
+
+// TestHotalloc runs the analyzer over one flagged and one clean
+// fixture package, including both annotation escape hatches.
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer, "hot", "hotclean")
+}

@@ -1,0 +1,87 @@
+// Package hot is a hotalloc fixture: every forbidden construct inside
+// //smb:hotpath functions is flagged; unannotated functions are not.
+package hot
+
+import "fmt"
+
+// Sink consumes an interface value.
+func Sink(v any) {}
+
+// release is a no-op helper.
+func release() {}
+
+// Hot carries one of each statement-level violation.
+//
+//smb:hotpath
+func Hot(n int) int {
+	defer release()              // want `defer in hot path`
+	f := func() int { return n } // want `closure literal`
+	m := map[int]int{}           // want `map literal allocates`
+	s := []int{1, 2}             // want `slice literal allocates`
+	Sink(n)                      // want `implicit conversion of int to any`
+	_ = m
+	_ = s
+	return f()
+}
+
+// HotFmt formats in the hot path: the fmt call and the boxed argument
+// are both flagged.
+//
+//smb:hotpath
+func HotFmt(n int) {
+	fmt.Println(n) // want `fmt.Println in hot path` `implicit conversion of int to any`
+}
+
+// HotGo launches a goroutine per call.
+//
+//smb:hotpath
+func HotGo() {
+	go release() // want `goroutine launch`
+}
+
+// HotReturn boxes at the return.
+//
+//smb:hotpath
+func HotReturn(n int) any {
+	return n // want `implicit conversion of int to any at return value`
+}
+
+// HotAssign boxes into an interface variable.
+//
+//smb:hotpath
+func HotAssign(n int) {
+	var v any
+	v = n // want `implicit conversion of int to any at assignment`
+	_ = v
+}
+
+// HotVarInit boxes in a var initializer.
+//
+//smb:hotpath
+func HotVarInit(n int) {
+	var v any = n // want `implicit conversion of int to any at initializer`
+	_ = v
+}
+
+// HotConv boxes through an explicit conversion.
+//
+//smb:hotpath
+func HotConv(n int) any {
+	v := any(n) // want `implicit conversion of int to any at conversion`
+	return v
+}
+
+// HotBadAnnotation exempts a line without the mandatory reason.
+//
+//smb:hotpath
+func HotBadAnnotation(n int) {
+	//smb:alloc-ok
+	Sink(n) // want `requires a reason`
+}
+
+// Cold is unannotated: the same constructs pass untouched.
+func Cold(n int) {
+	defer release()
+	fmt.Println(n)
+	Sink(n)
+}

@@ -1,0 +1,42 @@
+// Package hotclean is a hotalloc fixture whose hot paths pass: only
+// non-allocating constructs, pointer-shaped boxing, and an annotated
+// cold exit.
+package hotclean
+
+import "fmt"
+
+// Sink consumes an interface value.
+func Sink(v any) {}
+
+// point is a small value type.
+type point struct{ x, y int }
+
+// helper is a concrete-typed callee.
+func helper(n int) int { return n + 1 }
+
+// Hot sticks to stack-friendly constructs: struct literals, arrays,
+// arithmetic, concrete calls, and pointer-shaped interface conversions
+// (which fit in the interface word without allocating).
+//
+//smb:hotpath
+func Hot(n int, buf *[8]int) int {
+	Sink(buf) // pointer-shaped: boxes for free
+	p := point{n, n}
+	var a [4]int
+	a[0] = p.x
+	if a[0] > 0 {
+		a[1] = helper(p.y)
+	}
+	return a[0] + a[1]
+}
+
+// ColdExit exempts a provably cold error branch with a reason.
+//
+//smb:hotpath
+func ColdExit(n int) error {
+	if n < 0 {
+		//smb:alloc-ok once-per-run validation exit, not the steady state
+		return fmt.Errorf("negative %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+// Package linttest runs a lint.Analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools analysistest contract: each `// want "regexp"`
+// comment expects exactly one diagnostic on its line whose message
+// matches the regexp, every diagnostic must be expected, and every
+// expectation must be met. Fixtures live under
+// <testdata>/src/<pkg>/*.go; the package's import path is its bare
+// directory name, so fixtures named after engine packages (core,
+// sim, …) exercise the package-scope predicates.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smbm/internal/lint"
+)
+
+// expectation is one parsed // want entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// wantRx extracts the payload of a // want comment.
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads each fixture package under testdata/src, applies the
+// analyzer, and reports any mismatch between produced diagnostics and
+// // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := lint.LoadDir(dir, name)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", name, err)
+			continue
+		}
+		stripWantAttachments(pkg)
+		diags, err := lint.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, name, err)
+			continue
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Errorf("fixture %s: %v", name, err)
+			continue
+		}
+		for _, d := range diags {
+			if !consume(wants, d.Pos.Filename, d.Pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", name, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.met {
+				t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+					name, filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+// stripWantAttachments detaches // want comments from the Doc and
+// Comment fields of declarations and fields, so an expectation written
+// as a trailing comment is metadata rather than source: without this, a
+// `// want` on an undocumented field would itself satisfy analyzers
+// (exporteddoc) that accept trailing comments as documentation.
+func stripWantAttachments(pkg *lint.Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Field:
+				n.Doc, n.Comment = stripWant(n.Doc), stripWant(n.Comment)
+			case *ast.ValueSpec:
+				n.Doc, n.Comment = stripWant(n.Doc), stripWant(n.Comment)
+			case *ast.TypeSpec:
+				n.Doc, n.Comment = stripWant(n.Doc), stripWant(n.Comment)
+			case *ast.GenDecl:
+				n.Doc = stripWant(n.Doc)
+			case *ast.FuncDecl:
+				n.Doc = stripWant(n.Doc)
+			}
+			return true
+		})
+	}
+}
+
+// stripWant nils out a comment group consisting solely of // want
+// comments.
+func stripWant(cg *ast.CommentGroup) *ast.CommentGroup {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		if !wantRx.MatchString(c.Text) {
+			return cg
+		}
+	}
+	return nil
+}
+
+// consume marks the first unmet expectation matching the diagnostic.
+func consume(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if w.met || w.line != line || filepath.Base(w.file) != filepath.Base(file) {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects the // want expectations of every fixture file.
+func parseWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", filepath.Base(pos.Filename), pos.Line, err)
+				}
+				for _, pat := range patterns {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %w", filepath.Base(pos.Filename), pos.Line, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of Go-quoted or backquoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern in %q", s)
+		}
+		lit := s[:end+2]
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %w", lit, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

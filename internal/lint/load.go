@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded unit of analysis: parsed syntax plus (in
+// full mode) type information. It is the input to RunAnalyzer.
+type Package struct {
+	// Path is the import path, or the bare directory name for fixture
+	// and syntax-only packages.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package, nil in syntax-only mode.
+	Types *types.Package
+	// Info holds type and object resolution for Files, nil in
+	// syntax-only mode.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` over patterns in dir
+// and decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer by reading the compiler's
+// export data files recorded by `go list -export`, so dependencies are
+// resolved without any network or GOPATH access.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// parseDirFiles parses the named files of dir into fset with comments
+// retained.
+func parseDirFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typeCheck type-checks one parsed package against the export-data
+// importer. Hard type errors abort: the suite analyzes only code that
+// already compiles, so an error here means the loader and the compiler
+// disagree and diagnostics could not be trusted.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// Load loads and type-checks the packages matched by the go package
+// patterns (e.g. "./...") relative to dir, resolving every dependency
+// from the build cache's export data. Test files are not analyzed: the
+// enforced contracts govern the code that produces results, while tests
+// intentionally do wall-clock, map-order and allocation-heavy work.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var roots []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseDirFiles(fset, root.Dir, root.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", root.ImportPath, err)
+		}
+		pkg, info, err := typeCheck(fset, root.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path:  root.ImportPath,
+			Dir:   root.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir loads and type-checks the single package rooted at dir as
+// import path path, resolving its imports from the build cache. It is
+// the fixture loader behind linttest: fixture packages live outside the
+// module (under testdata/) and import only the standard library.
+func LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseDirFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the fixture's imports (and their transitive dependencies)
+	// through one `go list -export` invocation.
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(imports) > 0 {
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	pkg, info, err := typeCheck(fset, path, files, exportImporter(fset, exports))
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadSyntax parses every non-test Go file under root into per-directory
+// syntax-only packages (nil type information), skipping testdata and
+// hidden directories. It is the cheap loader behind the doclint test
+// wrapper: exporteddoc needs no type information, and parsing alone
+// keeps `go test ./...` fast.
+func LoadSyntax(root string) ([]*Package, error) {
+	byDir := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], filepath.Base(path))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, dir := range dirs {
+		names := byDir[dir]
+		sort.Strings(names)
+		files, err := parseDirFiles(fset, dir, names)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{Path: filepath.ToSlash(dir), Dir: dir, Fset: fset, Files: files})
+	}
+	return out, nil
+}

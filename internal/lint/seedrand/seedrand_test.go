@@ -1,0 +1,14 @@
+package seedrand_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/linttest"
+	"smbm/internal/lint/seedrand"
+)
+
+// TestSeedrand runs the analyzer over one flagged and one clean
+// fixture package.
+func TestSeedrand(t *testing.T) {
+	linttest.Run(t, "testdata", seedrand.Analyzer, "traffic", "clean")
+}

@@ -1,0 +1,28 @@
+// Package traffic is a seedrand fixture: global-source draws and
+// wall-clock seeding are flagged, explicit seeded generators pass.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// GlobalDraws uses the process-global source and is flagged per call.
+func GlobalDraws() (int, float64) {
+	n := rand.Intn(10)                 // want `top-level math/rand.Intn`
+	f := rand.Float64()                // want `top-level math/rand.Float64`
+	rand.Shuffle(n, func(int, int) {}) // want `top-level math/rand.Shuffle`
+	return n, f
+}
+
+// WallClockSeed constructs a generator whose seed changes every run.
+func WallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// Seeded threads an explicit seed and draws from the generator: the
+// contract the rest of the repository follows.
+func Seeded(seed int64) (int, float64) {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10), rng.Float64()
+}

@@ -1,0 +1,28 @@
+// Package suite aggregates every smblint analyzer for the cmd/smblint
+// driver, `make lint` and the CI lint job. It exists so the driver and
+// tests share one roster without the framework package importing its
+// own analyzers (which would cycle).
+package suite
+
+import (
+	"smbm/internal/lint"
+	"smbm/internal/lint/cursorerr"
+	"smbm/internal/lint/detmap"
+	"smbm/internal/lint/exporteddoc"
+	"smbm/internal/lint/hotalloc"
+	"smbm/internal/lint/seedrand"
+	"smbm/internal/lint/wallclock"
+)
+
+// Analyzers returns the full roster in deterministic (alphabetical)
+// order.
+func Analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		cursorerr.Analyzer,
+		detmap.Analyzer,
+		exporteddoc.Analyzer,
+		hotalloc.Analyzer,
+		seedrand.Analyzer,
+		wallclock.Analyzer,
+	}
+}

@@ -1,0 +1,66 @@
+package lint
+
+import "go/ast"
+
+// WalkStmts visits every statement reachable from body in source
+// order. Each visit receives the statement lists that lexically follow
+// the statement, innermost nesting level first — following[0] is the
+// remainder of the statement's own list; later entries belong to
+// enclosing constructs. Function literals are not descended into: their
+// bodies run at an unknowable time, so "followed by" reasoning does not
+// extend across them.
+func WalkStmts(body *ast.BlockStmt, visit func(s ast.Stmt, following [][]ast.Stmt)) {
+	if body == nil {
+		return
+	}
+	walkStmtList(body.List, nil, visit)
+}
+
+// walkStmtList visits one statement list with the given outer
+// follow-stack.
+func walkStmtList(list []ast.Stmt, outer [][]ast.Stmt, visit func(s ast.Stmt, following [][]ast.Stmt)) {
+	for i, s := range list {
+		following := make([][]ast.Stmt, 0, len(outer)+1)
+		following = append(following, list[i+1:])
+		following = append(following, outer...)
+		visit(s, following)
+		descendStmt(s, following, visit)
+	}
+}
+
+// descendStmt walks the statement lists nested inside s.
+func descendStmt(s ast.Stmt, following [][]ast.Stmt, visit func(s ast.Stmt, following [][]ast.Stmt)) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		walkStmtList(s.List, following, visit)
+	case *ast.IfStmt:
+		walkStmtList(s.Body.List, following, visit)
+		if s.Else != nil {
+			descendStmt(s.Else, following, visit)
+		}
+	case *ast.ForStmt:
+		walkStmtList(s.Body.List, following, visit)
+	case *ast.RangeStmt:
+		walkStmtList(s.Body.List, following, visit)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmtList(cc.Body, following, visit)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmtList(cc.Body, following, visit)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkStmtList(cc.Body, following, visit)
+			}
+		}
+	case *ast.LabeledStmt:
+		descendStmt(s.Stmt, following, visit)
+	}
+}

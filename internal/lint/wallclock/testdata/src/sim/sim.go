@@ -1,0 +1,24 @@
+// Package sim is a wallclock fixture standing in for an engine
+// package: wall-clock reads are flagged.
+package sim
+
+import "time"
+
+// Run reads the wall clock twice and is flagged twice.
+func Run() time.Duration {
+	start := time.Now() // want `time.Now reads the wall clock`
+	work()
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// Deadline derives a timeout and is flagged.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until reads the wall clock`
+}
+
+// work burns deterministic time: duration values and arithmetic on
+// them are fine, only clock reads are not.
+func work() time.Duration {
+	d := 3 * time.Second
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,14 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/linttest"
+	"smbm/internal/lint/wallclock"
+)
+
+// TestWallclock runs the analyzer over one flagged engine-named
+// fixture and one allow-listed fixture.
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata", wallclock.Analyzer, "sim", "cli")
+}

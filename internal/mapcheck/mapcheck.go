@@ -59,15 +59,31 @@ func newShadow(cfg core.Config, pol core.Policy) *shadow {
 
 // --- core.View implementation over the shadow state ---
 
-func (s *shadow) Model() core.Model  { return core.ModelProcessing }
-func (s *shadow) Ports() int         { return s.cfg.Ports }
-func (s *shadow) Buffer() int        { return s.cfg.Buffer }
-func (s *shadow) MaxLabel() int      { return s.cfg.MaxLabel }
-func (s *shadow) Occupancy() int     { return s.occ }
-func (s *shadow) Free() int          { return s.cfg.Buffer - s.occ }
+// Model reports the processing model (mapcheck verifies Section III).
+func (s *shadow) Model() core.Model { return core.ModelProcessing }
+
+// Ports returns the port count.
+func (s *shadow) Ports() int { return s.cfg.Ports }
+
+// Buffer returns the shared buffer size.
+func (s *shadow) Buffer() int { return s.cfg.Buffer }
+
+// MaxLabel returns the largest work label k.
+func (s *shadow) MaxLabel() int { return s.cfg.MaxLabel }
+
+// Occupancy returns the buffered packet count.
+func (s *shadow) Occupancy() int { return s.occ }
+
+// Free returns the remaining buffer space.
+func (s *shadow) Free() int { return s.cfg.Buffer - s.occ }
+
+// QueueLen returns queue i's packet count.
 func (s *shadow) QueueLen(i int) int { return len(s.queues[i]) }
+
+// PortWork returns port i's per-packet work.
 func (s *shadow) PortWork(i int) int { return s.cfg.PortWork[i] }
 
+// QueueWork returns the residual work buffered for port i.
 func (s *shadow) QueueWork(i int) int {
 	n := len(s.queues[i])
 	if n == 0 {
@@ -76,13 +92,19 @@ func (s *shadow) QueueWork(i int) int {
 	return (n-1)*s.cfg.PortWork[i] + s.hol[i]
 }
 
+// QueueMinValue returns the minimum buffered value in queue i (unit in
+// the processing model).
 func (s *shadow) QueueMinValue(i int) int {
 	if len(s.queues[i]) == 0 {
 		return 0
 	}
 	return 1
 }
-func (s *shadow) QueueMaxValue(i int) int   { return s.QueueMinValue(i) }
+
+// QueueMaxValue returns the maximum buffered value in queue i.
+func (s *shadow) QueueMaxValue(i int) int { return s.QueueMinValue(i) }
+
+// QueueValueSum returns the summed value buffered in queue i.
 func (s *shadow) QueueValueSum(i int) int64 { return int64(len(s.queues[i])) }
 
 var _ core.View = (*shadow)(nil)

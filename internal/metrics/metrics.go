@@ -104,9 +104,12 @@ func (w *Welford) CI95() (lo, hi float64) {
 
 // Summary is an immutable snapshot of a Welford accumulator.
 type Summary struct {
-	N         int64
+	// N is the number of observations.
+	N int64
+	// Mean and Std are the running mean and sample standard deviation.
 	Mean, Std float64
-	Min, Max  float64
+	// Min and Max are the observed extremes.
+	Min, Max float64
 }
 
 // Summary snapshots the accumulator.

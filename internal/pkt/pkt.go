@@ -18,8 +18,11 @@ import (
 //
 // Port is the destination output port, 0-based.
 type Packet struct {
-	Port  int
-	Work  int
+	// Port is the destination output port, 0-based.
+	Port int
+	// Work is the required processing in cycles (processing model).
+	Work int
+	// Value is the intrinsic value (value model).
 	Value int
 }
 

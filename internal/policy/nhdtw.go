@@ -30,6 +30,8 @@ type NHDTW struct{}
 func (NHDTW) Name() string { return "NHDTW" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (NHDTW) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()

@@ -16,6 +16,8 @@ type Greedy struct{}
 func (Greedy) Name() string { return "Greedy" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (Greedy) Admit(v core.View, _ pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -33,6 +35,8 @@ type NHST struct{}
 func (NHST) Name() string { return "NHST" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (NHST) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()
@@ -69,6 +73,8 @@ type NEST struct{}
 func (NEST) Name() string { return "NEST" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (NEST) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()
@@ -96,6 +102,8 @@ type NHDT struct{}
 func (NHDT) Name() string { return "NHDT" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (NHDT) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()

@@ -18,6 +18,8 @@ type LQD struct{}
 func (LQD) Name() string { return "LQD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -71,6 +73,8 @@ type BPD struct{}
 func (BPD) Name() string { return "BPD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (BPD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -92,6 +96,8 @@ type BPD1 struct{}
 func (BPD1) Name() string { return "BPD1" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (BPD1) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -107,6 +113,8 @@ func (BPD1) Admit(v core.View, p pkt.Packet) core.Decision {
 // least minLen packets, or -1. Ports are sorted by required work, so the
 // largest index is the biggest processing requirement; among equal works
 // the larger index is an arbitrary but fixed tie-break.
+//
+//smb:hotpath
 func biggestNonEmpty(v core.View, minLen int) int {
 	if f, ok := v.(core.FastView); ok {
 		// Same top-down scan over the live length slice: no per-queue
@@ -140,6 +148,8 @@ type LWD struct{}
 func (LWD) Name() string { return "LWD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (LWD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()

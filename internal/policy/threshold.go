@@ -26,6 +26,8 @@ func (s StaticThreshold) Name() string {
 }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (s StaticThreshold) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()

@@ -367,9 +367,11 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			Throughput:    make(map[string]metrics.Summary, len(thrs)),
 			OptThroughput: optW.Summary(),
 		}
+		//smb:nondet-ok summaries land in a map keyed by the same name, so iteration order cannot reach results
 		for name, w := range ratios {
 			pr.Ratio[name] = w.Summary()
 		}
+		//smb:nondet-ok summaries land in a map keyed by the same name, so iteration order cannot reach results
 		for name, w := range thrs {
 			pr.Throughput[name] = w.Summary()
 		}

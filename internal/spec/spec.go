@@ -40,6 +40,7 @@ type Traffic struct {
 	// POnOff and POffOn are the per-slot phase-flip probabilities
 	// (defaults 0.1 and 0.01).
 	POnOff float64 `json:"p_on_off"`
+	// POffOn is the off-to-on flip probability (see POnOff).
 	POffOn float64 `json:"p_off_on"`
 	// Affinity pins each source to one port (default true).
 	Affinity *bool `json:"affinity"`
@@ -60,7 +61,9 @@ type Experiment struct {
 	// K, B and C fix the non-swept parameters (defaults: k=16, B=200,
 	// C=1). In the value model ports = k.
 	K int `json:"k"`
+	// B is the shared buffer size (see K).
 	B int `json:"B"`
+	// C is the per-port service capacity (see K).
 	C int `json:"C"`
 	// PortWork optionally overrides the contiguous 1..k works
 	// (processing model; its length fixes the port count).
@@ -75,10 +78,13 @@ type Experiment struct {
 	Traffic Traffic `json:"traffic"`
 	// Slots, Seeds, FlushEvery and BaseSeed scale the runs (defaults
 	// 4000 / 3 / 1000 / 1).
-	Slots      int   `json:"slots"`
-	Seeds      int   `json:"seeds"`
-	FlushEvery int   `json:"flush_every"`
-	BaseSeed   int64 `json:"base_seed"`
+	Slots int `json:"slots"`
+	// Seeds is the number of independent replications (see Slots).
+	Seeds int `json:"seeds"`
+	// FlushEvery bounds deferred-work backlogs (see Slots).
+	FlushEvery int `json:"flush_every"`
+	// BaseSeed offsets every replication's seed (see Slots).
+	BaseSeed int64 `json:"base_seed"`
 }
 
 // Load parses a spec from JSON, rejecting unknown fields.

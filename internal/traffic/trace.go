@@ -40,6 +40,8 @@ type replay struct {
 	pos   int
 }
 
+// Next returns a copy of the next slot's burst, nil once the trace is
+// exhausted.
 func (r *replay) Next() []pkt.Packet {
 	if r.pos >= len(r.trace) {
 		return nil

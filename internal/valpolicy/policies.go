@@ -19,6 +19,8 @@ type NHSTV struct{}
 func (NHSTV) Name() string { return "NHSTV" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (NHSTV) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()
@@ -46,6 +48,8 @@ type LQD struct{}
 func (LQD) Name() string { return "LQD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -112,6 +116,8 @@ type MVD struct{}
 func (MVD) Name() string { return "MVD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (MVD) Admit(v core.View, p pkt.Packet) core.Decision {
 	return mvdAdmit(v, p, 1)
 }
@@ -125,12 +131,16 @@ type MVD1 struct{}
 func (MVD1) Name() string { return "MVD1" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (MVD1) Admit(v core.View, p pkt.Packet) core.Decision {
 	return mvdAdmit(v, p, 2)
 }
 
 // mvdAdmit implements MVD with a minimum victim-queue length (1 for MVD,
 // 2 for MVD1).
+//
+//smb:hotpath
 func mvdAdmit(v core.View, p pkt.Packet, minLen int) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -198,6 +208,8 @@ type MRD struct{}
 func (MRD) Name() string { return "MRD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -259,6 +271,8 @@ func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 
 // mrdDecide turns MRD's max-ratio scan result into a decision; shared by
 // the FastView and plain-View scans, which must agree exactly.
+//
+//smb:hotpath
 func mrdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 	if victim != p.Port {
 		if globalMin <= p.Value {
@@ -274,6 +288,8 @@ func mrdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 
 // minOrInf returns the queue's minimum value, treating an empty queue as
 // unbeatably expensive for tie-breaking.
+//
+//smb:hotpath
 func minOrInf(v core.View, j int) int {
 	if v.QueueLen(j) == 0 {
 		return int(^uint(0) >> 1)
@@ -282,6 +298,8 @@ func minOrInf(v core.View, j int) int {
 }
 
 // minOrInfSlices is minOrInf over the FastView slices.
+//
+//smb:hotpath
 func minOrInfSlices(lens, mins []int, j int) int {
 	if lens[j] == 0 {
 		return int(^uint(0) >> 1)

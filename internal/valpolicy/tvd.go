@@ -24,6 +24,8 @@ type TVD struct{}
 func (TVD) Name() string { return "TVD" }
 
 // Admit implements core.Policy.
+//
+//smb:hotpath
 func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
@@ -64,6 +66,8 @@ func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 
 // tvdDecide turns TVD's max-sum scan result into a decision; shared by
 // the FastView and plain-View scans, which must agree exactly.
+//
+//smb:hotpath
 func tvdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 	if victim != p.Port {
 		if globalMin <= p.Value {
