@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench bench-json panels lowerbounds arch faults report examples clean
+.PHONY: all build test test-race vet lint bench bench-json bench-assert panels lowerbounds arch faults obs-demo report examples clean
 
 all: build vet lint test test-race
 
@@ -38,6 +38,11 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_baseline.json
 
+# Fast overhead gate: re-measure the per-policy micro-benchmarks and
+# fail if any policy's steady state (observability detached) allocates.
+bench-assert:
+	$(GO) run ./cmd/benchjson -benchtime 100ms -assert-zero-allocs -out /dev/null
+
 # Regenerate the paper's evaluation artifacts.
 panels:
 	$(GO) run ./cmd/smbsim
@@ -50,6 +55,13 @@ arch:
 
 faults:
 	$(GO) run ./cmd/smbsim -experiment faults
+
+# Observability demo: one small panel with decision counters, the last
+# 32 decision events per replay dumped to stderr, and the pprof/expvar
+# endpoint live on localhost:6060 for the duration (DESIGN.md §12).
+obs-demo:
+	$(GO) run ./cmd/smbsim -experiment fig5.1 -slots 2000 -seeds 1 \
+		-obs -trace-events 32 -pprof localhost:6060
 
 # Regenerate EXPERIMENTS.md from a fresh evaluation run.
 report:

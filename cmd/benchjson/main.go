@@ -22,8 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -292,7 +295,27 @@ func traceMemory() ([]TraceMemory, error) {
 	return []TraceMemory{row("materialized", materialized), row("streamed", streamed)}, nil
 }
 
-func run(out string, benchtime time.Duration) error {
+// assertZeroAllocs returns an error naming every policy whose steady
+// state allocates — the regression gate CI runs on the micro rows.
+func assertZeroAllocs(base *Baseline) error {
+	var bad []string
+	for _, m := range base.MicroProc {
+		if m.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("processing/%s (%d allocs/op)", m.Policy, m.AllocsPerOp))
+		}
+	}
+	for _, m := range base.MicroValue {
+		if m.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("value/%s (%d allocs/op)", m.Policy, m.AllocsPerOp))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("steady state allocates: %s", strings.Join(bad, ", "))
+	}
+	return nil
+}
+
+func run(out string, benchtime time.Duration, zeroAllocs bool) error {
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		return err
 	}
@@ -329,6 +352,13 @@ func run(out string, benchtime time.Duration) error {
 		base.MicroValue = append(base.MicroValue, m)
 		fmt.Fprintf(os.Stderr, "micro value      %-7s %8.0f ns/slot %3d allocs/op\n", p.Name(), m.NsPerSlot, m.AllocsPerOp)
 	}
+	if zeroAllocs {
+		// Gate before the (slow) panel benchmarks: a CI failure should
+		// report in seconds, not after the full baseline.
+		if err := assertZeroAllocs(&base); err != nil {
+			return err
+		}
+	}
 
 	for _, id := range experiments.PanelIDs() {
 		p, err := panelBench(id)
@@ -364,8 +394,18 @@ func main() {
 	testing.Init()
 	out := flag.String("out", "BENCH_baseline.json", "output path ('-' for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	zeroAllocs := flag.Bool("assert-zero-allocs", false, "fail (exit 1) if any policy's steady-state micro-benchmark allocates")
+	pprofAddr := flag.String("pprof", "", `serve net/http/pprof on this address (e.g. "localhost:6060") while benchmarking`)
 	flag.Parse()
-	if err := run(*out, *benchtime); err != nil {
+	if *pprofAddr != "" {
+		go func() {
+			// A dead debug server must not kill the benchmark run.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: pprof server:", err)
+			}
+		}()
+	}
+	if err := run(*out, *benchtime, *zeroAllocs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -27,19 +27,34 @@
 // SIGINT cancels the run gracefully: completed points are printed as a
 // partial table and the process exits with code 2, so a checkpointed
 // run can be resumed later.
+//
+// Observability flags:
+//
+//	smbsim -obs                     # append per-policy decision counters
+//	smbsim -trace-events 64         # ring-buffer the last 64 decision events
+//	                                # per replay and dump them (implies -obs)
+//	smbsim -trace-out events.txt    # trace dump destination (default stderr)
+//	smbsim -pprof localhost:6060    # serve net/http/pprof and expvar; sweep
+//	                                # progress appears at /debug/vars under
+//	                                # "smbsim.progress"
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"sync"
 
 	"smbm/internal/cli"
 	"smbm/internal/experiments"
 	"smbm/internal/faults"
+	"smbm/internal/sim"
 )
 
 // Exit codes: 0 success, 1 failure, 2 interrupted (partial results
@@ -48,6 +63,40 @@ const (
 	exitFailure     = 1
 	exitInterrupted = 2
 )
+
+// progressVar publishes the latest sweep progress through expvar as a
+// JSON object, so a long run can be watched with
+// `curl host:port/debug/vars`. Results payloads are dropped before
+// publication: only the counters travel.
+type progressVar struct {
+	mu     sync.Mutex
+	seen   bool
+	latest sim.SweepProgress
+}
+
+// Update records one progress notification (called from the sweep's
+// fold goroutine).
+func (v *progressVar) Update(p sim.SweepProgress) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	p.Results = nil
+	p.Err = nil
+	v.seen = true
+	v.latest = p
+}
+
+// String renders the published JSON (expvar.Var contract).
+func (v *progressVar) String() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.seen {
+		return `{"state":"idle"}`
+	}
+	p := v.latest
+	return fmt.Sprintf(
+		`{"state":"running","sweep":%q,"x_label":%q,"x":%d,"seed_index":%d,"done":%d,"failed":%d,"skipped":%d,"total":%d,"checkpoint_lag":%d}`,
+		p.Sweep, p.XLabel, p.X, p.SeedIndex, p.Done, p.Failed, p.Skipped, p.Total, p.CheckpointLag)
+}
 
 func main() {
 	var (
@@ -65,6 +114,10 @@ func main() {
 		faultSpec   = flag.String("faults", "", `inject a fault plan into every sweep cell, e.g. "blackout;squeeze:b=32:period=500:dur=100" (see internal/faults)`)
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline; a timed-out cell fails without killing the sweep (0 = unbounded)")
 		checkpoint  = flag.String("checkpoint", "", "journal completed sweep cells to this file and resume from it on re-runs")
+		obsFlag     = flag.Bool("obs", false, "record per-policy decision counters and append them to each report")
+		traceEvents = flag.Int("trace-events", 0, "ring-buffer the last N decision events per replay and dump them after each cell (implies -obs)")
+		traceOut    = flag.String("trace-out", "", "write -trace-events dumps to this file instead of stderr")
+		pprofAddr   = flag.String("pprof", "", `serve net/http/pprof and expvar on this address (e.g. "localhost:6060")`)
 	)
 	flag.Parse()
 
@@ -99,7 +152,39 @@ func main() {
 		CSV:         *asCSV,
 		CellTimeout: *cellTimeout,
 		Checkpoint:  *checkpoint,
+		Obs:         *obsFlag,
+		TraceEvents: *traceEvents,
 	}
+	if *traceEvents > 0 {
+		opts.TraceWriter = os.Stderr
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "smbsim:", err)
+				os.Exit(exitFailure)
+			}
+			defer f.Close()
+			opts.TraceWriter = f
+		}
+	}
+
+	// The progress variable is published unconditionally (expvar costs
+	// nothing unscraped); -pprof starts the server that exposes it along
+	// with the standard pprof profiles.
+	progress := new(progressVar)
+	expvar.Publish("smbsim.progress", progress)
+	opts.Progress = progress.Update
+	if *pprofAddr != "" {
+		go func() {
+			// The default mux already carries /debug/pprof (imported
+			// above) and /debug/vars (expvar). A dead debug server must
+			// not kill the run.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "smbsim: pprof server:", err)
+			}
+		}()
+	}
+
 	if *faultSpec != "" {
 		fs, err := faults.ParseSpec(*faultSpec)
 		if err != nil {

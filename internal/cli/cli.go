@@ -13,6 +13,7 @@ import (
 	"smbm/internal/adversary"
 	"smbm/internal/experiments"
 	"smbm/internal/faults"
+	"smbm/internal/obs"
 	"smbm/internal/sim"
 	"smbm/internal/spec"
 	"smbm/internal/tablefmt"
@@ -37,6 +38,18 @@ type PanelOptions struct {
 	// Checkpoint journals completed sweep cells to this file and
 	// resumes from it on a re-run (empty = no checkpointing).
 	Checkpoint string
+	// Obs attaches decision-counter recorders to every policy replay
+	// and appends the aggregated counter table to each report.
+	Obs bool
+	// TraceEvents, when positive, additionally rings the last that many
+	// decision events per replay (implies Obs) and dumps each completed
+	// cell's surviving events to TraceWriter in the obs text format.
+	TraceEvents int
+	// TraceWriter receives the event dumps (nil discards them).
+	TraceWriter io.Writer
+	// Progress, when non-nil, receives every sweep's per-cell progress
+	// notifications — cmd/smbsim publishes them through expvar.
+	Progress func(sim.SweepProgress)
 }
 
 // slots returns the effective trace length of the run.
@@ -139,11 +152,34 @@ func panelReport(ctx context.Context, w io.Writer, id string, o PanelOptions) er
 	return renderSweep(ctx, w, sweep, o)
 }
 
-// harden applies the robustness options — fault injection, per-cell
-// deadline, checkpoint journal — to a sweep before it runs.
+// harden applies the robustness and observability options — fault
+// injection, per-cell deadline, checkpoint journal, decision counters,
+// event tracing, progress publication — to a sweep before it runs.
 func harden(sweep *sim.Sweep, o PanelOptions) {
 	sweep.CellTimeout = o.CellTimeout
 	sweep.Checkpoint = o.Checkpoint
+	if o.Obs || o.TraceEvents > 0 {
+		sweep.Obs = &obs.Options{TraceEvents: o.TraceEvents}
+	}
+	if o.Progress != nil || (o.TraceEvents > 0 && o.TraceWriter != nil) {
+		name, xlabel := sweep.Name, sweep.XLabel
+		sweep.Progress = func(p sim.SweepProgress) {
+			if o.TraceEvents > 0 && o.TraceWriter != nil {
+				for _, r := range p.Results {
+					if r.Obs == nil || len(r.Obs.Events) == 0 {
+						continue
+					}
+					label := fmt.Sprintf("%s:%s=%d:seed%d:%s", name, xlabel, p.X, p.SeedIndex, r.Policy)
+					// Best effort: a failing trace sink must not abort
+					// the sweep that is being debugged through it.
+					_ = obs.DumpEvents(o.TraceWriter, label, r.Obs.Events, r.Obs.DroppedEvents)
+				}
+			}
+			if o.Progress != nil {
+				o.Progress(p)
+			}
+		}
+	}
 	if o.Faults.Empty() {
 		return
 	}
@@ -151,6 +187,10 @@ func harden(sweep *sim.Sweep, o PanelOptions) {
 	if fs.Horizon == 0 {
 		fs.Horizon = int64(o.slots())
 	}
+	// The fault plan shapes every cell, so it belongs in the checkpoint
+	// fingerprint: resuming a faulted journal without -faults (or vice
+	// versa) must fail loudly.
+	sweep.ConfigDigest += ";faults=" + fs.String()
 	build := sweep.Build
 	sweep.Build = func(x int, seed int64) (sim.Instance, error) {
 		inst, err := build(x, seed)
@@ -178,11 +218,22 @@ func renderSweep(ctx context.Context, w io.Writer, sweep *sim.Sweep, o PanelOpti
 	return err
 }
 
-// writeSweepReport renders one (possibly partial) sweep result.
+// writeSweepReport renders one (possibly partial) sweep result:
+// harness warnings first, then the ratio table (or CSV), then — when
+// recorded — the aggregated decision counters.
 func writeSweepReport(w io.Writer, result *sim.SweepResult, o PanelOptions, elapsed time.Duration) error {
 	marker := ""
 	if result.Partial {
 		marker = ", partial"
+	}
+	warnPrefix := "warning: "
+	if o.CSV {
+		warnPrefix = "# warning: "
+	}
+	for _, warn := range result.Warnings {
+		if _, err := fmt.Fprintf(w, "%s%s\n", warnPrefix, warn); err != nil {
+			return err
+		}
 	}
 	if o.CSV {
 		_, err := fmt.Fprintf(w, "# %s%s\n%s\n", result.Name, marker, result.CSV())
@@ -194,6 +245,11 @@ func writeSweepReport(w io.Writer, result *sim.SweepResult, o PanelOptions, elap
 	}
 	if _, err := io.WriteString(w, result.Table()); err != nil {
 		return err
+	}
+	if t := result.ObsTable(); t != "" {
+		if _, err := fmt.Fprintf(w, "-- decision counters (summed over cells) --\n%s", t); err != nil {
+			return err
+		}
 	}
 	if o.Plot && len(result.Points) > 0 {
 		if _, err := fmt.Fprintf(w, "\n%s", result.Plot()); err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"smbm/internal/bmset"
 	"smbm/internal/deque"
+	"smbm/internal/obs"
 	"smbm/internal/pkt"
 )
 
@@ -55,6 +56,11 @@ type Switch struct {
 
 	stats   Stats
 	perPort []PortCounters
+
+	// Optional observability recorder (see SetRecorder). Every recording
+	// site is branch-on-nil, so a detached switch pays one predictable
+	// pointer compare per decision — the obs overhead contract.
+	rec *obs.Recorder
 }
 
 // reserveCap bounds the per-queue deque pre-reservation: queues are
@@ -200,6 +206,20 @@ func (s *Switch) SetBufferLimit(b int) {
 		return
 	}
 	s.bufLimit = b
+}
+
+// SetRecorder attaches an observability recorder (nil detaches),
+// implementing obs.Target. While attached, every admission decision the
+// engine executes — admit, tail-drop, push-out (with the discarded
+// residual work and value), head-of-line transmission — is counted per
+// port and, when the recorder traces, ringed as an event. The recorder
+// must be sized for this switch's port count. Reset does not detach:
+// the recorder's lifecycle belongs to the caller (see sim).
+func (s *Switch) SetRecorder(r *obs.Recorder) {
+	if r != nil && r.Ports() != s.cfg.Ports {
+		panic(fmt.Sprintf("core: SetRecorder sized for %d ports on a %d-port switch", r.Ports(), s.cfg.Ports))
+	}
+	s.rec = r
 }
 
 // effSpeedup returns port i's effective per-slot speedup under any
@@ -384,6 +404,10 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 	if !d.Accept {
 		s.stats.Dropped++
 		s.perPort[p.Port].Dropped++
+		if s.rec != nil {
+			s.rec.Inc(p.Port, obs.KindTailDrop)
+			s.rec.Trace(s.slot, p.Port, obs.KindTailDrop, p.Work, p.Value)
+		}
 		return nil
 	}
 	if d.Push {
@@ -404,6 +428,10 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 	s.insert(p)
 	s.stats.Accepted++
 	s.perPort[p.Port].Accepted++
+	if s.rec != nil {
+		s.rec.Inc(p.Port, obs.KindAdmit)
+		s.rec.Trace(s.slot, p.Port, obs.KindAdmit, p.Work, p.Value)
+	}
 	s.stats.observeOccupancy(s.occ)
 	if s.cfg.CheckInvariants {
 		return s.verify()
@@ -490,6 +518,9 @@ func (s *Switch) transmitProcessing() {
 			pc.Transmitted += completed
 			pc.TransmittedValue += completed
 			pc.LatencySlots += latSum
+			if s.rec != nil {
+				s.rec.Add(i, obs.KindHOLTransmit, uint64(completed))
+			}
 		}
 	}
 }
@@ -520,6 +551,9 @@ func (s *Switch) transmitValue() {
 		s.stats.CyclesUsed += p64
 		s.perPort[i].Transmitted += p64
 		s.perPort[i].TransmittedValue += sum
+		if s.rec != nil {
+			s.rec.Add(i, obs.KindHOLTransmit, uint64(pops))
+		}
 	}
 }
 
@@ -613,7 +647,18 @@ func (s *Switch) evict(victim int) error {
 	if s.QueueLen(victim) == 0 {
 		return fmt.Errorf("push-out from empty queue %d", victim)
 	}
+	// Residual work and intrinsic value removed by the eviction, for the
+	// observability counters: in the processing model the evicted tail's
+	// remaining cycles (the whole remaining queue work when the tail is
+	// also the head-of-line packet, whose partial progress is wasted);
+	// in the value model the popped minimum.
+	remWork, remValue := 1, 1
 	if s.cfg.Model == ModelProcessing {
+		if s.qLen[victim] == 1 {
+			remWork = s.qWork[victim]
+		} else {
+			remWork = s.works[victim]
+		}
 		s.qLen[victim]--
 		s.arrivals[victim].PopBack()
 		if s.qLen[victim] == 0 {
@@ -627,6 +672,7 @@ func (s *Switch) evict(victim int) error {
 		s.workMax.drop(victim)
 	} else {
 		m := s.vq[victim].PopMin()
+		remValue = m
 		s.vLen[victim]--
 		s.vSum[victim] -= int64(m)
 		if s.vLen[victim] == 0 {
@@ -639,6 +685,12 @@ func (s *Switch) evict(victim int) error {
 	s.occ--
 	s.stats.PushedOut++
 	s.perPort[victim].PushedOut++
+	if s.rec != nil {
+		s.rec.Inc(victim, obs.KindPushOut)
+		s.rec.Add(victim, obs.KindPushedOutWork, uint64(remWork))
+		s.rec.Add(victim, obs.KindPushedOutValue, uint64(remValue))
+		s.rec.Trace(s.slot, victim, obs.KindPushOut, remWork, remValue)
+	}
 	return nil
 }
 

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"smbm/internal/core"
 	"smbm/internal/hmath"
@@ -150,6 +151,32 @@ func Panel(id string, o Options) (*sim.Sweep, error) {
 	}
 }
 
+// policyNames renders a roster compactly for config digests.
+func policyNames(ps []core.Policy) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, ",")
+}
+
+// cellDigest canonically renders everything a panel's Build bakes into
+// its cells — model, the fixed k/B/C dimensions (the swept one marked
+// "swept" since the Xs are fingerprinted separately), the policy
+// roster and the traffic scale — for sim.Sweep.ConfigDigest, so a
+// checkpoint resume after any flag change is refused instead of
+// silently merging stale cells.
+func cellDigest(model, swept string, k, b, c int, policies string, o Options) string {
+	dim := func(name string, v int) string {
+		if name == swept {
+			return name + "=swept"
+		}
+		return fmt.Sprintf("%s=%d", name, v)
+	}
+	return fmt.Sprintf("model=%s;%s;%s;%s;policies=%s;slots=%d;sources=%d;flush=%d",
+		model, dim("k", k), dim("B", b), dim("C", c), policies, o.Slots, o.Sources, o.FlushEvery)
+}
+
 // procCapacity is the processing model's aggregate service rate in
 // packets per slot under the contiguous configuration: Σ C/w_i = C·H_k.
 func procCapacity(k, speedup int) float64 {
@@ -194,12 +221,13 @@ func procInstance(k, b, c int, rate float64, o Options, seed int64) (sim.Instanc
 // relative load.
 func panelProcK(o Options) *sim.Sweep {
 	return &sim.Sweep{
-		Name:        "fig5.1",
-		XLabel:      "k",
-		Xs:          []int{2, 4, 8, 12, 16, 24, 32},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         "fig5.1",
+		XLabel:       "k",
+		Xs:           []int{2, 4, 8, 12, 16, 24, 32},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest("processing", "k", 0, 200, 1, policyNames(policy.ForProcessing()), o),
 		Build: func(k int, seed int64) (sim.Instance, error) {
 			return procInstance(k, 200, 1, loadProcessing*procCapacity(k, 1), o, seed)
 		},
@@ -211,12 +239,13 @@ func panelProcK(o Options) *sim.Sweep {
 func panelProcB(o Options) *sim.Sweep {
 	const k = 16
 	return &sim.Sweep{
-		Name:        "fig5.2",
-		XLabel:      "B",
-		Xs:          []int{32, 64, 128, 256, 512, 1024, 2048},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         "fig5.2",
+		XLabel:       "B",
+		Xs:           []int{32, 64, 128, 256, 512, 1024, 2048},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest("processing", "B", k, 0, 1, policyNames(policy.ForProcessing()), o),
 		Build: func(b int, seed int64) (sim.Instance, error) {
 			return procInstance(k, b, 1, loadProcessing*procCapacity(k, 1), o, seed)
 		},
@@ -228,12 +257,13 @@ func panelProcB(o Options) *sim.Sweep {
 func panelProcC(o Options) *sim.Sweep {
 	const k = 16
 	return &sim.Sweep{
-		Name:        "fig5.3",
-		XLabel:      "C",
-		Xs:          []int{1, 2, 3, 4, 5, 6, 8},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         "fig5.3",
+		XLabel:       "C",
+		Xs:           []int{1, 2, 3, 4, 5, 6, 8},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest("processing", "C", k, 200, 0, policyNames(policy.ForProcessing()), o),
 		Build: func(c int, seed int64) (sim.Instance, error) {
 			return procInstance(k, 200, c, loadSpeedupRef*procCapacity(k, 1), o, seed)
 		},
@@ -288,6 +318,24 @@ func valInstance(k, b, c int, rate float64, label traffic.LabelMode, spiky bool,
 	}, nil
 }
 
+// valDigestModel renders the value-model tag for cellDigest, folding in
+// the label mode and the spiky-traffic switch.
+func valDigestModel(label traffic.LabelMode, spiky bool) string {
+	tag := fmt.Sprintf("value/%v", label)
+	if spiky {
+		tag += "/spiky"
+	}
+	return tag
+}
+
+// valRoster returns the competing roster for the label mode.
+func valRoster(label traffic.LabelMode) []core.Policy {
+	if label == traffic.LabelValueByPort {
+		return valpolicy.ForValueByPort()
+	}
+	return valpolicy.ForUniform()
+}
+
 // panelValK is Fig. 5(4)/(7): value model, ratio vs k at a fixed offered
 // rate, so growing k (= more ports) relieves congestion.
 func panelValK(o Options, label traffic.LabelMode) *sim.Sweep {
@@ -297,12 +345,13 @@ func panelValK(o Options, label traffic.LabelMode) *sim.Sweep {
 	}
 	const rate = loadValue * 16 // calibrated to load 1.5 at the middle point k=16
 	return &sim.Sweep{
-		Name:        name,
-		XLabel:      "k",
-		Xs:          []int{2, 4, 8, 16, 24, 32},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         name,
+		XLabel:       "k",
+		Xs:           []int{2, 4, 8, 16, 24, 32},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest(valDigestModel(label, false), "k", 0, 200, 1, policyNames(valRoster(label)), o),
 		Build: func(k int, seed int64) (sim.Instance, error) {
 			return valInstance(k, 200, 1, rate, label, false, o, seed)
 		},
@@ -317,12 +366,13 @@ func panelValB(o Options, label traffic.LabelMode) *sim.Sweep {
 	}
 	const k = 16
 	return &sim.Sweep{
-		Name:        name,
-		XLabel:      "B",
-		Xs:          []int{32, 64, 128, 256, 512, 1024, 2048},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         name,
+		XLabel:       "B",
+		Xs:           []int{32, 64, 128, 256, 512, 1024, 2048},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest(valDigestModel(label, false), "B", k, 0, 1, policyNames(valRoster(label)), o),
 		Build: func(b int, seed int64) (sim.Instance, error) {
 			return valInstance(k, b, 1, loadValue*float64(k), label, false, o, seed)
 		},
@@ -339,12 +389,13 @@ func panelValC(o Options, label traffic.LabelMode) *sim.Sweep {
 	}
 	const k = 16
 	return &sim.Sweep{
-		Name:        name,
-		XLabel:      "C",
-		Xs:          []int{1, 2, 4, 8, 12, 16},
-		Seeds:       o.Seeds,
-		BaseSeed:    o.BaseSeed,
-		Parallelism: o.Parallelism,
+		Name:         name,
+		XLabel:       "C",
+		Xs:           []int{1, 2, 4, 8, 12, 16},
+		Seeds:        o.Seeds,
+		BaseSeed:     o.BaseSeed,
+		Parallelism:  o.Parallelism,
+		ConfigDigest: cellDigest(valDigestModel(label, true), "C", k, 200, 0, policyNames(valRoster(label)), o),
 		Build: func(c int, seed int64) (sim.Instance, error) {
 			return valInstance(k, 200, c, spikyLoad*float64(k), label, true, o, seed)
 		},

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // Kind enumerates the fault processes. Values start at 1 so the zero
@@ -86,6 +87,27 @@ type Fault struct {
 	Duration int64
 }
 
+// String renders the fault in ParseSpec's descriptor syntax, with every
+// field explicit so equal renderings mean equal processes — the
+// canonical form checkpoint fingerprints hash.
+func (f Fault) String() string {
+	var b strings.Builder
+	b.WriteString(f.Kind.String())
+	if f.Kind.portScoped() {
+		fmt.Fprintf(&b, ":port=%d", f.Port)
+	}
+	switch f.Kind {
+	case CoreSlowdown:
+		fmt.Fprintf(&b, ":c=%d", f.Value)
+	case BufferSqueeze:
+		fmt.Fprintf(&b, ":b=%d", f.Value)
+	case BurstAmplify:
+		fmt.Fprintf(&b, ":factor=%d", f.Value)
+	}
+	fmt.Fprintf(&b, ":period=%d:dur=%d", f.Period, f.Duration)
+	return b.String()
+}
+
 // validate checks one fault process.
 func (f Fault) validate() error {
 	switch f.Kind {
@@ -133,6 +155,21 @@ type Spec struct {
 
 // Empty reports whether the spec injects no faults at all.
 func (sp Spec) Empty() bool { return len(sp.Faults) == 0 }
+
+// String renders the spec canonically: the faults in ParseSpec syntax
+// joined by ";" with the horizon appended, or "none" when empty. Equal
+// strings mean equal specs, so sweep checkpoint fingerprints embed it
+// in their cell-config digest.
+func (sp Spec) String() string {
+	if sp.Empty() {
+		return "none"
+	}
+	parts := make([]string, 0, len(sp.Faults))
+	for _, f := range sp.Faults {
+		parts = append(parts, f.String())
+	}
+	return fmt.Sprintf("%s@horizon=%d", strings.Join(parts, ";"), sp.Horizon)
+}
 
 // Validate checks the spec.
 func (sp Spec) Validate() error {

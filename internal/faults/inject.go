@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"smbm/internal/core"
+	"smbm/internal/obs"
 	"smbm/internal/pkt"
 	"smbm/internal/sim"
 )
@@ -57,6 +58,10 @@ type Injector struct {
 	dirty  bool    // overrides must be (re)applied before the next Step
 
 	speedups []int // scratch: desired per-port speedup (-1 = nominal)
+
+	// Optional observability recorder (see SetRecorder): counts each
+	// fault-window activation in the KindFaultEvent lane, branch-on-nil.
+	rec *obs.Recorder
 }
 
 var (
@@ -117,6 +122,19 @@ func (in *Injector) Schedule() []Event {
 	return out
 }
 
+// SetRecorder attaches an observability recorder (nil detaches),
+// implementing obs.Target. Each fault-window activation is counted in
+// the KindFaultEvent lane of the window's port (switch-wide windows are
+// attributed to port 0) and traced when the recorder traces. The
+// attachment propagates to the wrapped system when it records too, so
+// one attach at the outermost wrapper instruments the whole stack.
+func (in *Injector) SetRecorder(r *obs.Recorder) {
+	in.rec = r
+	if t, ok := in.inner.(obs.Target); ok {
+		t.SetRecorder(r)
+	}
+}
+
 // Name delegates to the wrapped system, keeping report labels stable.
 func (in *Injector) Name() string { return in.inner.Name() }
 
@@ -142,9 +160,18 @@ func (in *Injector) Step(arrivals []pkt.Packet) error {
 // dirty when it changes.
 func (in *Injector) advance(t int64) {
 	for in.next < len(in.schedule) && in.schedule[in.next].Start <= t {
-		in.active = append(in.active, in.schedule[in.next])
+		e := in.schedule[in.next]
+		in.active = append(in.active, e)
 		in.next++
 		in.dirty = true
+		if in.rec != nil {
+			port := e.Port
+			if port < 0 {
+				port = 0 // switch-wide window: attribute to port 0
+			}
+			in.rec.Inc(port, obs.KindFaultEvent)
+			in.rec.Trace(t, port, obs.KindFaultEvent, e.Value, 0)
+		}
 	}
 	kept := in.active[:0]
 	for _, e := range in.active {

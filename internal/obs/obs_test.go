@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCountsPortMajor(t *testing.T) {
+	r := NewRecorder(3, 0)
+	r.Inc(0, KindAdmit)
+	r.Inc(2, KindAdmit)
+	r.Inc(2, KindTailDrop)
+	r.Add(1, KindPushedOutWork, 7)
+	r.Inc(1, KindPushOut)
+
+	if got := r.Count(0, KindAdmit); got != 1 {
+		t.Errorf("port 0 admits = %d, want 1", got)
+	}
+	if got := r.Count(2, KindAdmit); got != 1 {
+		t.Errorf("port 2 admits = %d, want 1", got)
+	}
+	if got := r.Total(KindAdmit); got != 2 {
+		t.Errorf("total admits = %d, want 2", got)
+	}
+	if got := r.Count(1, KindPushedOutWork); got != 7 {
+		t.Errorf("port 1 pushed-out work = %d, want 7", got)
+	}
+	// Lanes are independent: port 1's push-out did not leak elsewhere.
+	if got := r.Count(1, KindAdmit); got != 0 {
+		t.Errorf("port 1 admits = %d, want 0", got)
+	}
+
+	s := r.Snapshot()
+	if s.Totals.Admits != 2 || s.Totals.TailDrops != 1 || s.Totals.PushOuts != 1 || s.Totals.PushedOutWork != 7 {
+		t.Errorf("snapshot totals %+v", s.Totals)
+	}
+	if len(s.PerPort) != 3 || s.PerPort[2].TailDrops != 1 {
+		t.Errorf("snapshot per-port %+v", s.PerPort)
+	}
+
+	r.Reset()
+	if got := r.Total(KindAdmit); got != 0 {
+		t.Errorf("after Reset total admits = %d, want 0", got)
+	}
+}
+
+func TestSnapshotBalanced(t *testing.T) {
+	r := NewRecorder(2, 0)
+	r.Inc(0, KindAdmit)
+	r.Inc(0, KindHOLTransmit)
+	r.Inc(1, KindAdmit)
+	r.Inc(1, KindAdmit)
+	r.Inc(1, KindPushOut)
+	r.Inc(1, KindHOLTransmit)
+	if p := r.Snapshot().Balanced(); p != -1 {
+		t.Errorf("balanced snapshot reported port %d", p)
+	}
+	r.Inc(1, KindAdmit) // admitted but never transmitted or pushed out
+	if p := r.Snapshot().Balanced(); p != 1 {
+		t.Errorf("unbalanced port = %d, want 1", p)
+	}
+}
+
+func TestTracerRingWrapsOldestFirst(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Slot: int64(i), Port: i, Kind: KindAdmit, Work: 1, Value: 1})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	evs := tr.Events()
+	for i, want := range []int64{2, 3, 4} {
+		if evs[i].Slot != want {
+			t.Errorf("event %d slot = %d, want %d", i, evs[i].Slot, want)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("after Reset len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTracerPartialFill(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Slot: 1})
+	tr.Record(Event{Slot: 2})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Slot != 1 || evs[1].Slot != 2 {
+		t.Errorf("events %+v", evs)
+	}
+}
+
+func TestRecorderTraceRoutesThroughRing(t *testing.T) {
+	r := NewRecorder(2, 4)
+	r.Trace(3, 1, KindPushOut, 2, 5)
+	s := r.Snapshot()
+	if len(s.Events) != 1 {
+		t.Fatalf("events %+v", s.Events)
+	}
+	ev := s.Events[0]
+	if ev.Slot != 3 || ev.Port != 1 || ev.Kind != KindPushOut || ev.Work != 2 || ev.Value != 5 {
+		t.Errorf("event %+v", ev)
+	}
+	// Without a tracer, Trace is a no-op rather than a panic.
+	r0 := NewRecorder(2, 0)
+	r0.Trace(1, 0, KindAdmit, 1, 1)
+	if s := r0.Snapshot(); len(s.Events) != 0 || s.DroppedEvents != 0 {
+		t.Errorf("untraced snapshot %+v", s)
+	}
+}
+
+func TestDumpEventsFormat(t *testing.T) {
+	var b strings.Builder
+	evs := []Event{
+		{Slot: 0, Port: 1, Kind: KindAdmit, Work: 2, Value: 1},
+		{Slot: 4, Port: 0, Kind: KindTailDrop, Work: 1, Value: 3},
+	}
+	if err := DumpEvents(&b, "LQD", evs, 7); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "# smbm-obs-trace v1 label=LQD events=2 dropped=7\n0 1 admit 2 1\n4 0 drop 1 3\n"
+	if got != want {
+		t.Errorf("dump:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if s := k.String(); s == "kind?" || s == "" {
+			t.Errorf("Kind(%d) has no name", k)
+		}
+	}
+}
+
+// BenchmarkRecorderInc pins the recording cost: a handful of ns, no
+// allocations — the attached-recorder side of the overhead contract.
+func BenchmarkRecorderInc(b *testing.B) {
+	r := NewRecorder(16, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Inc(i&15, KindAdmit)
+	}
+}
+
+// BenchmarkTracerRecord pins the ring write cost.
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(Event{Slot: int64(i), Port: i & 15, Kind: KindAdmit, Work: 1, Value: 1})
+	}
+}

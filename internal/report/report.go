@@ -162,11 +162,36 @@ go test -bench=. -benchmem ./...    # benchmark harness (ratios as custom metric
   (which prints the completed points as a partial table and exits with
   code 2) costs only the in-flight cells. The journal is keyed by sweep
   name, so one file serves a whole multi-panel run; -cell-timeout bounds
-  runaway cells without killing the sweep.
+  runaway cells without killing the sweep. Every journal opens with a
+  fingerprint of the sweep's configuration (swept values, seeds, base
+  seed, fixed parameters, policy roster, fault spec): resuming after a
+  flag change fails loudly naming the changed field, so cells computed
+  under different configurations can never merge into one table. Legacy
+  journals without a fingerprint resume with a warning and are upgraded
+  in place.
 - **Fault injection** (cmd/smbsim -experiment faults, -faults "<spec>")
   wraps every system — each policy and the OPT proxy — in an identical
   seeded fault schedule, so the degraded ratio stays an apples-to-apples
   comparison. DESIGN.md §8 documents the fault model.
+- **Observability recipes** (DESIGN.md §12). Decision counters explain
+  *why* a policy's ratio moved — which ports it starved, how much work
+  its push-outs discarded:
+
+  ` + "```" + `
+  go run ./cmd/smbsim -experiment fig5.1 -obs           # counters per report
+  go run ./cmd/smbsim -experiment fig5.3 -obs -faults "blackout" \
+      -trace-events 64 -trace-out events.txt            # + last-64-events dump
+  go run ./cmd/smbsim -scale paper -checkpoint paper.ckpt \
+      -pprof localhost:6060                             # watch a long run:
+  curl -s localhost:6060/debug/vars | grep smbsim.progress
+  make obs-demo                                         # all of it, small
+  make bench-assert                                     # overhead gate: 0 allocs/op
+  ` + "```" + `
+
+  Counters are recorded branch-on-nil in the engine, so runs without
+  -obs pay one pointer compare per decision and remain allocation-free
+  (asserted by benchjson -assert-zero-allocs in CI). The OPT proxy is
+  not instrumented: counters describe the policies under study.
 
 `
 

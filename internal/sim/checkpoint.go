@@ -5,16 +5,30 @@ package sim
 // that crashes or is interrupted can resume where it left off instead
 // of starting over. The journal is keyed by sweep name, so one file can
 // serve a whole multi-panel run.
+//
+// Every journal opens with a fingerprint header line per sweep — the
+// sweep's identity (XLabel, an FNV-1a digest of the Xs, Seeds,
+// BaseSeed) plus the Build-supplied cell-config digest (B, C, speedup,
+// policy roster, fault spec). Resuming under a header that does not
+// match the current sweep fails loudly, naming the differing field:
+// silently merging cells journaled under different flags into fresh
+// results was the bug this header exists to prevent. Legacy journals
+// without a header still resume, with a warning, and are upgraded in
+// place.
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"strconv"
 
 	"smbm/internal/core"
+	"smbm/internal/obs"
 )
 
 // cellKey identifies one sweep cell by swept value and seed index.
@@ -23,13 +37,90 @@ type cellKey struct {
 	seedIndex int
 }
 
+// checkpointHeaderV is the fingerprint-header schema version this build
+// writes and understands.
+const checkpointHeaderV = 1
+
+// checkpointHeader is the journal's per-sweep fingerprint line. The
+// header_v field doubles as the record discriminator: cell records
+// never carry it, so the probe decode tells the two apart without
+// paying for full payloads.
+type checkpointHeader struct {
+	// Sweep keys the header to its sweep (journals are shared).
+	Sweep string `json:"sweep"`
+	// HeaderV is the schema version (checkpointHeaderV).
+	HeaderV int `json:"header_v"`
+	// XLabel echoes Sweep.XLabel.
+	XLabel string `json:"x_label"`
+	// XsHash is the FNV-1a digest of the swept values (count + values).
+	XsHash string `json:"xs_hash"`
+	// Seeds echoes Sweep.Seeds.
+	Seeds int `json:"seeds"`
+	// BaseSeed echoes Sweep.BaseSeed.
+	BaseSeed int64 `json:"base_seed"`
+	// Config is the Build-supplied cell-config digest
+	// (Sweep.ConfigDigest): everything baked into the cells that the
+	// sweep struct itself cannot see — B, C, speedup, policy roster,
+	// fault spec.
+	Config string `json:"config,omitempty"`
+}
+
+// header renders the sweep's expected fingerprint.
+func (s *Sweep) header() checkpointHeader {
+	return checkpointHeader{
+		Sweep:    s.Name,
+		HeaderV:  checkpointHeaderV,
+		XLabel:   s.XLabel,
+		XsHash:   xsDigest(s.Xs),
+		Seeds:    s.Seeds,
+		BaseSeed: s.BaseSeed,
+		Config:   s.ConfigDigest,
+	}
+}
+
+// xsDigest hashes the swept values (count, then each value) with
+// FNV-1a, rendering a compact hex fingerprint.
+func xsDigest(xs []int) string {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(xs)))
+	h.Write(b[:])
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		h.Write(b[:])
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// diff compares the expected header h against a journaled one and
+// returns an error naming the first differing field, or nil when the
+// journal matches the current sweep.
+func (h checkpointHeader) diff(got checkpointHeader) error {
+	if got.HeaderV != h.HeaderV {
+		return fmt.Errorf("header version: journal v%d, this build writes v%d", got.HeaderV, h.HeaderV)
+	}
+	for _, f := range []struct{ name, journal, sweep string }{
+		{"x_label", got.XLabel, h.XLabel},
+		{"xs", got.XsHash, h.XsHash},
+		{"seeds", strconv.Itoa(got.Seeds), strconv.Itoa(h.Seeds)},
+		{"base_seed", strconv.FormatInt(got.BaseSeed, 10), strconv.FormatInt(h.BaseSeed, 10)},
+		{"config", got.Config, h.Config},
+	} {
+		if f.journal != f.sweep {
+			return fmt.Errorf("%s: journal has %q, sweep has %q", f.name, f.journal, f.sweep)
+		}
+	}
+	return nil
+}
+
 // checkpointResult is the serialized form of one Result. The empirical
 // ratio is recomputed on load because JSON cannot encode +Inf.
 type checkpointResult struct {
-	Policy        string     `json:"policy"`
-	Throughput    int64      `json:"throughput"`
-	OptThroughput int64      `json:"opt_throughput"`
-	Stats         core.Stats `json:"stats"`
+	Policy        string        `json:"policy"`
+	Throughput    int64         `json:"throughput"`
+	OptThroughput int64         `json:"opt_throughput"`
+	Stats         core.Stats    `json:"stats"`
+	Obs           *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // checkpointRecord is one journal line: a completed cell.
@@ -40,9 +131,26 @@ type checkpointRecord struct {
 	Results   []checkpointResult `json:"results"`
 }
 
+// ckptJournal is what loadCheckpoint recovered from one journal file
+// for one sweep.
+type ckptJournal struct {
+	// done maps completed cells to their results.
+	done map[cellKey][]Result
+	// hasHeader reports that a matching fingerprint header was found
+	// for the sweep; journals without one are legacy and resumed on
+	// trust.
+	hasHeader bool
+	// torn reports that a partial final line (a crash torn write) was
+	// dropped; validSize is then the byte length of the intact prefix,
+	// which the caller truncates to before appending.
+	torn      bool
+	validSize int64
+}
+
 // loadCheckpoint reads the journal at path and returns the completed
-// cells recorded for the named sweep. A missing file is an empty
-// journal.
+// cells recorded for the sweep expect describes, verifying any
+// fingerprint header for that sweep against expect field by field. A
+// missing file is an empty journal.
 //
 // Only a malformed *final* line is tolerated: that is the signature of a
 // torn write from a crash mid-append (the journal is opened O_APPEND and
@@ -50,14 +158,14 @@ type checkpointRecord struct {
 // counts. A malformed line with more data after it is genuine corruption
 // — silently resuming past it would re-run some cells and trust the rest
 // of a damaged file — so it is reported as an error naming the line.
-func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
-	done := map[cellKey][]Result{}
+func loadCheckpoint(path string, expect checkpointHeader) (ckptJournal, error) {
+	j := ckptJournal{done: map[cellKey][]Result{}}
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return done, nil
+		return j, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+		return j, fmt.Errorf("sim: checkpoint %s: %w", path, err)
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -67,22 +175,40 @@ func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
 		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
+			if badLine == 0 {
+				j.validSize++
+			}
 			continue
 		}
 		if badLine != 0 {
-			return nil, fmt.Errorf("sim: checkpoint %s: malformed record at line %d followed by more data: journal is corrupt, not torn; refusing to resume (move the file aside to start over)", path, badLine)
+			return j, fmt.Errorf("sim: checkpoint %s: malformed record at line %d followed by more data: journal is corrupt, not torn; refusing to resume (move the file aside to start over)", path, badLine)
 		}
-		// The journal is shared across sweeps: probe-decode only the key
-		// field first so foreign records are skipped without paying for
-		// their full Results payload.
+		// The journal is shared across sweeps: probe-decode only the
+		// discriminating fields first, so foreign records are skipped
+		// without paying for their full Results payload.
 		var probe struct {
-			Sweep string `json:"sweep"`
+			Sweep   string `json:"sweep"`
+			HeaderV int    `json:"header_v"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
 			badLine = lineNo // tolerated iff this turns out to be the final line
 			continue
 		}
-		if probe.Sweep != sweep {
+		if probe.Sweep != expect.Sweep {
+			j.validSize += int64(len(line)) + 1
+			continue
+		}
+		if probe.HeaderV != 0 {
+			var got checkpointHeader
+			if err := json.Unmarshal(line, &got); err != nil {
+				badLine = lineNo
+				continue
+			}
+			if err := expect.diff(got); err != nil {
+				return j, fmt.Errorf("sim: checkpoint %s: sweep %q configuration changed since the journal was written — %w; finish with the original flags or move the file aside to start over", path, expect.Sweep, err)
+			}
+			j.hasHeader = true
+			j.validSize += int64(len(line)) + 1
 			continue
 		}
 		var rec checkpointRecord
@@ -98,14 +224,22 @@ func loadCheckpoint(path, sweep string) (map[cellKey][]Result, error) {
 				OptThroughput: cr.OptThroughput,
 				Ratio:         ratio(cr.OptThroughput, cr.Throughput),
 				Stats:         cr.Stats,
+				Obs:           cr.Obs,
 			}
 		}
-		done[cellKey{rec.X, rec.SeedIndex}] = rs
+		j.done[cellKey{rec.X, rec.SeedIndex}] = rs
+		j.validSize += int64(len(line)) + 1
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sim: checkpoint %s: %w", path, err)
+		return j, fmt.Errorf("sim: checkpoint %s: %w", path, err)
 	}
-	return done, nil
+	j.torn = badLine != 0
+	return j, nil
+}
+
+// appendHeader journals the sweep's fingerprint header as a JSON line.
+func appendHeader(w io.Writer, h checkpointHeader) error {
+	return appendLine(w, h)
 }
 
 // appendCheckpoint journals one completed cell as a JSON line.
@@ -122,9 +256,15 @@ func appendCheckpoint(w io.Writer, sweep string, x, seedIndex int, results []Res
 			Throughput:    r.Throughput,
 			OptThroughput: r.OptThroughput,
 			Stats:         r.Stats,
+			Obs:           r.Obs,
 		}
 	}
-	line, err := json.Marshal(rec)
+	return appendLine(w, rec)
+}
+
+// appendLine marshals v and writes it as one newline-terminated record.
+func appendLine(w io.Writer, v any) error {
+	line, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}

@@ -1,0 +1,213 @@
+package sim
+
+// Regression tests for the checkpoint fingerprint header: resuming a
+// journal after any sweep-configuration change must fail loudly and
+// name the differing field, legacy headerless journals must resume with
+// a warning and be upgraded in place, and a header torn by a crash
+// mid-append must be recovered like any other torn final record.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// ckptSweep builds the standard test sweep journaling to a fresh file,
+// with a representative cell-config digest.
+func ckptSweep(t *testing.T, path string) *Sweep {
+	t.Helper()
+	s := testSweep()
+	s.Checkpoint = path
+	s.ConfigDigest = "model=processing;B=4;C=1;policies=Greedy,LWD"
+	return s
+}
+
+// TestCheckpointResumeRejectsChangedConfig pins the headline bugfix:
+// after a checkpointed run completes, re-running with any sweep
+// parameter changed must refuse to resume, naming the differing field
+// instead of silently merging cells journaled under different flags.
+func TestCheckpointResumeRejectsChangedConfig(t *testing.T) {
+	cases := []struct {
+		field  string
+		mutate func(*Sweep)
+	}{
+		{"x_label", func(s *Sweep) { s.XLabel = "B" }},
+		{"xs", func(s *Sweep) { s.Xs = []int{2, 4} }},
+		{"seeds", func(s *Sweep) { s.Seeds = 5 }},
+		{"base_seed", func(s *Sweep) { s.BaseSeed = 99 }},
+		{"config", func(s *Sweep) { s.ConfigDigest += ";faults=blackout" }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.field, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			if _, err := ckptSweep(t, path).Run(); err != nil {
+				t.Fatal(err)
+			}
+			s := ckptSweep(t, path)
+			tc.mutate(s)
+			_, err := s.Run()
+			if err == nil {
+				t.Fatalf("resume with changed %s succeeded", tc.field)
+			}
+			if !strings.Contains(err.Error(), "configuration changed") {
+				t.Errorf("error %q does not say the configuration changed", err)
+			}
+			if !strings.Contains(err.Error(), tc.field+":") {
+				t.Errorf("error %q does not name the differing field %q", err, tc.field)
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeMatchingConfigIsClean asserts the happy path: an
+// unchanged re-run resumes every cell without warnings and produces a
+// full result.
+func TestCheckpointResumeMatchingConfigIsClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := ckptSweep(t, path).Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("clean resume warned: %q", res.Warnings)
+	}
+	if len(res.Points) != 3 || res.Partial {
+		t.Errorf("resumed result incomplete: %d points, partial=%v", len(res.Points), res.Partial)
+	}
+}
+
+// journalHasHeader reports whether the journal at path contains a
+// fingerprint header line for the test sweep. The upgrade path appends
+// the header (the journal is open O_APPEND), so position is not part of
+// the contract — presence is.
+func journalHasHeader(t *testing.T, path string) bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, `"sweep":"test"`) && strings.Contains(line, `"header_v":1`) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckpointLegacyJournalWarnsAndUpgrades pins backward
+// compatibility: a journal written before the fingerprint header
+// existed (cell records only) still resumes — with a loud warning that
+// its cells cannot be verified — and gains a header so the next resume
+// is fully checked.
+func TestCheckpointLegacyJournalWarnsAndUpgrades(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var b strings.Builder
+	legacy := []Result{
+		{Policy: "Greedy", Throughput: 5, OptThroughput: 10, Ratio: 2},
+		{Policy: "LWD", Throughput: 8, OptThroughput: 10, Ratio: 1.25},
+	}
+	if err := appendCheckpoint(&b, "test", 2, 0, legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "legacy journal") {
+		t.Errorf("legacy resume warnings = %q, want one legacy-journal warning", res.Warnings)
+	}
+	if !journalHasHeader(t, path) {
+		t.Error("journal not upgraded with a fingerprint header")
+	}
+
+	// The upgraded journal now resumes with the full check and no
+	// warning — and a changed config is caught.
+	res, err = ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("upgraded resume warned: %q", res.Warnings)
+	}
+	changed := ckptSweep(t, path)
+	changed.Seeds = 7
+	if _, err := changed.Run(); err == nil || !strings.Contains(err.Error(), "seeds:") {
+		t.Errorf("upgraded journal did not catch a seeds change: %v", err)
+	}
+}
+
+// TestCheckpointTornHeaderIsRecovered covers the crash window between
+// creating a journal and finishing its header write: the partial header
+// is a torn final record, so the sweep drops it, starts the journal
+// over, and writes a fresh header.
+func TestCheckpointTornHeaderIsRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, []byte(`{"sweep":"test","header_v":1,"x_la`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "torn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("torn header dropped silently; warnings = %q", res.Warnings)
+	}
+	if !journalHasHeader(t, path) {
+		t.Error("recovered journal has no fingerprint header")
+	}
+	// The rewritten journal is intact: an unchanged re-run is clean.
+	res, err = ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("re-run after torn-header recovery warned: %q", res.Warnings)
+	}
+}
+
+// TestCheckpointForeignHeaderIgnored pins the shared-journal contract:
+// another sweep's header — even one with a wildly different
+// configuration — must not disturb this sweep's resume.
+func TestCheckpointForeignHeaderIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	var b strings.Builder
+	foreign := checkpointHeader{
+		Sweep: "other", HeaderV: checkpointHeaderV, XLabel: "B",
+		XsHash: "deadbeef", Seeds: 9, BaseSeed: 7, Config: "B=999",
+	}
+	if err := appendHeader(&b, foreign); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckptSweep(t, path).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 0 {
+		t.Errorf("foreign header caused warnings: %q", res.Warnings)
+	}
+	if _, err := ckptSweep(t, path).Run(); err != nil {
+		t.Errorf("resume alongside a foreign header failed: %v", err)
+	}
+}

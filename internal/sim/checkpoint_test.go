@@ -34,22 +34,31 @@ func writeCkpt(t *testing.T, content string) string {
 // write torn by a crash mid-append — is dropped, and every intact line
 // before it still counts.
 func TestCheckpointToleratesTornFinalLine(t *testing.T) {
-	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+ckptLine(t, "s", 1, 1)+`{"sweep":"s","x":2,"seed_ind`)
-	done, err := loadCheckpoint(path, "s")
+	intact := ckptLine(t, "s", 1, 0) + ckptLine(t, "s", 1, 1)
+	path := writeCkpt(t, intact+`{"sweep":"s","x":2,"seed_ind`)
+	j, err := loadCheckpoint(path, checkpointHeader{Sweep: "s"})
 	if err != nil {
 		t.Fatalf("torn final line rejected: %v", err)
 	}
-	if len(done) != 2 {
-		t.Fatalf("recovered %d cells, want 2", len(done))
+	if len(j.done) != 2 {
+		t.Fatalf("recovered %d cells, want 2", len(j.done))
 	}
 	for _, key := range []cellKey{{1, 0}, {1, 1}} {
-		if _, ok := done[key]; !ok {
+		if _, ok := j.done[key]; !ok {
 			t.Errorf("intact cell %+v lost", key)
 		}
 	}
 	// The empirical ratio is recomputed on load (JSON cannot carry +Inf).
-	if got := done[cellKey{1, 0}][0].Ratio; got != 1.2 {
+	if got := j.done[cellKey{1, 0}][0].Ratio; got != 1.2 {
 		t.Errorf("recomputed ratio = %v, want 1.2", got)
+	}
+	// The torn tail is reported with the intact prefix length, so the
+	// sweep can truncate before appending.
+	if !j.torn {
+		t.Error("torn tail not flagged")
+	}
+	if want := int64(len(intact)); j.validSize != want {
+		t.Errorf("validSize = %d, want %d", j.validSize, want)
 	}
 }
 
@@ -59,7 +68,7 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 // The loader must fail and name the offending line.
 func TestCheckpointRejectsMidFileCorruption(t *testing.T) {
 	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+"GARBAGE not json\n"+ckptLine(t, "s", 1, 1))
-	_, err := loadCheckpoint(path, "s")
+	_, err := loadCheckpoint(path, checkpointHeader{Sweep: "s"})
 	if err == nil {
 		t.Fatal("mid-file corruption loaded without error")
 	}
@@ -84,22 +93,25 @@ func TestCheckpointRejectsMidFileCorruption(t *testing.T) {
 func TestCheckpointSkipsForeignRecordsWithoutFullDecode(t *testing.T) {
 	foreign := `{"sweep":"other","x":true,"results":"not-an-array"}` + "\n"
 	path := writeCkpt(t, ckptLine(t, "s", 1, 0)+foreign+ckptLine(t, "s", 2, 0))
-	done, err := loadCheckpoint(path, "s")
+	j, err := loadCheckpoint(path, checkpointHeader{Sweep: "s"})
 	if err != nil {
 		t.Fatalf("foreign record broke the load: %v", err)
 	}
-	if len(done) != 2 {
-		t.Fatalf("recovered %d cells, want 2", len(done))
+	if len(j.done) != 2 {
+		t.Fatalf("recovered %d cells, want 2", len(j.done))
 	}
 }
 
 // TestCheckpointMissingFileIsEmpty pins the first-run behaviour.
 func TestCheckpointMissingFileIsEmpty(t *testing.T) {
-	done, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"), "s")
+	j, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt"), checkpointHeader{Sweep: "s"})
 	if err != nil {
 		t.Fatalf("missing journal errored: %v", err)
 	}
-	if len(done) != 0 {
-		t.Fatalf("missing journal recovered %d cells", len(done))
+	if len(j.done) != 0 {
+		t.Fatalf("missing journal recovered %d cells", len(j.done))
+	}
+	if j.hasHeader || j.torn {
+		t.Fatalf("missing journal reported header=%v torn=%v", j.hasHeader, j.torn)
 	}
 }

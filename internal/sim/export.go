@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -21,6 +22,11 @@ func (r *SweepResult) Plot() string {
 		for i, p := range r.Points {
 			if s, ok := p.Ratio[name]; ok {
 				ys[i] = s.Mean
+			} else {
+				// A point missing the policy must not render as a fake
+				// 1.000-adjacent zero: NaN samples are skipped by the
+				// chart, leaving a gap in that series.
+				ys[i] = math.NaN()
 			}
 		}
 		series[name] = ys
@@ -44,8 +50,13 @@ func (r *SweepResult) CSV() string {
 	for _, p := range r.Points {
 		b.WriteString(strconv.Itoa(p.X))
 		for _, name := range r.Policies {
-			s := p.Ratio[name]
-			fmt.Fprintf(&b, ",%.6f,%.6f", s.Mean, s.Std)
+			if s, ok := p.Ratio[name]; ok {
+				fmt.Fprintf(&b, ",%.6f,%.6f", s.Mean, s.Std)
+			} else {
+				// Explicit placeholders instead of a fabricated
+				// 0.000000 summary for a policy this point never ran.
+				b.WriteString(",NaN,NaN")
+			}
 		}
 		b.WriteByte('\n')
 	}

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"smbm/internal/core"
+	"smbm/internal/obs"
 	"smbm/internal/opt"
 	"smbm/internal/pkt"
 	"smbm/internal/traffic"
@@ -227,6 +228,13 @@ type Instance struct {
 	// (internal/faults). The wrapper must be deterministic so every
 	// system sees the same degradations.
 	Wrap func(System) (System, error)
+	// Obs, when non-nil, attaches a fresh obs.Recorder to every policy
+	// replay (recorders attach through obs.Target, so fault-injector
+	// wrappers are instrumented too) and snapshots it into Result.Obs.
+	// Obs.TraceEvents > 0 additionally rings the last that many decision
+	// events per replay. The OPT proxies are not instrumented. A nil Obs
+	// keeps the engine in its zero-overhead detached state.
+	Obs *obs.Options
 }
 
 // Result reports one policy's performance on an instance.
@@ -242,6 +250,9 @@ type Result struct {
 	Ratio float64
 	// Stats carries the policy run's full counters.
 	Stats core.Stats
+	// Obs carries the replay's decision counters (and traced events when
+	// tracing was enabled); nil unless Instance.Obs was set.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Run executes the instance: the OPT proxy once, then every policy on
@@ -341,20 +352,55 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 		if err != nil {
 			return nil, err
 		}
+		rec := inst.newRecorder()
+		attached := attachRecorder(sys, rec)
 		stats, err := RunTraceContext(ctx, sys, inst.Provider, opts)
+		if attached {
+			// Detach before reuse or error return: the cached switch must
+			// not carry a recorder into the next cell.
+			sys.(obs.Target).SetRecorder(nil)
+		}
 		if err != nil {
 			return nil, err
 		}
 		throughput := stats.Throughput(inst.Cfg.Model)
-		results = append(results, Result{
+		res := Result{
 			Policy:        p.Name(),
 			Throughput:    throughput,
 			OptThroughput: optThroughput,
 			Ratio:         ratio(optThroughput, throughput),
 			Stats:         stats,
-		})
+		}
+		if attached {
+			res.Obs = rec.Snapshot()
+		}
+		results = append(results, res)
 	}
 	return results, nil
+}
+
+// newRecorder builds the per-replay recorder implied by inst.Obs, or
+// nil when observability is disabled.
+func (inst Instance) newRecorder() *obs.Recorder {
+	if inst.Obs == nil {
+		return nil
+	}
+	return obs.NewRecorder(inst.Cfg.Ports, inst.Obs.TraceEvents)
+}
+
+// attachRecorder attaches rec to sys when both sides are capable,
+// reporting whether an attachment happened so the caller can detach
+// and snapshot.
+func attachRecorder(sys System, rec *obs.Recorder) bool {
+	if rec == nil {
+		return false
+	}
+	t, ok := sys.(obs.Target)
+	if !ok {
+		return false
+	}
+	t.SetRecorder(rec)
+	return true
 }
 
 // runParallel fans the OPT proxy and the per-policy replays out over a
@@ -371,6 +417,7 @@ func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
 	// Replay 0 is the OPT proxy; replay 1+i is policy i.
 	n := len(inst.Policies) + 1
 	stats := make([]core.Stats, n)
+	snaps := make([]*obs.Snapshot, n)
 	errs := make([]error, n)
 	build := func(i int) (System, error) {
 		if i == 0 {
@@ -396,7 +443,15 @@ func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
 				sys, err = inst.wrap(sys)
 			}
 			if err == nil {
+				var rec *obs.Recorder
+				if i > 0 { // the OPT proxy is not instrumented
+					rec = inst.newRecorder()
+				}
+				attached := attachRecorder(sys, rec)
 				stats[i], err = RunTraceContext(ctx, sys, inst.Provider, opts)
+				if attached && err == nil {
+					snaps[i] = rec.Snapshot()
+				}
 			}
 			if err != nil {
 				errs[i] = err
@@ -438,6 +493,7 @@ func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
 			OptThroughput: optThroughput,
 			Ratio:         ratio(optThroughput, throughput),
 			Stats:         st,
+			Obs:           snaps[i+1],
 		})
 	}
 	return results, nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"smbm/internal/metrics"
+	"smbm/internal/obs"
 	"smbm/internal/tablefmt"
 )
 
@@ -43,8 +44,50 @@ type Sweep struct {
 	// this file as a JSON line and, on a later run, skips cells already
 	// journaled — making paper-scale sweeps resumable after a crash or
 	// SIGINT. The journal is keyed by sweep Name, so several sweeps can
-	// share one file.
+	// share one file. Each sweep writes one fingerprint header line
+	// (XLabel, Xs digest, Seeds, BaseSeed, ConfigDigest); resuming
+	// under changed flags fails loudly naming the differing field.
 	Checkpoint string
+	// ConfigDigest canonically renders everything Build bakes into a
+	// cell that the sweep struct cannot see — B, C, speedup, policy
+	// roster, fault spec, trace shape. It rides in the checkpoint
+	// fingerprint so a resume after a flag change is refused instead of
+	// silently merging stale cells. Leave empty to fingerprint the
+	// sweep identity only.
+	ConfigDigest string
+	// Progress, when non-nil, is called from the fold goroutine after
+	// every cell outcome (completed or failed) with a running progress
+	// snapshot — the hook smbsim's expvar publication and per-cell
+	// trace dumping hang off. It must be fast and must not retain
+	// Results beyond the call.
+	Progress func(SweepProgress)
+	// Obs, when non-nil, is copied into every built instance that does
+	// not configure observability itself, attaching decision-counter
+	// recorders (and, when TraceEvents > 0, event tracers) to every
+	// policy replay of every cell.
+	Obs *obs.Options
+}
+
+// SweepProgress is the point-in-time view of a running sweep delivered
+// to Sweep.Progress after each cell outcome.
+type SweepProgress struct {
+	// Sweep and XLabel echo the sweep identity.
+	Sweep, XLabel string
+	// X and SeedIndex identify the cell this notification is about.
+	X, SeedIndex int
+	// Done counts cells completed by this run so far; Failed counts
+	// confined cell failures; Skipped counts cells resumed from the
+	// checkpoint journal; Total is the full grid size.
+	Done, Failed, Skipped, Total int
+	// CheckpointLag counts completed cells whose journal append failed
+	// (0 when journaling is off or healthy): a growing lag means a
+	// crash would lose that many cells.
+	CheckpointLag int
+	// Err is the cell's failure (a *CellError), nil when it completed.
+	Err error
+	// Results are the completed cell's per-policy results (nil on
+	// failure). Shared with the sweep's own grid: read, don't mutate.
+	Results []Result
 }
 
 // CellError is a failure confined to one (x, seed) sweep cell: a Build
@@ -105,6 +148,14 @@ type SweepResult struct {
 	// run was canceled or some cells failed. The Points present are
 	// still valid aggregates of the completed cells.
 	Partial bool
+	// Obs aggregates the per-policy decision counters across every
+	// completed cell, keyed by policy name; nil unless the instances
+	// attached recorders (Sweep.Obs / Instance.Obs).
+	Obs map[string]obs.KindCounts `json:"obs,omitempty"`
+	// Warnings carries non-fatal anomalies the run noticed — a legacy
+	// checkpoint journal without a fingerprint header, a torn record
+	// dropped on resume — for the caller to surface.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // Run executes all (x, seed) cells on a bounded worker pool and folds
@@ -174,6 +225,9 @@ func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si, intra int) (re
 	if intra > 1 && inst.Parallelism == 0 {
 		inst.Parallelism = intra
 	}
+	if s.Obs != nil && inst.Obs == nil {
+		inst.Obs = s.Obs
+	}
 	res, err = inst.RunScratch(cellCtx, sc)
 	if err != nil {
 		if ctx.Err() == nil && cellCtx.Err() != nil {
@@ -209,19 +263,41 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Resume: prefill the grid from the checkpoint journal and open it
+	// Resume: prefill the grid from the checkpoint journal — verifying
+	// its fingerprint header against the current sweep — and open it
 	// for appending new cells.
 	var journal *os.File
+	var warnings []string
 	done := map[cellKey][]Result{}
 	if s.Checkpoint != "" {
-		var err error
-		if done, err = loadCheckpoint(s.Checkpoint, s.Name); err != nil {
+		j, err := loadCheckpoint(s.Checkpoint, s.header())
+		if err != nil {
 			return nil, err
+		}
+		done = j.done
+		if j.torn {
+			// Drop the torn tail before appending, so the journal stays
+			// one-record-per-line for the next resume.
+			if err := os.Truncate(s.Checkpoint, j.validSize); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint %s: dropping torn final record: %w", s.Checkpoint, err)
+			}
+			warnings = append(warnings, fmt.Sprintf(
+				"checkpoint %s: dropped a torn final record (crash mid-append); %d intact cells resumed", s.Checkpoint, len(done)))
 		}
 		if journal, err = os.OpenFile(s.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 			return nil, fmt.Errorf("sim: checkpoint %s: %w", s.Checkpoint, err)
 		}
 		defer journal.Close()
+		if !j.hasHeader {
+			if len(done) > 0 {
+				warnings = append(warnings, fmt.Sprintf(
+					"checkpoint %s: legacy journal has no fingerprint header; cannot verify that its %d cells match the current configuration — resuming on trust", s.Checkpoint, len(done)))
+			}
+			// Upgrade in place: future resumes get the full check.
+			if err := appendHeader(journal, s.header()); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	type cell struct{ xi, si int }
@@ -299,6 +375,21 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 
 	var cellErrs []*CellError
 	var journalErr error
+	skipped := completed
+	runDone, failed, journalLag := 0, 0, 0
+	notify := func(o outcome, err error) {
+		if s.Progress == nil {
+			return
+		}
+		s.Progress(SweepProgress{
+			Sweep: s.Name, XLabel: s.XLabel,
+			X: s.Xs[o.xi], SeedIndex: o.si,
+			Done: runDone, Failed: failed, Skipped: skipped, Total: total,
+			CheckpointLag: journalLag,
+			Err:           err,
+			Results:       o.results,
+		})
+	}
 	for o := range outcomes {
 		if o.err != nil {
 			// A cancellation-induced abort is an interruption, not a
@@ -312,18 +403,25 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 					SeedIndex: o.si, Seed: s.cellSeed(o.xi, o.si), Err: o.err}
 			}
 			cellErrs = append(cellErrs, ce)
+			failed++
+			notify(outcome{cell: o.cell}, ce)
 			continue
 		}
 		grid[o.xi][o.si], okGrid[o.xi][o.si] = o.results, true
 		completed++
+		runDone++
 		if journal != nil {
-			if err := appendCheckpoint(journal, s.Name, s.Xs[o.xi], o.si, o.results); err != nil && journalErr == nil {
-				journalErr = err
+			if err := appendCheckpoint(journal, s.Name, s.Xs[o.xi], o.si, o.results); err != nil {
+				journalLag++
+				if journalErr == nil {
+					journalErr = err
+				}
 			}
 		}
+		notify(o, nil)
 	}
 
-	out := &SweepResult{Name: s.Name, XLabel: s.XLabel, Partial: completed < total}
+	out := &SweepResult{Name: s.Name, XLabel: s.XLabel, Partial: completed < total, Warnings: warnings}
 	for xi, x := range s.Xs {
 		var any bool
 		for si := 0; si < s.Seeds; si++ {
@@ -346,6 +444,14 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 				}
 				ratios[r.Policy].Add(r.Ratio)
 				thrs[r.Policy].Add(float64(r.Throughput))
+				if r.Obs != nil {
+					if out.Obs == nil {
+						out.Obs = make(map[string]obs.KindCounts)
+					}
+					c := out.Obs[r.Policy]
+					c.Accumulate(r.Obs.Totals)
+					out.Obs[r.Policy] = c
+				}
 			}
 			if len(grid[xi][si]) > 0 {
 				optW.Add(float64(grid[xi][si][0].OptThroughput))
@@ -410,7 +516,7 @@ func (r *SweepResult) Table() string {
 		for _, name := range r.Policies {
 			s := p.Ratio[name]
 			cell := formatRatio(s.Mean)
-			if s.N > 1 && !math.IsInf(s.Mean, 0) {
+			if s.N > 1 && !math.IsInf(s.Mean, 0) && !math.IsNaN(s.Mean) {
 				cell += fmt.Sprintf("±%.2f", s.Std)
 			}
 			row = append(row, cell)
@@ -421,13 +527,25 @@ func (r *SweepResult) Table() string {
 }
 
 // Series returns (x, mean ratio) pairs for one policy, convenient for
-// plotting or asserting trends in tests.
+// plotting or asserting trends in tests. The xs always cover every
+// point of the result: a point missing the policy yields a NaN
+// placeholder instead of being silently dropped, so series of
+// different policies stay aligned for plot and export consumers
+// (internal/plot skips NaN samples when rendering). A policy absent
+// from every point returns (nil, nil).
 func (r *SweepResult) Series(policy string) (xs []int, means []float64) {
+	var present bool
 	for _, p := range r.Points {
+		xs = append(xs, p.X)
 		if s, ok := p.Ratio[policy]; ok {
-			xs = append(xs, p.X)
 			means = append(means, s.Mean)
+			present = true
+		} else {
+			means = append(means, math.NaN())
 		}
+	}
+	if !present {
+		return nil, nil
 	}
 	return xs, means
 }
@@ -452,9 +570,45 @@ func (r *SweepResult) BestPolicy() []string {
 	return out
 }
 
+// formatRatio renders a ratio cell, normalizing the non-finite cases:
+// strconv would render NaN as "NaN" and -Inf as a misleading numeric
+// "-Inf" mid-table, so both are spelled out like "inf" already was.
 func formatRatio(v float64) string {
-	if math.IsInf(v, 1) {
+	switch {
+	case math.IsNaN(v):
+		return "nan"
+	case math.IsInf(v, 1):
 		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
 	}
 	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// ObsTable renders the aggregated decision counters as an aligned text
+// table — one row per policy in roster order, one column per counter
+// lane — or "" when no counters were recorded.
+func (r *SweepResult) ObsTable() string {
+	if len(r.Obs) == 0 {
+		return ""
+	}
+	headers := []string{"policy", "admits", "drops", "pushouts", "po-work", "po-value", "transmits", "faults"}
+	rows := make([][]string, 0, len(r.Obs))
+	for _, name := range r.Policies {
+		c, ok := r.Obs[name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			name,
+			strconv.FormatUint(c.Admits, 10),
+			strconv.FormatUint(c.TailDrops, 10),
+			strconv.FormatUint(c.PushOuts, 10),
+			strconv.FormatUint(c.PushedOutWork, 10),
+			strconv.FormatUint(c.PushedOutValue, 10),
+			strconv.FormatUint(c.HOLTransmits, 10),
+			strconv.FormatUint(c.FaultEvents, 10),
+		})
+	}
+	return tablefmt.Render(headers, rows)
 }

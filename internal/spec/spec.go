@@ -195,12 +195,20 @@ func (e *Experiment) ToSweep() (*sim.Sweep, error) {
 	if baseSeed == 0 {
 		baseSeed = 1
 	}
+	// The whole spec re-marshaled is its own canonical cell-config
+	// digest: struct field order is fixed, so equal specs render equal
+	// strings for the checkpoint fingerprint.
+	digest, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("spec: digest: %w", err)
+	}
 	return &sim.Sweep{
-		Name:     e.Name,
-		XLabel:   e.Sweep,
-		Xs:       e.Values,
-		Seeds:    seeds,
-		BaseSeed: baseSeed,
+		Name:         e.Name,
+		XLabel:       e.Sweep,
+		Xs:           e.Values,
+		Seeds:        seeds,
+		BaseSeed:     baseSeed,
+		ConfigDigest: string(digest),
 		Build: func(x int, seed int64) (sim.Instance, error) {
 			k, b, c := e.params(x)
 			cfg, mcfg, err := e.buildConfigs(k, b, c, seed)
