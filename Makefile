@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint bench bench-json bench-assert panels lowerbounds arch faults obs-demo report examples clean
+.PHONY: all build test test-race vet lint chaos bench bench-json bench-assert panels lowerbounds arch faults obs-demo report examples clean
 
 all: build vet lint test test-race
 
@@ -26,7 +26,15 @@ test:
 # Race-detector pass over the concurrency-sensitive harness packages and
 # the shared-state providers they drive.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/... ./internal/traffic/... ./internal/adversary/...
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/... ./internal/traffic/... ./internal/adversary/... ./internal/lease
+
+# Crash-chaos harness for the lease ledger: fork real worker
+# subprocesses, SIGKILL them mid-cell, truncate their journals at random
+# byte offsets, restart them, and require the merged sweep to be
+# bit-identical to a single-process run (DESIGN.md §13). Replay a
+# schedule with SMBM_CHAOS_SEED=<n> make chaos.
+chaos:
+	$(GO) test ./internal/lease/chaostest -count=1 -v -run TestChaos
 
 # Full benchmark pass (tables, figures, substrates, ablations).
 bench:

@@ -6,6 +6,7 @@ import (
 	"smbm/internal/experiments"
 	"smbm/internal/faults"
 	"smbm/internal/mapcheck"
+	"smbm/internal/obs"
 	"smbm/internal/opt"
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
@@ -231,6 +232,29 @@ func LowerBounds() ([]Construction, error) { return adversary.All() }
 
 // PanelIDs lists the Fig. 5 evaluation panels.
 func PanelIDs() []string { return experiments.PanelIDs() }
+
+// Parameter sweeps — single-process or distributed across a fleet.
+type (
+	// Sweep describes a one-dimensional parameter sweep replicated over
+	// seeds. Set Checkpoint for resumable single-process runs, or Ledger
+	// plus LedgerWorker to divide the grid crash-safely among several
+	// processes through a shared lease-ledger directory (internal/lease):
+	// workers survive crashes, hangs and torn journal writes, and the
+	// merged result stays bit-identical to a single-process run.
+	Sweep = sim.Sweep
+	// SweepResult is a completed — or gracefully partial — sweep.
+	SweepResult = sim.SweepResult
+	// SweepPoint aggregates one swept value across seeds.
+	SweepPoint = sim.PointResult
+	// SweepProgress is the per-cell progress notification delivered to
+	// Sweep.Progress.
+	SweepProgress = sim.SweepProgress
+	// CellError is a failure confined to one (x, seed) sweep cell.
+	CellError = sim.CellError
+	// LeaseCounts aggregates one process's lease-ledger activity during
+	// a distributed sweep (SweepResult.Lease).
+	LeaseCounts = obs.LeaseCounts
+)
 
 // Single-queue architecture (the paper's Fig. 1 baseline).
 type (

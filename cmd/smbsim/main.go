@@ -24,6 +24,17 @@
 //	smbsim -cell-timeout 5m         # fail runaway cells, keep the rest
 //	smbsim -faults "blackout;squeeze:b=32"  # inject faults into a sweep
 //
+// Distributed sweeps share one lease ledger directory (any shared
+// filesystem) among several smbsim processes; workers crash-safely
+// divide each sweep's (x, seed) cells and the merged result is
+// bit-identical to a single-process run:
+//
+//	smbsim -ledger run.ledger -worker &     # as many workers as you like,
+//	smbsim -ledger run.ledger -worker &     # on as many machines as you like
+//	smbsim -ledger run.ledger -coordinator  # waits, merges, renders tables
+//	smbsim -ledger run.ledger               # or: compute AND render in one
+//	smbsim -ledger run.ledger -lease-ttl 30s -cell-retries 5
+//
 // SIGINT cancels the run gracefully: completed points are printed as a
 // partial table and the process exits with code 2, so a checkpointed
 // run can be resumed later.
@@ -49,6 +60,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 
 	"smbm/internal/cli"
@@ -98,6 +110,31 @@ func (v *progressVar) String() string {
 		p.Sweep, p.XLabel, p.X, p.SeedIndex, p.Done, p.Failed, p.Skipped, p.Total, p.CheckpointLag)
 }
 
+// defaultWorkerID derives a ledger identity that is unique per live
+// process — hostname plus pid, sanitized to the ledger's worker-ID
+// alphabet — so a fleet launched without -worker-id just works.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	clean := make([]byte, 0, len(host))
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '-')
+		}
+	}
+	id := strings.Trim(string(clean), ".-_")
+	if id == "" {
+		id = "worker"
+	}
+	return fmt.Sprintf("%s-%d", id, os.Getpid())
+}
+
 func main() {
 	var (
 		experiment  = flag.String("experiment", "", "experiment to run (fig5.1 ... fig5.9, arch, latency, faults); empty runs the nine panels")
@@ -114,6 +151,12 @@ func main() {
 		faultSpec   = flag.String("faults", "", `inject a fault plan into every sweep cell, e.g. "blackout;squeeze:b=32:period=500:dur=100" (see internal/faults)`)
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline; a timed-out cell fails without killing the sweep (0 = unbounded)")
 		checkpoint  = flag.String("checkpoint", "", "journal completed sweep cells to this file and resume from it on re-runs")
+		ledger      = flag.String("ledger", "", "distributed mode: share sweep cells with other smbsim processes through the crash-safe lease ledger in this directory (conflicts with -checkpoint)")
+		workerMode  = flag.Bool("worker", false, "fleet worker: compute leased cells and print one summary line per sweep instead of tables (requires -ledger)")
+		coordinator = flag.Bool("coordinator", false, "fleet coordinator: compute nothing, wait for the workers to finish each sweep, render the merged tables (requires -ledger)")
+		workerID    = flag.String("worker-id", "", "ledger identity of this process (default <hostname>-<pid>); two live processes must never share one")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "lease expiry: how long a crashed or hung worker holds a cell before others reclaim it (default 1m)")
+		cellRetries = flag.Int("cell-retries", 0, "failed attempts per cell before it is reported degraded (default 3; negative = no retries)")
 		obsFlag     = flag.Bool("obs", false, "record per-policy decision counters and append them to each report")
 		traceEvents = flag.Int("trace-events", 0, "ring-buffer the last N decision events per replay and dump them after each cell (implies -obs)")
 		traceOut    = flag.String("trace-out", "", "write -trace-events dumps to this file instead of stderr")
@@ -145,6 +188,20 @@ func main() {
 	}
 	scaleOpts.Parallelism = *workers
 
+	fail := func(msg string) {
+		fmt.Fprintln(os.Stderr, "smbsim:", msg)
+		os.Exit(exitFailure)
+	}
+	if (*workerMode || *coordinator) && *ledger == "" {
+		fail("-worker and -coordinator require -ledger")
+	}
+	if *workerMode && *coordinator {
+		fail("-worker and -coordinator are mutually exclusive")
+	}
+	if *ledger != "" && *checkpoint != "" {
+		fail("-ledger and -checkpoint are mutually exclusive; the ledger subsumes checkpointing")
+	}
+
 	opts := cli.PanelOptions{
 		Experiment:  *experiment,
 		Opts:        scaleOpts,
@@ -152,8 +209,19 @@ func main() {
 		CSV:         *asCSV,
 		CellTimeout: *cellTimeout,
 		Checkpoint:  *checkpoint,
+		Ledger:      *ledger,
+		LeaseTTL:    *leaseTTL,
+		CellRetries: *cellRetries,
+		WorkerMode:  *workerMode,
+		Coordinator: *coordinator,
 		Obs:         *obsFlag,
 		TraceEvents: *traceEvents,
+	}
+	if *ledger != "" {
+		opts.LedgerWorker = *workerID
+		if opts.LedgerWorker == "" {
+			opts.LedgerWorker = defaultWorkerID()
+		}
 	}
 	if *traceEvents > 0 {
 		opts.TraceWriter = os.Stderr
@@ -214,6 +282,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "smbsim: interrupted; partial results printed above")
 			if *checkpoint != "" {
 				fmt.Fprintf(os.Stderr, "smbsim: re-run with -checkpoint %s to resume\n", *checkpoint)
+			}
+			if *ledger != "" {
+				fmt.Fprintf(os.Stderr, "smbsim: re-run with -ledger %s to resume; cells this process was running become reclaimable after the lease TTL\n", *ledger)
 			}
 			stop() // restore default SIGINT behaviour for the exit path
 			os.Exit(exitInterrupted)

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// binary builds the smbsim binary once per test run and returns its
+// path; the SIGINT tests drive the real executable because signal
+// delivery, exit codes and stderr messaging are process-level behavior
+// no in-process test can see.
+var binary = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "smbsim-e2e-")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "smbsim")
+	cmd := exec.Command("go", "build", "-o", path, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", &buildError{out: out, err: err}
+	}
+	return path, nil
+})
+
+// buildError carries the compiler output of a failed test-binary build.
+type buildError struct {
+	out []byte
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + string(e.out) }
+
+// sweepArgs is the shared shape of the interrupted and oracle runs:
+// big enough (~0.3s per cell, 14 cells) that SIGINT reliably lands
+// mid-sweep, small enough to keep the test under a few seconds.
+func sweepArgs(extra ...string) []string {
+	args := []string{"-experiment", "fig5.1", "-slots", "15000", "-seeds", "2", "-workers", "2", "-csv"}
+	return append(args, extra...)
+}
+
+// waitForCellRecord polls the checkpoint journal until it holds at
+// least one complete cell record beyond the fingerprint header —
+// i.e. a second newline-terminated line — so the SIGINT lands after
+// some work is durably journaled but before the sweep finishes.
+func waitForCellRecord(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		raw, err := os.ReadFile(path)
+		if err == nil && bytes.Count(raw, []byte("\n")) >= 2 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("no checkpoint cell record appeared in %s within the deadline", path)
+}
+
+// TestSIGINTPartialThenResumeBitIdentical covers the graceful-interrupt
+// contract end to end: a checkpointed run killed with SIGINT mid-sweep
+// must exit with code 2 and announce partial results and the resume
+// path on stderr; a second run on the same journal must complete and
+// print output bit-identical to an uninterrupted run.
+func TestSIGINTPartialThenResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second subprocess test; skipped with -short")
+	}
+	bin, err := binary()
+	if err != nil {
+		t.Fatalf("building smbsim: %v", err)
+	}
+
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+
+	// The oracle: the same sweep, uninterrupted, no journal.
+	var oracleOut bytes.Buffer
+	oracle := exec.Command(bin, sweepArgs()...)
+	oracle.Stdout = &oracleOut
+	oracle.Stderr = os.Stderr
+	if err := oracle.Run(); err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+
+	// Interrupted run: SIGINT after the first cell record lands.
+	var out, errOut bytes.Buffer
+	interrupted := exec.Command(bin, sweepArgs("-checkpoint", ckpt)...)
+	interrupted.Stdout = &out
+	interrupted.Stderr = &errOut
+	if err := interrupted.Start(); err != nil {
+		t.Fatalf("starting interrupted run: %v", err)
+	}
+	waitForCellRecord(t, ckpt)
+	if err := interrupted.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	err = interrupted.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("interrupted run: want *exec.ExitError, got %v\nstderr: %s", err, errOut.String())
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("interrupted run exited %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if s := errOut.String(); !strings.Contains(s, "interrupted; partial results printed above") {
+		t.Fatalf("stderr missing the partial-results notice:\n%s", s)
+	}
+	if s := errOut.String(); !strings.Contains(s, "-checkpoint "+ckpt) {
+		t.Fatalf("stderr missing the resume hint:\n%s", s)
+	}
+
+	// Resume: same flags, same journal — must finish clean and match
+	// the oracle byte for byte.
+	var resumeOut bytes.Buffer
+	resume := exec.Command(bin, sweepArgs("-checkpoint", ckpt)...)
+	resume.Stdout = &resumeOut
+	resume.Stderr = os.Stderr
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resume run: %v", err)
+	}
+	if resumeOut.String() != oracleOut.String() {
+		t.Fatalf("resumed output differs from uninterrupted oracle:\n got:\n%s\nwant:\n%s", resumeOut.String(), oracleOut.String())
+	}
+}
+
+// TestSIGINTLedgerResumeHint checks the distributed variant of the
+// interrupt path: a leased worker killed with SIGINT must exit 2 and
+// point the operator at the ledger, and a fresh worker on the same
+// ledger must finish the grid.
+func TestSIGINTLedgerResumeHint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second subprocess test; skipped with -short")
+	}
+	bin, err := binary()
+	if err != nil {
+		t.Fatalf("building smbsim: %v", err)
+	}
+
+	ledger := t.TempDir()
+	args := sweepArgs("-ledger", ledger, "-worker", "-worker-id", "w1", "-lease-ttl", "1s")
+
+	var errOut bytes.Buffer
+	worker := exec.Command(bin, args...)
+	worker.Stdout = &bytes.Buffer{}
+	worker.Stderr = &errOut
+	if err := worker.Start(); err != nil {
+		t.Fatalf("starting worker: %v", err)
+	}
+	// Let it lease and start computing, then interrupt mid-sweep.
+	waitForCellRecord(t, filepath.Join(ledger, "w1.jsonl"))
+	time.Sleep(150 * time.Millisecond)
+	if err := worker.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("sending SIGINT: %v", err)
+	}
+	err = worker.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("interrupted worker: want exit 2, got %v\nstderr: %s", err, errOut.String())
+	}
+	if s := errOut.String(); !strings.Contains(s, "-ledger "+ledger) {
+		t.Fatalf("stderr missing the ledger resume hint:\n%s", s)
+	}
+
+	// A successor under a new identity picks the grid up and finishes.
+	var out bytes.Buffer
+	successor := exec.Command(bin, sweepArgs("-ledger", ledger, "-worker", "-worker-id", "w2", "-lease-ttl", "1s")...)
+	successor.Stdout = &out
+	successor.Stderr = os.Stderr
+	if err := successor.Run(); err != nil {
+		t.Fatalf("successor worker: %v", err)
+	}
+	if s := out.String(); !strings.Contains(s, "worker w2 done") {
+		t.Fatalf("successor summary missing:\n%s", s)
+	}
+}

@@ -38,6 +38,27 @@ type PanelOptions struct {
 	// Checkpoint journals completed sweep cells to this file and
 	// resumes from it on a re-run (empty = no checkpointing).
 	Checkpoint string
+	// Ledger runs every sweep through the crash-safe work-leasing ledger
+	// in this directory (internal/lease): several smbsim processes
+	// sharing the directory divide each sweep's cells among themselves.
+	// Mutually exclusive with Checkpoint.
+	Ledger string
+	// LedgerWorker is this process's worker identity in the ledger.
+	LedgerWorker string
+	// LeaseTTL bounds how long a crashed worker holds a cell before
+	// reclamation (0 = lease.DefaultTTL).
+	LeaseTTL time.Duration
+	// CellRetries is the leased-mode per-cell retry budget before a cell
+	// is reported degraded (0 = lease.DefaultRetries, negative = none).
+	CellRetries int
+	// WorkerMode suppresses report rendering: a fleet worker computes
+	// cells and prints a one-line summary per sweep, leaving tables to
+	// the coordinator (or a plain re-run over the same ledger).
+	WorkerMode bool
+	// Coordinator makes this process an observer: it claims no cells,
+	// waits for the fleet to finish each sweep, and renders the merged
+	// reports.
+	Coordinator bool
 	// Obs attaches decision-counter recorders to every policy replay
 	// and appends the aggregated counter table to each report.
 	Obs bool
@@ -158,6 +179,11 @@ func panelReport(ctx context.Context, w io.Writer, id string, o PanelOptions) er
 func harden(sweep *sim.Sweep, o PanelOptions) {
 	sweep.CellTimeout = o.CellTimeout
 	sweep.Checkpoint = o.Checkpoint
+	sweep.Ledger = o.Ledger
+	sweep.LedgerWorker = o.LedgerWorker
+	sweep.LeaseTTL = o.LeaseTTL
+	sweep.CellRetries = o.CellRetries
+	sweep.LedgerObserver = o.Coordinator
 	if o.Obs || o.TraceEvents > 0 {
 		sweep.Obs = &obs.Options{TraceEvents: o.TraceEvents}
 	}
@@ -235,6 +261,18 @@ func writeSweepReport(w io.Writer, result *sim.SweepResult, o PanelOptions, elap
 			return err
 		}
 	}
+	if o.WorkerMode {
+		// A fleet worker prints only its contribution; tables are the
+		// coordinator's job (or a plain re-run over the same ledger).
+		var c obs.LeaseCounts
+		if result.Lease != nil {
+			c = *result.Lease
+		}
+		_, err := fmt.Fprintf(w, "== %s: worker %s done (%s%s): %d completed, %d abandoned, %d reclaimed, %d lease conflicts ==\n",
+			result.Name, o.LedgerWorker, elapsed.Round(time.Millisecond), marker,
+			c.Completes, c.Abandons, c.Reclaims, c.Conflicts)
+		return err
+	}
 	if o.CSV {
 		_, err := fmt.Fprintf(w, "# %s%s\n%s\n", result.Name, marker, result.CSV())
 		return err
@@ -248,6 +286,11 @@ func writeSweepReport(w io.Writer, result *sim.SweepResult, o PanelOptions, elap
 	}
 	if t := result.ObsTable(); t != "" {
 		if _, err := fmt.Fprintf(w, "-- decision counters (summed over cells) --\n%s", t); err != nil {
+			return err
+		}
+	}
+	if t := result.LeaseTable(); t != "" {
+		if _, err := fmt.Fprintf(w, "-- lease ledger (this process) --\n%s", t); err != nil {
 			return err
 		}
 	}

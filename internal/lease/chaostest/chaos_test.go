@@ -1,0 +1,233 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"smbm/internal/experiments"
+	"smbm/internal/sim"
+)
+
+// Environment contract between the orchestrating test and the worker
+// subprocesses it forks (the test binary re-executing itself).
+const (
+	envRole   = "SMBM_CHAOS_ROLE"
+	envLedger = "SMBM_CHAOS_LEDGER"
+	envWorker = "SMBM_CHAOS_WORKER"
+	envSeed   = "SMBM_CHAOS_SEED"
+)
+
+// Chaos sweep shape: fig5.1 scaled so one cell runs long enough
+// (~0.3s) that a SIGKILL reliably lands mid-cell, on a grid small
+// enough (7 xs × 2 seeds) that the whole dance stays well under the CI
+// job's 90s budget.
+const (
+	chaosSlots   = 15000
+	chaosSeeds   = 2
+	chaosTTL     = 1500 * time.Millisecond
+	chaosRetries = 6
+	chaosWorkers = 3
+	chaosKills   = 2
+)
+
+// chaosSweep builds the sweep both the oracle and every worker run.
+func chaosSweep(t *testing.T) *sim.Sweep {
+	t.Helper()
+	o := experiments.Defaults()
+	o.Slots = chaosSlots
+	o.Seeds = chaosSeeds
+	s, err := experiments.Panel("fig5.1", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Parallelism = 2
+	return s
+}
+
+// canonical renders a result for bit-identity comparison, zeroing the
+// harness-level fields (warnings, lease counters) that legitimately
+// differ between a distributed and a single-process run.
+func canonical(t *testing.T, r *sim.SweepResult) string {
+	t.Helper()
+	cp := *r
+	cp.Warnings = nil
+	cp.Lease = nil
+	raw, err := json.Marshal(&cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestChaosWorkerProcess is the worker half of the harness: it runs
+// only when re-executed by TestChaosConvergesBitIdentical with the
+// chaos environment set, and simply runs the chaos sweep as one leased
+// worker until the grid is done.
+func TestChaosWorkerProcess(t *testing.T) {
+	if os.Getenv(envRole) != "worker" {
+		t.Skip("runs only as a chaos-harness subprocess")
+	}
+	s := chaosSweep(t)
+	s.Ledger = os.Getenv(envLedger)
+	s.LedgerWorker = os.Getenv(envWorker)
+	s.LeaseTTL = chaosTTL
+	s.CellRetries = chaosRetries
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("worker %s: %v", s.LedgerWorker, err)
+	}
+	if res.Partial {
+		t.Fatalf("worker %s: grid still partial after StatusDone", s.LedgerWorker)
+	}
+}
+
+// worker is one forked subprocess and its captured output.
+type worker struct {
+	id   string
+	cmd  *exec.Cmd
+	out  *bytes.Buffer
+	done chan error
+}
+
+// spawnWorker forks the test binary as chaos worker id on dir.
+func spawnWorker(t *testing.T, dir, id string) *worker {
+	t.Helper()
+	w := &worker{id: id, out: &bytes.Buffer{}, done: make(chan error, 1)}
+	w.cmd = exec.Command(os.Args[0], "-test.run=^TestChaosWorkerProcess$", "-test.count=1")
+	w.cmd.Stdout = w.out
+	w.cmd.Stderr = w.out
+	w.cmd.Env = append(os.Environ(),
+		envRole+"=worker",
+		envLedger+"="+dir,
+		envWorker+"="+id,
+	)
+	if err := w.cmd.Start(); err != nil {
+		t.Fatalf("spawning worker %s: %v", id, err)
+	}
+	go func() { w.done <- w.cmd.Wait() }()
+	return w
+}
+
+// TestChaosConvergesBitIdentical is the harness: 3 workers, 2 seeded
+// SIGKILLs mid-cell, journal truncation at random offsets, worker
+// restarts under the same identities — and the merged result must be
+// bit-identical to the single-process oracle, with every cell
+// completed exactly once in the merge.
+func TestChaosConvergesBitIdentical(t *testing.T) {
+	if os.Getenv(envRole) != "" {
+		t.Skip("chaos subprocess")
+	}
+	if testing.Short() {
+		t.Skip("multi-second subprocess harness; skipped with -short")
+	}
+
+	seed := int64(1)
+	if v := os.Getenv(envSeed); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", envSeed, v, err)
+		}
+		seed = parsed
+	}
+	t.Logf("kill/truncate schedule seed: %d (set %s to replay)", seed, envSeed)
+	rng := rand.New(rand.NewSource(seed))
+
+	// The oracle: the same sweep, one process, no ledger.
+	oracleRes, err := chaosSweep(t).Run()
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	oracle := canonical(t, oracleRes)
+
+	dir := t.TempDir()
+	workers := make([]*worker, chaosWorkers)
+	for i := range workers {
+		workers[i] = spawnWorker(t, dir, fmt.Sprintf("w%d", i+1))
+	}
+
+	// Seeded chaos: SIGKILL a worker mid-cell, tear its journal at a
+	// random byte offset (the crash artifact the torn-tail recovery
+	// exists for), and restart it under the same identity.
+	for kill := 0; kill < chaosKills; kill++ {
+		time.Sleep(time.Duration(150+rng.Intn(350)) * time.Millisecond)
+		v := rng.Intn(len(workers))
+		w := workers[v]
+		select {
+		case err := <-w.done:
+			t.Logf("kill %d: worker %s had already exited (%v); restarting it anyway", kill+1, w.id, err)
+		default:
+			if err := w.cmd.Process.Kill(); err != nil {
+				t.Fatalf("kill %d: SIGKILL %s: %v", kill+1, w.id, err)
+			}
+			<-w.done
+			t.Logf("kill %d: SIGKILLed worker %s", kill+1, w.id)
+		}
+		path := filepath.Join(dir, w.id+".jsonl")
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 1 {
+			cut := 1 + rng.Int63n(fi.Size()-1)
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatalf("truncating %s to %d: %v", path, cut, err)
+			}
+			t.Logf("kill %d: truncated %s from %d to %d bytes", kill+1, path, fi.Size(), cut)
+		}
+		workers[v] = spawnWorker(t, dir, w.id)
+	}
+
+	// Every (possibly restarted) worker must converge and exit clean.
+	deadline := time.After(60 * time.Second)
+	for _, w := range workers {
+		select {
+		case err := <-w.done:
+			if err != nil {
+				t.Fatalf("worker %s failed: %v\n%s", w.id, err, w.out.String())
+			}
+		case <-deadline:
+			t.Fatalf("worker %s did not converge within the deadline\n%s", w.id, w.out.String())
+		}
+	}
+
+	// Merge as a pure observer and compare against the oracle.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	m := chaosSweep(t)
+	m.Ledger = dir
+	m.LedgerWorker = "merge"
+	m.LedgerObserver = true
+	m.LeaseTTL = chaosTTL
+	m.CellRetries = chaosRetries
+	merged, err := m.RunContext(ctx)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if merged.Partial {
+		t.Fatalf("merged result is partial; warnings: %q", merged.Warnings)
+	}
+	// Every cell completed exactly once in the merge: the full grid is
+	// present and every per-point summary folded exactly Seeds
+	// replications.
+	if len(merged.Points) != len(m.Xs) {
+		t.Fatalf("merged %d points, want %d", len(merged.Points), len(m.Xs))
+	}
+	for _, p := range merged.Points {
+		for _, name := range merged.Policies {
+			if n := p.Ratio[name].N; n != chaosSeeds {
+				t.Fatalf("x=%d policy %s folded %d replications, want exactly %d", p.X, name, n, chaosSeeds)
+			}
+		}
+		if p.OptThroughput.N != chaosSeeds {
+			t.Fatalf("x=%d OPT folded %d replications, want exactly %d", p.X, p.OptThroughput.N, chaosSeeds)
+		}
+	}
+	if got := canonical(t, merged); got != oracle {
+		t.Fatalf("merged result differs from single-process oracle:\n got %s\nwant %s", got, oracle)
+	}
+}

@@ -1,0 +1,15 @@
+// Package chaostest is the crash-chaos harness for the lease ledger
+// (internal/lease) and the leased sweep path (internal/sim): its tests
+// fork real worker subprocesses (the test binary re-executing itself),
+// SIGKILL them at seeded random points mid-cell, truncate their ledger
+// journals at random byte offsets to simulate torn crash writes, restart
+// them under the same identities, and finally assert that the merged
+// sweep result is bit-identical to a single-process run of the same
+// configuration — the deterministic engine is the oracle, so any
+// duplicated, lost or clobbered cell shows up as a byte diff.
+//
+// Run it via `make chaos` (or `go test ./internal/lease/chaostest`);
+// the CI chaos-smoke job runs exactly that. The kill/truncate schedule
+// derives from SMBM_CHAOS_SEED (default 1), so a failing schedule can
+// be replayed.
+package chaostest

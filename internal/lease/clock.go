@@ -1,0 +1,13 @@
+package lease
+
+import "time"
+
+// wallNow is the ledger's default clock. It is the only wall-clock read
+// in the package: lease deadlines and expiry are wall-clock by design
+// (a crashed worker's lease must expire in real time, across machines),
+// and everything else — the deterministic engine above, the scan logic
+// here — consumes time only through the injected clock so tests can
+// drive expiry synthetically.
+//
+//smb:leaseclock lease deadlines and expiry are wall-clock by design; everything else injects the clock
+func wallNow() time.Time { return time.Now() }

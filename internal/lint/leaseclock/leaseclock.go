@@ -1,0 +1,92 @@
+// Package leaseclock implements the wall-clock containment analyzer
+// for the lease-ledger packages: lease deadlines and expiry are
+// wall-clock by design (a crashed worker's lease must expire in real
+// time, across machines), but that is the only legitimate reason for a
+// lease package to observe real time. Inside a lease package,
+// time.Now, time.Since and time.Until may appear only in functions
+// whose doc comment carries //smb:leaseclock <reason> — the reason is
+// mandatory — so every wall-clock read is a deliberate, documented
+// deadline primitive and everything else stays on the injected clock.
+//
+// The wallclock analyzer delegates lease packages to this one; outside
+// lease packages this analyzer is silent.
+package leaseclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the leaseclock analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "leaseclock",
+	Doc: "restrict time.Now/time.Since/time.Until in lease packages to " +
+		"functions annotated //smb:leaseclock <reason>",
+	Run: run,
+}
+
+// annotation is the doc-comment tag that licenses a wall-clock read.
+const annotation = "leaseclock"
+
+// forbidden names the time package's wall-clock reads.
+var forbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// annotated reports whether fn's doc comment carries //smb:leaseclock,
+// and whether a reason follows the tag.
+func annotated(fn *ast.FuncDecl) (tagged, hasReason bool) {
+	if fn == nil || fn.Doc == nil {
+		return false, false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		tag := "smb:" + annotation
+		if text != tag && !strings.HasPrefix(text, tag+" ") {
+			continue
+		}
+		reason := strings.TrimSpace(strings.TrimPrefix(text, tag))
+		return true, reason != ""
+	}
+	return false, false
+}
+
+// run applies leaseclock to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() || !lint.LeaseClockPackage(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, _ := decl.(*ast.FuncDecl)
+			licensed, hasReason := annotated(fn)
+			if licensed && !hasReason {
+				pass.Reportf(fn.Pos(), "//smb:%s needs a reason: say why this function must read the wall clock", annotation)
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" || !forbidden[f.Name()] {
+					return true
+				}
+				if !licensed {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock outside an //smb:%s function; lease deadline code must be annotated, everything else must use the injected clock", f.Name(), annotation)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

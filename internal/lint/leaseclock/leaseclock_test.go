@@ -1,0 +1,15 @@
+package leaseclock_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/leaseclock"
+	"smbm/internal/lint/linttest"
+)
+
+// TestLeaseClock runs the analyzer over one lease-named fixture mixing
+// licensed, unlicensed and reason-less wall-clock reads, and one
+// non-lease fixture where the analyzer must stay silent.
+func TestLeaseClock(t *testing.T) {
+	linttest.Run(t, "testdata", leaseclock.Analyzer, "lease", "sim")
+}

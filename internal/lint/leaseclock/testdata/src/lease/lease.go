@@ -1,0 +1,33 @@
+// Package lease is a leaseclock fixture standing in for a lease-ledger
+// package: wall-clock reads are legal only inside functions annotated
+// //smb:leaseclock <reason>.
+package lease
+
+import "time"
+
+// wallNow is the licensed deadline primitive and passes untouched.
+//
+//smb:leaseclock lease deadlines and expiry are wall-clock by design
+func wallNow() time.Time { return time.Now() }
+
+// deadline derives a lease deadline from the licensed clock: duration
+// arithmetic on a time value is fine, only raw clock reads are not.
+func deadline(ttl time.Duration) time.Time { return wallNow().Add(ttl) }
+
+// sneakyScan reads the wall clock without a license and is flagged.
+func sneakyScan() time.Time {
+	return time.Now() // want `time.Now reads the wall clock outside an //smb:leaseclock function`
+}
+
+// remaining smuggles in two more unlicensed reads and is flagged twice.
+func remaining(d time.Time) time.Duration {
+	_ = time.Since(d)    // want `time.Since reads the wall clock outside an //smb:leaseclock function`
+	return time.Until(d) // want `time.Until reads the wall clock outside an //smb:leaseclock function`
+}
+
+// lazyNow carries the tag but no reason and is flagged for it.
+//
+//smb:leaseclock
+func lazyNow() time.Time { // want `//smb:leaseclock needs a reason`
+	return time.Now()
+}

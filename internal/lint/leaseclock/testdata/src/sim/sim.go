@@ -1,0 +1,12 @@
+// Package sim is a leaseclock fixture standing in for a non-lease
+// package: leaseclock is silent here — the wallclock analyzer owns
+// everything outside the lease-ledger packages.
+package sim
+
+import "time"
+
+// Run reads the wall clock; wallclock flags this, leaseclock does not.
+func Run() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

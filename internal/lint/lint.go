@@ -10,8 +10,9 @@
 // (see load.go).
 //
 // The analyzers themselves live in subpackages (detmap, seedrand,
-// wallclock, hotalloc, cursorerr, exporteddoc); internal/lint/suite
-// aggregates them for cmd/smblint, `make lint` and the CI lint job.
+// wallclock, leaseclock, hotalloc, cursorerr, exporteddoc);
+// internal/lint/suite aggregates them for cmd/smblint, `make lint`
+// and the CI lint job.
 //
 // Two source annotations steer the suite:
 //
@@ -24,6 +25,10 @@
 //   - //smb:alloc-ok <reason> — placed on (or immediately above) a line
 //     inside a //smb:hotpath function, exempts that line from hotalloc
 //     (for provably cold branches such as error exits). The reason is
+//     mandatory.
+//   - //smb:leaseclock <reason> — placed in a function's doc comment in
+//     a lease-ledger package, licenses that function (and only it) to
+//     read the wall clock; checked by leaseclock. The reason is
 //     mandatory.
 package lint
 
@@ -221,6 +226,14 @@ func EnginePackage(path string) bool { return enginePackages[PathBase(path)] }
 // WallclockExempt reports whether the import path is allow-listed for
 // wall-clock reads (matched on the final path element).
 func WallclockExempt(path string) bool { return wallclockExempt[PathBase(path)] }
+
+// LeaseClockPackage reports whether the import path names a
+// lease-ledger package (matched on the final path element). These
+// packages are neither fully exempt from the wall-clock contract nor
+// fully bound by it: wall-clock reads are legal there only inside
+// functions annotated //smb:leaseclock <reason>, enforced by the
+// leaseclock analyzer, to which wallclock delegates them.
+func LeaseClockPackage(path string) bool { return PathBase(path) == "lease" }
 
 // EnginePackageList returns the sorted engine package names, for
 // documentation and tests.

@@ -10,6 +10,7 @@ import (
 	"smbm/internal/lint/detmap"
 	"smbm/internal/lint/exporteddoc"
 	"smbm/internal/lint/hotalloc"
+	"smbm/internal/lint/leaseclock"
 	"smbm/internal/lint/seedrand"
 	"smbm/internal/lint/wallclock"
 )
@@ -22,6 +23,7 @@ func Analyzers() []*lint.Analyzer {
 		detmap.Analyzer,
 		exporteddoc.Analyzer,
 		hotalloc.Analyzer,
+		leaseclock.Analyzer,
 		seedrand.Analyzer,
 		wallclock.Analyzer,
 	}

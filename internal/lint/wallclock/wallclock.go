@@ -2,7 +2,9 @@
 // reads: simulation results must be pure functions of configuration
 // and seed, so nothing outside the allow-listed reporting packages
 // (cli, report, benchjson — where wall-clock timing is the point) may
-// call time.Now, time.Since or time.Until.
+// call time.Now, time.Since or time.Until. Lease-ledger packages are
+// delegated to the leaseclock analyzer, which permits wall-clock reads
+// only inside //smb:leaseclock-annotated deadline functions.
 package wallclock
 
 import (
@@ -29,7 +31,7 @@ var forbidden = map[string]bool{
 
 // run applies wallclock to one package.
 func run(pass *lint.Pass) error {
-	if pass.NeedsTypes() || lint.WallclockExempt(pass.Path) {
+	if pass.NeedsTypes() || lint.WallclockExempt(pass.Path) || lint.LeaseClockPackage(pass.Path) {
 		return nil
 	}
 	for _, file := range pass.Files {

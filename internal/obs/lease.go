@@ -1,0 +1,43 @@
+package obs
+
+// LeaseCounts aggregates one process's lease-ledger activity during a
+// distributed sweep (internal/lease): how many cell leases it took, how
+// often it renewed them, how much contention and reclamation it saw.
+// The counters ride next to the decision-counter table in sweep reports
+// so an operator can tell a healthy fleet (completes ≈ leases, few
+// conflicts) from a churning one (reclaims and abandons climbing) at a
+// glance. Unlike KindCounts these are harness-level counters: they
+// never enter the merged simulation results, so the merged SweepResult
+// of a distributed run stays bit-identical to a single-process run.
+type LeaseCounts struct {
+	// Leases counts cell leases this process acquired (including
+	// re-acquisitions after a conflict or reclaim).
+	Leases uint64 `json:"leases"`
+	// Renewals counts heartbeat deadline extensions appended.
+	Renewals uint64 `json:"renewals"`
+	// Completes counts cells this process completed and journaled.
+	Completes uint64 `json:"completes"`
+	// Abandons counts leases this process released early because the
+	// cell failed (the cell becomes retryable by any worker).
+	Abandons uint64 `json:"abandons"`
+	// Conflicts counts lease races lost to another worker: the fencing
+	// verification scan showed a competing lease winning the cell.
+	Conflicts uint64 `json:"conflicts"`
+	// Reclaims counts leases acquired over an expired predecessor — the
+	// signature of taking over for a crashed or hung worker.
+	Reclaims uint64 `json:"reclaims"`
+	// Waits counts backoff pauses taken because every pending cell was
+	// leased by other workers.
+	Waits uint64 `json:"waits"`
+}
+
+// Accumulate adds o into c lane by lane.
+func (c *LeaseCounts) Accumulate(o LeaseCounts) {
+	c.Leases += o.Leases
+	c.Renewals += o.Renewals
+	c.Completes += o.Completes
+	c.Abandons += o.Abandons
+	c.Conflicts += o.Conflicts
+	c.Reclaims += o.Reclaims
+	c.Waits += o.Waits
+}

@@ -169,6 +169,29 @@ go test -bench=. -benchmem ./...    # benchmark harness (ratios as custom metric
   under different configurations can never merge into one table. Legacy
   journals without a fingerprint resume with a warning and are upgraded
   in place.
+- **Distributed sweeps.** To split a paper-scale run across processes
+  (or machines sharing a filesystem), swap the journal for the lease
+  ledger — same flags on every process, one shared directory:
+
+  ` + "```" + `
+  mkdir -p ledger
+  go run ./cmd/smbsim -scale paper -ledger ledger -worker &   # as many
+  go run ./cmd/smbsim -scale paper -ledger ledger -worker &   # as you like
+  go run ./cmd/smbsim -scale paper -ledger ledger -coordinator
+  ` + "```" + `
+
+  Workers lease (x, seed) cells with expiring, fenced leases, journal
+  results crash-safely (fsynced completes, torn-tail-tolerant
+  append-only files), and print one summary line per sweep; the
+  coordinator computes nothing and renders the merged tables once the
+  grid is done. A SIGKILLed worker costs only its in-flight cells:
+  its leases expire after -lease-ttl and are reclaimed, a resumed
+  zombie cannot clobber newer results (fencing tokens), and the merged
+  tables are bit-identical to a single-process run — the chaos harness
+  (make chaos) asserts exactly that under seeded kills and journal
+  truncation. A cell failing more than -cell-retries times is reported
+  degraded; the remaining tables still render. DESIGN.md §13 has the
+  record grammar and crash matrix.
 - **Fault injection** (cmd/smbsim -experiment faults, -faults "<spec>")
   wraps every system — each policy and the OPT proxy — in an identical
   seeded fault schedule, so the degraded ratio stays an apples-to-apples

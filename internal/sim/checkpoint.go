@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"smbm/internal/core"
@@ -237,21 +238,12 @@ func loadCheckpoint(path string, expect checkpointHeader) (ckptJournal, error) {
 	return j, nil
 }
 
-// appendHeader journals the sweep's fingerprint header as a JSON line.
-func appendHeader(w io.Writer, h checkpointHeader) error {
-	return appendLine(w, h)
-}
-
-// appendCheckpoint journals one completed cell as a JSON line.
-func appendCheckpoint(w io.Writer, sweep string, x, seedIndex int, results []Result) error {
-	rec := checkpointRecord{
-		Sweep:     sweep,
-		X:         x,
-		SeedIndex: seedIndex,
-		Results:   make([]checkpointResult, len(results)),
-	}
+// toCheckpointResults converts in-memory results to their serialized
+// form (shared by the checkpoint journal and the lease ledger).
+func toCheckpointResults(results []Result) []checkpointResult {
+	out := make([]checkpointResult, len(results))
 	for i, r := range results {
-		rec.Results[i] = checkpointResult{
+		out[i] = checkpointResult{
 			Policy:        r.Policy,
 			Throughput:    r.Throughput,
 			OptThroughput: r.OptThroughput,
@@ -259,18 +251,111 @@ func appendCheckpoint(w io.Writer, sweep string, x, seedIndex int, results []Res
 			Obs:           r.Obs,
 		}
 	}
-	return appendLine(w, rec)
+	return out
+}
+
+// fromCheckpointResults rehydrates serialized results, recomputing the
+// empirical ratio (JSON cannot encode +Inf).
+func fromCheckpointResults(crs []checkpointResult) []Result {
+	out := make([]Result, len(crs))
+	for i, cr := range crs {
+		out[i] = Result{
+			Policy:        cr.Policy,
+			Throughput:    cr.Throughput,
+			OptThroughput: cr.OptThroughput,
+			Ratio:         ratio(cr.OptThroughput, cr.Throughput),
+			Stats:         cr.Stats,
+			Obs:           cr.Obs,
+		}
+	}
+	return out
+}
+
+// encodeCellResults serializes one cell's per-policy results as the
+// opaque payload carried by lease-ledger complete records.
+func encodeCellResults(results []Result) (json.RawMessage, error) {
+	raw, err := json.Marshal(toCheckpointResults(results))
+	if err != nil {
+		return nil, fmt.Errorf("sim: cell results: %w", err)
+	}
+	return raw, nil
+}
+
+// decodeCellResults rehydrates a lease-ledger complete payload.
+func decodeCellResults(raw json.RawMessage) ([]Result, error) {
+	var crs []checkpointResult
+	if err := json.Unmarshal(raw, &crs); err != nil {
+		return nil, fmt.Errorf("sim: cell results: %w", err)
+	}
+	return fromCheckpointResults(crs), nil
+}
+
+// appendHeader journals the sweep's fingerprint header as a JSON line.
+func appendHeader(w io.Writer, h checkpointHeader) error {
+	return appendLine(w, h)
+}
+
+// appendCheckpoint journals one completed cell as a JSON line.
+func appendCheckpoint(w io.Writer, sweep string, x, seedIndex int, results []Result) error {
+	return appendLine(w, checkpointRecord{
+		Sweep:     sweep,
+		X:         x,
+		SeedIndex: seedIndex,
+		Results:   toCheckpointResults(results),
+	})
 }
 
 // appendLine marshals v and writes it as one newline-terminated record.
+// A failed write reports the exact partial-write position: a worker
+// losing its disk mid-record can then say precisely how much of the
+// record made it into the journal, and the torn-tail recovery on the
+// next resume drops exactly that fragment.
 func appendLine(w io.Writer, v any) error {
 	line, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := w.Write(line); err != nil {
-		return fmt.Errorf("sim: checkpoint: %w", err)
+	if n, err := w.Write(line); err != nil {
+		return fmt.Errorf("sim: checkpoint: wrote %d of %d bytes of record: %w", n, len(line), err)
+	}
+	return nil
+}
+
+// upgradeCheckpoint rewrites a legacy (headerless) journal with h
+// prepended, atomically: the new content is written to a temp file in
+// the same directory, fsynced, and renamed over the original. A crash
+// at any point leaves either the old journal or the upgraded one —
+// never the half-written hybrid an in-place rewrite could produce.
+func upgradeCheckpoint(path string, h checkpointHeader) error {
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint %s: upgrading legacy journal: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".upgrade-*")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint %s: upgrading legacy journal: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	fail := func(e error) error {
+		tmp.Close()
+		return fmt.Errorf("sim: checkpoint %s: upgrading legacy journal: %w", path, e)
+	}
+	if err := appendHeader(tmp, h); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(orig); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fail(err)
 	}
 	return nil
 }

@@ -55,6 +55,32 @@ type Sweep struct {
 	// silently merging stale cells. Leave empty to fingerprint the
 	// sweep identity only.
 	ConfigDigest string
+	// Ledger, when non-empty, runs the sweep through the crash-safe
+	// work-leasing ledger in this directory (internal/lease) instead of
+	// the single-process pool: several worker processes — each with a
+	// distinct LedgerWorker identity — divide the grid cell by cell,
+	// surviving worker crashes, hangs and restarts. Mutually exclusive
+	// with Checkpoint: the ledger subsumes it (every completed cell is
+	// journaled durably and a re-run resumes from the ledger).
+	Ledger string
+	// LedgerWorker is this process's unique worker identity in the
+	// ledger; required when Ledger is set. Two live processes must never
+	// share one.
+	LedgerWorker string
+	// LeaseTTL bounds how long a crashed or hung worker holds a cell
+	// before any other worker may reclaim it (0 = lease.DefaultTTL).
+	// Healthy workers renew well inside the TTL, so it only needs to
+	// exceed heartbeat jitter, not cell runtime.
+	LeaseTTL time.Duration
+	// CellRetries is the per-cell retry budget for leased runs: a cell
+	// whose failed attempts exceed it is reported degraded and omitted
+	// from the grid, so partial tables still render (0 =
+	// lease.DefaultRetries, negative = no retries).
+	CellRetries int
+	// LedgerObserver, in leased mode, makes this process a coordinator:
+	// it claims no cells, waits for the worker fleet to finish the grid,
+	// and merges the ledger into the final result.
+	LedgerObserver bool
 	// Progress, when non-nil, is called from the fold goroutine after
 	// every cell outcome (completed or failed) with a running progress
 	// snapshot — the hook smbsim's expvar publication and per-cell
@@ -154,8 +180,14 @@ type SweepResult struct {
 	Obs map[string]obs.KindCounts `json:"obs,omitempty"`
 	// Warnings carries non-fatal anomalies the run noticed — a legacy
 	// checkpoint journal without a fingerprint header, a torn record
-	// dropped on resume — for the caller to surface.
+	// dropped on resume, a degraded cell — for the caller to surface.
 	Warnings []string `json:"warnings,omitempty"`
+	// Lease aggregates this process's lease-ledger activity when the
+	// sweep ran in leased (distributed) mode; nil otherwise. Like
+	// Warnings these are harness-level observations: they never affect
+	// the merged Points, which stay bit-identical to a single-process
+	// run.
+	Lease *obs.LeaseCounts `json:"lease,omitempty"`
 }
 
 // Run executes all (x, seed) cells on a bounded worker pool and folds
@@ -249,8 +281,13 @@ func (s *Sweep) runCell(ctx context.Context, sc *Scratch, xi, si, intra int) (re
 //     abort at their next slot boundary. The completed cells are
 //     returned as a Partial SweepResult alongside ctx's error, instead
 //     of being discarded.
-//   - With Checkpoint set, completed cells are journaled and a re-run
-//     with the same file resumes, skipping journaled cells.
+//   - With Checkpoint set, completed cells are journaled (fsynced per
+//     cell) and a re-run with the same file resumes, skipping journaled
+//     cells. A journal append failure aborts the run — losing the disk
+//     under a resumable sweep must not silently turn it into a
+//     non-resumable one — surfacing the partial-write position.
+//   - With Ledger set, the run is delegated to the distributed
+//     work-leasing path (runLeased); see the Ledger field.
 //
 // Whenever the returned SweepResult is non-nil its Points are valid
 // aggregates of every completed cell, even when err is non-nil.
@@ -258,10 +295,19 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	if s.Ledger != "" {
+		return s.runLeased(ctx)
+	}
 	workers := s.Parallelism
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// An unrecoverable harness failure mid-run (a journal append error)
+	// stops dispatching without canceling the caller's ctx; runCtx is
+	// what workers and the dispatcher watch.
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
 
 	// Resume: prefill the grid from the checkpoint journal — verifying
 	// its fingerprint header against the current sweep — and open it
@@ -284,16 +330,29 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			warnings = append(warnings, fmt.Sprintf(
 				"checkpoint %s: dropped a torn final record (crash mid-append); %d intact cells resumed", s.Checkpoint, len(done)))
 		}
+		if !j.hasHeader {
+			if _, statErr := os.Stat(s.Checkpoint); statErr == nil {
+				// Legacy journal: upgrade it by rewriting to a temp file
+				// with the header prepended, fsyncing, and renaming over
+				// the original — atomic, so a crash mid-upgrade leaves
+				// either the old journal or the new one, never a
+				// half-written hybrid.
+				if len(done) > 0 {
+					warnings = append(warnings, fmt.Sprintf(
+						"checkpoint %s: legacy journal has no fingerprint header; cannot verify that its %d cells match the current configuration — resuming on trust", s.Checkpoint, len(done)))
+				}
+				if err := upgradeCheckpoint(s.Checkpoint, s.header()); err != nil {
+					return nil, err
+				}
+				j.hasHeader = true
+			}
+		}
 		if journal, err = os.OpenFile(s.Checkpoint, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
 			return nil, fmt.Errorf("sim: checkpoint %s: %w", s.Checkpoint, err)
 		}
 		defer journal.Close()
 		if !j.hasHeader {
-			if len(done) > 0 {
-				warnings = append(warnings, fmt.Sprintf(
-					"checkpoint %s: legacy journal has no fingerprint header; cannot verify that its %d cells match the current configuration — resuming on trust", s.Checkpoint, len(done)))
-			}
-			// Upgrade in place: future resumes get the full check.
+			// Fresh journal: the header is simply its first record.
 			if err := appendHeader(journal, s.header()); err != nil {
 				return nil, err
 			}
@@ -349,11 +408,11 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 			// reuse its systems; runCell resets them before each use.
 			var sc Scratch
 			for c := range jobs {
-				if ctx.Err() != nil {
-					outcomes <- outcome{cell: c, err: ctx.Err()}
+				if runCtx.Err() != nil {
+					outcomes <- outcome{cell: c, err: runCtx.Err()}
 					continue
 				}
-				res, err := s.runCell(ctx, &sc, c.xi, c.si, intra)
+				res, err := s.runCell(runCtx, &sc, c.xi, c.si, intra)
 				outcomes <- outcome{cell: c, results: res, err: err}
 			}
 		}()
@@ -363,7 +422,7 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		for _, c := range todo {
 			select {
 			case jobs <- c:
-			case <-ctx.Done():
+			case <-runCtx.Done():
 				return
 			}
 		}
@@ -392,9 +451,10 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 	}
 	for o := range outcomes {
 		if o.err != nil {
-			// A cancellation-induced abort is an interruption, not a
+			// A cancellation-induced abort — the caller's ctx or the
+			// internal journal-failure stop — is an interruption, not a
 			// cell failure: the cell simply did not complete.
-			if ctx.Err() != nil && errors.Is(o.err, ctx.Err()) {
+			if runCtx.Err() != nil && errors.Is(o.err, runCtx.Err()) {
 				continue
 			}
 			var ce *CellError
@@ -410,18 +470,62 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		grid[o.xi][o.si], okGrid[o.xi][o.si] = o.results, true
 		completed++
 		runDone++
-		if journal != nil {
-			if err := appendCheckpoint(journal, s.Name, s.Xs[o.xi], o.si, o.results); err != nil {
-				journalLag++
-				if journalErr == nil {
-					journalErr = err
+		if journal != nil && journalErr == nil {
+			err := appendCheckpoint(journal, s.Name, s.Xs[o.xi], o.si, o.results)
+			if err == nil {
+				// fsync-on-complete: an acknowledged cell survives a
+				// crash or power loss immediately after.
+				if serr := journal.Sync(); serr != nil {
+					err = fmt.Errorf("sim: checkpoint %s: fsync after cell: %w", s.Checkpoint, serr)
 				}
 			}
+			if err != nil {
+				journalErr = err
+				journalLag++
+				// Keep folding outcomes already in flight, but stop
+				// dispatching: burning hours of compute that cannot be
+				// journaled under a sweep the caller asked to be
+				// resumable is worse than failing loudly now.
+				stopRun()
+			}
+		} else if journal != nil {
+			journalLag++
 		}
 		notify(o, nil)
 	}
 
 	out := &SweepResult{Name: s.Name, XLabel: s.XLabel, Partial: completed < total, Warnings: warnings}
+	s.fold(out, grid, okGrid)
+
+	// Deterministic error order: by cell position, not scheduling.
+	sort.Slice(cellErrs, func(i, j int) bool {
+		if cellErrs[i].X != cellErrs[j].X {
+			return cellErrs[i].X < cellErrs[j].X
+		}
+		return cellErrs[i].SeedIndex < cellErrs[j].SeedIndex
+	})
+	errs := make([]error, 0, len(cellErrs)+2)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, ce := range cellErrs {
+		errs = append(errs, ce)
+	}
+	if journalErr != nil {
+		errs = append(errs, journalErr)
+	}
+	return out, errors.Join(errs...)
+}
+
+// fold aggregates the completed cells of the (Xs × Seeds) grid into
+// out: per-point Welford summaries in deterministic grid order, the
+// policy roster from the first completed cell, and the accumulated
+// decision counters. okGrid marks which grid cells completed; swept
+// values with no completed cell are omitted from out.Points. Both the
+// single-process pool and the leased (distributed) path fold through
+// this one function, which is what makes a merged multi-worker result
+// bit-identical to a single-process run.
+func (s *Sweep) fold(out *SweepResult, grid [][][]Result, okGrid [][]bool) {
 	for xi, x := range s.Xs {
 		var any bool
 		for si := 0; si < s.Seeds; si++ {
@@ -483,25 +587,6 @@ func (s *Sweep) RunContext(ctx context.Context) (*SweepResult, error) {
 		}
 		out.Points = append(out.Points, pr)
 	}
-
-	// Deterministic error order: by cell position, not scheduling.
-	sort.Slice(cellErrs, func(i, j int) bool {
-		if cellErrs[i].X != cellErrs[j].X {
-			return cellErrs[i].X < cellErrs[j].X
-		}
-		return cellErrs[i].SeedIndex < cellErrs[j].SeedIndex
-	})
-	errs := make([]error, 0, len(cellErrs)+2)
-	if err := ctx.Err(); err != nil {
-		errs = append(errs, err)
-	}
-	for _, ce := range cellErrs {
-		errs = append(errs, ce)
-	}
-	if journalErr != nil {
-		errs = append(errs, journalErr)
-	}
-	return out, errors.Join(errs...)
 }
 
 // Table renders the sweep as an aligned text table: one row per swept
@@ -611,4 +696,23 @@ func (r *SweepResult) ObsTable() string {
 		})
 	}
 	return tablefmt.Render(headers, rows)
+}
+
+// LeaseTable renders this process's lease-ledger counters as a one-row
+// aligned text table, or "" when the sweep did not run in leased mode.
+func (r *SweepResult) LeaseTable() string {
+	if r.Lease == nil {
+		return ""
+	}
+	headers := []string{"leases", "renewals", "completes", "abandons", "conflicts", "reclaims", "waits"}
+	row := []string{
+		strconv.FormatUint(r.Lease.Leases, 10),
+		strconv.FormatUint(r.Lease.Renewals, 10),
+		strconv.FormatUint(r.Lease.Completes, 10),
+		strconv.FormatUint(r.Lease.Abandons, 10),
+		strconv.FormatUint(r.Lease.Conflicts, 10),
+		strconv.FormatUint(r.Lease.Reclaims, 10),
+		strconv.FormatUint(r.Lease.Waits, 10),
+	}
+	return tablefmt.Render(headers, [][]string{row})
 }

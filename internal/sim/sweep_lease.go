@@ -1,0 +1,249 @@
+package sim
+
+// Distributed sweeps: with Sweep.Ledger set, the (x, seed) grid is
+// divided among worker processes through the crash-safe lease ledger
+// (internal/lease) instead of an in-process job queue. Each worker
+// acquires cells under fencing tokens, heartbeats while running them,
+// journals completions durably, and finally merges the whole ledger —
+// its own cells and everyone else's — through the same fold as a
+// single-process run, so the merged SweepResult is bit-identical to
+// running the sweep in one process.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"smbm/internal/lease"
+)
+
+// leaseFingerprint renders the sweep's identity as a ledger
+// fingerprint, mirroring the checkpoint journal header field for field.
+func (s *Sweep) leaseFingerprint() lease.Fingerprint {
+	h := s.header()
+	return lease.Fingerprint{
+		Sweep:    h.Sweep,
+		XLabel:   h.XLabel,
+		XsHash:   h.XsHash,
+		Seeds:    h.Seeds,
+		BaseSeed: h.BaseSeed,
+		Config:   h.Config,
+	}
+}
+
+// runLeased executes the sweep as one worker of a distributed run (see
+// Sweep.Ledger). Robustness semantics, on top of RunContext's:
+//
+//   - Cells completed by any worker — this run, a previous incarnation,
+//     a process on another machine — are merged, not re-run.
+//   - A cell failure consumes one attempt and releases the cell for
+//     retry by any worker; a cell whose failures exhaust CellRetries is
+//     reported degraded (a warning plus Partial), and the rest of the
+//     grid still folds into valid partial tables.
+//   - Canceling ctx stops acquiring; running cells abort and their
+//     leases are left to expire, so other workers reclaim them after
+//     LeaseTTL without the interruption consuming an attempt.
+func (s *Sweep) runLeased(ctx context.Context) (*SweepResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if s.Checkpoint != "" {
+		return nil, fmt.Errorf("sim: sweep %q sets both Checkpoint and Ledger; the ledger subsumes checkpointing — drop one", s.Name)
+	}
+	led, err := lease.Open(lease.Options{
+		Dir:         s.Ledger,
+		Worker:      s.LedgerWorker,
+		Fingerprint: s.leaseFingerprint(),
+		TTL:         s.LeaseTTL,
+		Retries:     s.CellRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer led.Close()
+
+	// The cell list in grid order: Acquire spreads workers across it,
+	// Merge partitions it, and xIndex maps a leased cell back to its
+	// grid position.
+	cells := make([]lease.Cell, 0, len(s.Xs)*s.Seeds)
+	xIndex := make(map[int]int, len(s.Xs))
+	for xi, x := range s.Xs {
+		xIndex[x] = xi
+		for si := 0; si < s.Seeds; si++ {
+			cells = append(cells, lease.Cell{X: x, SeedIndex: si})
+		}
+	}
+	total := len(cells)
+
+	workers := s.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+
+	// A ledger failure (disk gone, corrupt file) stops this worker's
+	// acquisition loop without canceling the caller's ctx.
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+
+	var mu sync.Mutex
+	var cellErrs []*CellError
+	var ledgerErr error
+	runDone, failed := 0, 0
+	abort := func(err error) {
+		mu.Lock()
+		if ledgerErr == nil {
+			ledgerErr = err
+		}
+		mu.Unlock()
+		stopRun()
+	}
+	notify := func(c lease.Cell, err error, results []Result) {
+		if s.Progress == nil {
+			return
+		}
+		mu.Lock()
+		p := SweepProgress{
+			Sweep: s.Name, XLabel: s.XLabel,
+			X: c.X, SeedIndex: c.SeedIndex,
+			Done: runDone, Failed: failed, Total: total,
+			Err:     err,
+			Results: results,
+		}
+		mu.Unlock()
+		s.Progress(p)
+	}
+
+	if s.LedgerObserver {
+		// Coordinator: no compute, just wait for the fleet to converge.
+		if err := led.Wait(ctx, cells); err != nil {
+			return nil, err
+		}
+		workers = 0
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc Scratch
+			for {
+				ls, status, err := led.Acquire(runCtx, cells)
+				if err != nil {
+					if runCtx.Err() == nil {
+						abort(err)
+					}
+					return
+				}
+				if status == lease.StatusDone {
+					return
+				}
+				// Heartbeats keep the lease alive for as long as the
+				// cell actually runs; a renewal failure is advisory (the
+				// lease lapses and another worker reclaims the cell).
+				stopHB := led.Heartbeat(runCtx, ls)
+				res, runErr := s.runCell(runCtx, &sc, xIndex[ls.Cell.X], ls.Cell.SeedIndex, 1)
+				stopHB()
+				if runErr != nil {
+					if runCtx.Err() != nil && errors.Is(runErr, runCtx.Err()) {
+						// Interrupted, not failed: leave the lease to
+						// expire without consuming an attempt.
+						return
+					}
+					var ce *CellError
+					if !errors.As(runErr, &ce) {
+						ce = &CellError{Sweep: s.Name, XLabel: s.XLabel, X: ls.Cell.X,
+							SeedIndex: ls.Cell.SeedIndex, Seed: s.cellSeed(xIndex[ls.Cell.X], ls.Cell.SeedIndex), Err: runErr}
+					}
+					mu.Lock()
+					cellErrs = append(cellErrs, ce)
+					failed++
+					mu.Unlock()
+					if err := led.Abandon(ls, ce.Error()); err != nil {
+						abort(err)
+						return
+					}
+					notify(ls.Cell, ce, nil)
+					continue
+				}
+				payload, err := encodeCellResults(res)
+				if err == nil {
+					err = led.Complete(ls, payload)
+				}
+				if err != nil {
+					abort(err)
+					return
+				}
+				mu.Lock()
+				runDone++
+				mu.Unlock()
+				notify(ls.Cell, nil, res)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge the whole ledger — every worker's cells — and fold through
+	// the same deterministic path as a single-process run.
+	done, degraded, err := led.Merge(cells)
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][][]Result, len(s.Xs))
+	okGrid := make([][]bool, len(s.Xs))
+	for xi := range s.Xs {
+		grid[xi] = make([][]Result, s.Seeds)
+		okGrid[xi] = make([]bool, s.Seeds)
+	}
+	completed := 0
+	//smb:nondet-ok payloads land at their cell's fixed grid position, so iteration order cannot reach results
+	for c, payload := range done {
+		res, err := decodeCellResults(payload)
+		if err != nil {
+			return nil, fmt.Errorf("sim: ledger %s: cell %s: %w", s.Ledger, c, err)
+		}
+		grid[xIndex[c.X]][c.SeedIndex] = res
+		okGrid[xIndex[c.X]][c.SeedIndex] = true
+		completed++
+	}
+	var warnings []string
+	for _, d := range degraded {
+		w := fmt.Sprintf("ledger %s: cell %s degraded after %d failed attempts", s.Ledger, d.Cell, d.Attempts)
+		if d.LastError != "" {
+			w += ": last error: " + d.LastError
+		}
+		warnings = append(warnings, w)
+	}
+
+	out := &SweepResult{Name: s.Name, XLabel: s.XLabel, Partial: completed < total, Warnings: warnings}
+	s.fold(out, grid, okGrid)
+	counts := led.Counters()
+	out.Lease = &counts
+
+	// Deterministic error order: by cell position, not scheduling.
+	sort.Slice(cellErrs, func(i, j int) bool {
+		if cellErrs[i].X != cellErrs[j].X {
+			return cellErrs[i].X < cellErrs[j].X
+		}
+		return cellErrs[i].SeedIndex < cellErrs[j].SeedIndex
+	})
+	errs := make([]error, 0, len(cellErrs)+2)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for _, ce := range cellErrs {
+		errs = append(errs, ce)
+	}
+	mu.Lock()
+	if ledgerErr != nil {
+		errs = append(errs, ledgerErr)
+	}
+	mu.Unlock()
+	return out, errors.Join(errs...)
+}
