@@ -40,11 +40,13 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable performance baseline: per-policy engine micro-benches
+# Machine-readable performance snapshot: per-policy engine micro-benches
 # (ns/slot, allocs/op) and per-panel sweep-cell costs (cells/sec). See
-# DESIGN.md §9 for methodology.
+# DESIGN.md §9 for methodology. BENCH_pr7.json (batched arrival phase,
+# DESIGN.md §14) sits next to BENCH_baseline.json (per-packet seed) so
+# the speedup is diffable.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
 
 # Fast overhead gate: re-measure the per-policy micro-benchmarks and
 # fail if any policy's steady state (observability detached) allocates.

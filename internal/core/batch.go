@@ -1,0 +1,495 @@
+package core
+
+import (
+	"fmt"
+
+	"smbm/internal/obs"
+	"smbm/internal/pkt"
+)
+
+// BatchPolicy is optionally implemented by policies that can decide a
+// whole slot's arrival burst through a Batch executor instead of one
+// Admit call per packet. A batch kernel sees the burst up front, so it
+// can hoist threshold computations, reuse argmax results across a
+// burst prefix, and memoize drop decisions (see Batch.KnownDrop) —
+// the per-burst evaluation the per-packet interface cannot express.
+//
+// The contract is bit-identity: AdmitBatch must execute exactly the
+// decision sequence the policy's Admit would produce packet by packet,
+// in arrival order, calling exactly one executor op (Accept, Drop,
+// DropMemo, DropAll or PushOut) per packet. The differential and fuzz
+// suites enforce this for every roster policy against the per-packet
+// Arrive reference.
+type BatchPolicy interface {
+	Policy
+	// AdmitBatch decides every packet of ps in arrival order via b.
+	AdmitBatch(b *Batch, ps []pkt.Packet)
+}
+
+// Undo-log operation kinds: each records how to invert one structural
+// mutation of the arrival phase.
+const (
+	opInsert = iota // a packet was inserted into port's queue
+	opEvict         // a packet was evicted from port's queue
+)
+
+// Undo-log entries are packed into one word each — the log is appended
+// to on every accept, so the hot path stores 8 bytes, not a struct:
+// bit 0 is the op kind, bits 1..31 the port, bits 32..63 the value
+// (both validated non-negative and far below 2³¹). Evictions carry
+// their extra pre-mutation facts in a parallel side log (evictUndo),
+// appended only when a push-out happens.
+const undoKindMask = 1
+
+// packUndo encodes one undo entry.
+func packUndo(kind, port, val int) uint64 {
+	return uint64(kind) | uint64(port)<<1 | uint64(val)<<32
+}
+
+// evictUndo carries the facts an eviction must restore beyond its
+// packed log entry: the processing model's head-of-line residual,
+// queue work and evicted arrival slot. (The value model's popped
+// minimum rides in the packed entry itself.)
+type evictUndo struct {
+	hol  int   // pre-eviction head-of-line residual
+	wrk  int   // pre-eviction queue total work
+	slot int64 // arrival slot of the evicted tail
+}
+
+// ArriveBatch runs one arrival phase over a whole burst, in order,
+// through the policy's batch kernel when it implements BatchPolicy and
+// through per-packet Admit calls otherwise. Unlike the sequential
+// ArriveBurst reference it is transactional: every packet is validated
+// up front, and a mid-batch failure (a malformed decision from the
+// policy, an undecided packet, a CheckInvariants violation) rolls back
+// every queue mutation, Stats and per-port counter movement, and obs
+// counter of the batch, leaving the switch in its exact pre-batch
+// state. The returned *BurstError then carries Applied == 0. Decision
+// trace events are buffered and delivered to the recorder only on
+// commit, preserving the per-packet event order.
+//
+// On success the resulting Stats, PortCounters and obs counters are
+// bit-identical to ArriveBurst on the same burst — the differential
+// contract the batch suites enforce for all roster policies.
+func (s *Switch) ArriveBatch(ps []pkt.Packet) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	for i := range ps {
+		if err := ps[i].Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+			return &BurstError{Index: i, Err: err}
+		}
+		if s.cfg.Model == ModelProcessing && ps[i].Work != s.works[ps[i].Port] {
+			return &BurstError{Index: i, Err: fmt.Errorf("core: packet work %d does not match port %d configuration %d", ps[i].Work, ps[i].Port, s.works[ps[i].Port])}
+		}
+	}
+	s.beginBatch()
+	b := &s.batch
+	if s.batchPol != nil {
+		s.batchPol.AdmitBatch(b, ps)
+	} else {
+		b.PerPacket(ps)
+	}
+	if b.err == nil && b.idx != len(ps) {
+		b.err = fmt.Errorf("core: policy %s batch kernel decided %d of %d packets", s.policy.Name(), b.idx, len(ps))
+		b.errIdx = b.idx
+	}
+	if b.err != nil {
+		idx, err := b.errIdx, b.err
+		s.rollbackBatch()
+		return &BurstError{Index: idx, Applied: 0, Err: err}
+	}
+	s.commitBatch()
+	return nil
+}
+
+// beginBatch opens a transaction: it advances the batch serial and the
+// drop-memo epoch, snapshots Stats and (when a recorder is attached)
+// the obs counter slab, and rewinds the undo log, the dirty-port
+// journal and the trace buffer. All scratch is preallocated or reused,
+// so steady-state batches stay allocation-free.
+func (s *Switch) beginBatch() {
+	s.batchSerial++
+	s.memoEpoch++
+	s.statsSnap = s.stats
+	s.undo = s.undo[:0]
+	s.undoEv = s.undoEv[:0]
+	s.dirtyPorts = s.dirtyPorts[:0]
+	s.evBuf = s.evBuf[:0]
+	if s.rec != nil {
+		s.recSnap = s.rec.SaveCounts(s.recSnap)
+	}
+	s.batch.idx = 0
+	s.batch.err = nil
+	s.batch.errIdx = 0
+}
+
+// commitBatch closes a successful transaction. Counters were written
+// in place, so the only remaining work is delivering the buffered
+// trace events in decision order.
+func (s *Switch) commitBatch() {
+	if s.rec != nil {
+		for i := range s.evBuf {
+			e := &s.evBuf[i]
+			s.rec.Trace(e.Slot, e.Port, e.Kind, e.Work, e.Value)
+		}
+	}
+	s.evBuf = s.evBuf[:0]
+}
+
+// rollbackBatch restores the exact pre-batch state: structural
+// mutations are inverted by replaying the undo log backwards, Stats
+// and the touched per-port counters are restored from their
+// checkpoints, the obs counter slab is restored, and the buffered
+// trace events are discarded. The argmax caches are force-invalidated
+// instead of replayed — a rescan is behaviorally identical to any
+// valid cache state.
+func (s *Switch) rollbackBatch() {
+	ev := len(s.undoEv)
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		u := s.undo[i]
+		port, val := int(u>>1&0x7fffffff), int(u>>32)
+		if u&undoKindMask == opInsert {
+			s.undoInsert(port, val)
+		} else {
+			ev--
+			s.undoEvict(port, val, s.undoEv[ev])
+		}
+	}
+	s.undo = s.undo[:0]
+	s.undoEv = s.undoEv[:0]
+	s.lenMax.invalidate()
+	s.workMax.invalidate()
+	s.stats = s.statsSnap
+	for _, i := range s.dirtyPorts {
+		s.perPort[i] = s.savedPC[i]
+	}
+	s.dirtyPorts = s.dirtyPorts[:0]
+	if s.rec != nil {
+		s.rec.RestoreCounts(s.recSnap)
+	}
+	s.evBuf = s.evBuf[:0]
+}
+
+// undoInsert inverts one insert: the inserted packet is the newest in
+// its queue (the FIFO tail / the recorded value), so popping it
+// restores the previous queue exactly.
+func (s *Switch) undoInsert(i, val int) {
+	if s.cfg.Model == ModelProcessing {
+		s.arrivals[i].PopBack()
+		s.qLen[i]--
+		if s.qLen[i] == 0 {
+			s.holRes[i] = 0
+			s.qWork[i] = 0
+		} else {
+			s.qWork[i] -= s.works[i]
+		}
+	} else {
+		s.vq[i].Remove(val)
+		s.vLen[i]--
+		s.vSum[i] -= int64(val)
+		if s.vLen[i] == 0 {
+			s.vMin[i] = 0
+		} else {
+			s.vMin[i] = s.vq[i].Min()
+		}
+	}
+	s.occ--
+}
+
+// undoEvict inverts one eviction by re-adding the evicted packet with
+// its recorded pre-eviction facts (arrival slot, head-of-line
+// residual and queue work in the processing model; the popped minimum
+// in the value model).
+func (s *Switch) undoEvict(i, val int, d evictUndo) {
+	if s.cfg.Model == ModelProcessing {
+		s.arrivals[i].PushBack(d.slot)
+		s.qLen[i]++
+		s.holRes[i] = d.hol
+		s.qWork[i] = d.wrk
+	} else {
+		s.vq[i].Add(val)
+		s.vLen[i]++
+		s.vSum[i] += int64(val)
+		s.vMin[i] = s.vq[i].Min()
+	}
+	s.occ++
+}
+
+// touchPort checkpoints one port's counters on its first mutation in
+// the current batch, so rollback restores exactly the touched ports
+// without a per-slot copy of the whole counter table.
+//
+//smb:hotpath
+func (s *Switch) touchPort(i int) {
+	if s.dirtyStamp[i] != s.batchSerial {
+		s.dirtyStamp[i] = s.batchSerial
+		s.savedPC[i] = s.perPort[i]
+		s.dirtyPorts = append(s.dirtyPorts, i)
+	}
+}
+
+// Batch executes one burst's admission decisions against the switch,
+// inside the transaction ArriveBatch opened. Exactly one op — Accept,
+// Drop, DropMemo, DropAll or PushOut — must be called per packet, in
+// arrival order. Errors are sticky: after a failed op every further op
+// is a no-op, Err reports the failure, and ArriveBatch rolls the whole
+// batch back. A Batch is only valid inside the AdmitBatch call it is
+// passed to; kernels must not retain it.
+type Batch struct {
+	s      *Switch
+	idx    int // packets decided so far
+	err    error
+	errIdx int
+}
+
+// View returns the switch state as a FastView, live across ops: reads
+// after an Accept or PushOut observe the mutated queues, exactly like
+// consecutive per-packet Admit calls. The usual FastView contract
+// applies — returned slices are read-only.
+func (b *Batch) View() FastView { return b.s }
+
+// Err returns the sticky failure, nil while the batch is healthy.
+// Kernels may break out early when it is non-nil; every op no-ops once
+// it is set.
+func (b *Batch) Err() error { return b.err }
+
+// Free returns the free space below the effective buffer, matching
+// View.Free. Non-push-out kernels can drop an entire burst suffix once
+// it reaches zero (free space never grows during an arrival phase).
+//
+//smb:hotpath
+func (b *Batch) Free() int {
+	if free := b.s.effBuf - b.s.occ; free > 0 {
+		return free
+	}
+	return 0
+}
+
+// Accept admits the next packet into its destination queue without an
+// eviction, executing the same sequence as the per-packet path: the
+// arrival and acceptance counters move, the admit event records, and
+// the occupancy high-water mark updates.
+//
+//smb:hotpath
+func (b *Batch) Accept(p pkt.Packet) {
+	if b.err != nil {
+		return
+	}
+	s := b.s
+	if s.occ >= s.effBuf {
+		b.failFull(s.occ, s.effBuf)
+		return
+	}
+	s.stats.Arrived++
+	s.touchPort(p.Port)
+	pc := &s.perPort[p.Port]
+	pc.Arrived++
+	s.insert(p)
+	s.undo = append(s.undo, packUndo(opInsert, p.Port, p.Value))
+	s.stats.Accepted++
+	pc.Accepted++
+	if s.rec != nil {
+		s.rec.Inc(p.Port, obs.KindAdmit)
+		if s.rec.Tracing() {
+			b.traceEvent(p.Port, obs.KindAdmit, p.Work, p.Value)
+		}
+	}
+	s.stats.observeOccupancy(s.occ)
+	s.memoEpoch++
+	b.idx++
+	if s.cfg.CheckInvariants {
+		b.checkInvariants()
+	}
+}
+
+// Drop rejects the next packet: the arrival and drop counters move and
+// the tail-drop event records, mutating no queue state.
+//
+//smb:hotpath
+func (b *Batch) Drop(p pkt.Packet) {
+	if b.err != nil {
+		return
+	}
+	s := b.s
+	s.stats.Arrived++
+	s.stats.Dropped++
+	s.touchPort(p.Port)
+	pc := &s.perPort[p.Port]
+	pc.Arrived++
+	pc.Dropped++
+	if s.rec != nil {
+		s.rec.Inc(p.Port, obs.KindTailDrop)
+		if s.rec.Tracing() {
+			b.traceEvent(p.Port, obs.KindTailDrop, p.Work, p.Value)
+		}
+	}
+	b.idx++
+}
+
+// DropAll rejects a whole burst suffix, packet by packet, in order.
+// Kernels use it once a burst prefix has pinned the remaining
+// decisions (e.g. Free() reached zero under a non-push-out policy).
+//
+//smb:hotpath
+func (b *Batch) DropAll(ps []pkt.Packet) {
+	for i := range ps {
+		b.Drop(ps[i])
+	}
+}
+
+// DropMemo is Drop plus memoization: it stamps (port, value) in the
+// engine's drop-memo table so KnownDrop short-circuits an identical
+// later arrival, as long as no state mutation intervened.
+//
+//smb:hotpath
+func (b *Batch) DropMemo(p pkt.Packet) {
+	if b.err != nil {
+		return
+	}
+	s := b.s
+	s.memoStamp[p.Port*s.memoStride+p.Value] = s.memoEpoch
+	b.Drop(p)
+}
+
+// KnownDrop reports whether an identical packet was dropped via
+// DropMemo with no state mutation since. The memo is sound because
+// policies are pure functions of (View, Packet), a packet is fully
+// determined by (port, value) given the switch configuration (work is
+// per-port), and the memo epoch advances on every accept and push-out:
+// a stamped drop therefore replays the exact same policy evaluation.
+//
+//smb:hotpath
+func (b *Batch) KnownDrop(p pkt.Packet) bool {
+	s := b.s
+	return s.memoStamp[p.Port*s.memoStride+p.Value] == s.memoEpoch
+}
+
+// PushOut evicts one packet from queue victim (the FIFO tail in the
+// processing model, the minimum value in the value model) and admits p
+// in its place, executing the same validation, counter and event
+// sequence as the per-packet path.
+//
+//smb:hotpath
+func (b *Batch) PushOut(victim int, p pkt.Packet) {
+	if b.err != nil {
+		return
+	}
+	s := b.s
+	if err := s.canEvict(victim); err != nil {
+		b.failEvict(err)
+		return
+	}
+	if s.occ-1 >= s.cfg.Buffer {
+		b.failFull(s.occ-1, s.cfg.Buffer)
+		return
+	}
+	var (
+		d    evictUndo
+		eval int
+	)
+	if s.cfg.Model == ModelProcessing {
+		d.slot = s.arrivals[victim].Back()
+		d.hol = s.holRes[victim]
+		d.wrk = s.qWork[victim]
+	} else {
+		eval = s.vq[victim].Min()
+	}
+	remWork, remValue := s.evict(victim)
+	s.undo = append(s.undo, packUndo(opEvict, victim, eval))
+	s.undoEv = append(s.undoEv, d)
+	s.stats.PushedOut++
+	s.touchPort(victim)
+	s.perPort[victim].PushedOut++
+	if s.rec != nil {
+		s.rec.Inc(victim, obs.KindPushOut)
+		s.rec.Add(victim, obs.KindPushedOutWork, uint64(remWork))
+		s.rec.Add(victim, obs.KindPushedOutValue, uint64(remValue))
+		if s.rec.Tracing() {
+			b.traceEvent(victim, obs.KindPushOut, remWork, remValue)
+		}
+	}
+	s.stats.Arrived++
+	s.touchPort(p.Port)
+	pc := &s.perPort[p.Port]
+	pc.Arrived++
+	s.insert(p)
+	s.undo = append(s.undo, packUndo(opInsert, p.Port, p.Value))
+	s.stats.Accepted++
+	pc.Accepted++
+	if s.rec != nil {
+		s.rec.Inc(p.Port, obs.KindAdmit)
+		if s.rec.Tracing() {
+			b.traceEvent(p.Port, obs.KindAdmit, p.Work, p.Value)
+		}
+	}
+	s.stats.observeOccupancy(s.occ)
+	s.memoEpoch++
+	b.idx++
+	if s.cfg.CheckInvariants {
+		b.checkInvariants()
+	}
+}
+
+// Apply executes one per-packet Decision through the batch ops,
+// bridging Admit-style decisions into a transaction.
+//
+//smb:hotpath
+func (b *Batch) Apply(d Decision, p pkt.Packet) {
+	switch {
+	case !d.Accept:
+		b.Drop(p)
+	case d.Push:
+		b.PushOut(d.Victim, p)
+	default:
+		b.Accept(p)
+	}
+}
+
+// PerPacket decides the burst with one policy.Admit call per packet —
+// the fallback for policies without a batch kernel, still inside the
+// batch transaction.
+func (b *Batch) PerPacket(ps []pkt.Packet) {
+	for i := range ps {
+		if b.err != nil {
+			return
+		}
+		b.Apply(b.s.policy.Admit(b.s, ps[i]), ps[i])
+	}
+}
+
+// traceEvent buffers one decision event for delivery on commit. Only
+// called with tracing enabled; the buffer grows amortized to the
+// largest traced burst.
+func (b *Batch) traceEvent(port int, k obs.Kind, work, value int) {
+	s := b.s
+	s.evBuf = append(s.evBuf, obs.Event{Slot: s.slot, Port: port, Kind: k, Work: work, Value: value})
+}
+
+// checkInvariants runs verify after an applied packet (CheckInvariants
+// mode), failing the batch on corruption. The failing index is the
+// packet just applied.
+func (b *Batch) checkInvariants() {
+	if err := b.s.verify(); err != nil {
+		b.err = err
+		b.errIdx = b.idx - 1
+	}
+}
+
+// failFull records the sticky full-buffer failure, matching the
+// per-packet path's error text.
+func (b *Batch) failFull(occ, limit int) {
+	b.fail(fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", b.s.policy.Name(), occ, limit))
+}
+
+// failEvict records the sticky eviction-validation failure, matching
+// the per-packet path's error text.
+func (b *Batch) failEvict(err error) {
+	b.fail(fmt.Errorf("core: policy %s: %w", b.s.policy.Name(), err))
+}
+
+// fail records the sticky failure at the current packet index.
+func (b *Batch) fail(err error) {
+	b.err = err
+	b.errIdx = b.idx
+}

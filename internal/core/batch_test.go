@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smbm/internal/obs"
+	"smbm/internal/pkt"
+)
+
+// snapState captures everything ArriveBatch promises to leave untouched
+// on a mid-batch failure.
+type snapState struct {
+	stats   Stats
+	perPort []PortCounters
+	occ     int
+	lens    []int
+	works   []int
+	mins    []int
+	sums    []int64
+	obsSnap *obs.Snapshot
+}
+
+func captureState(s *Switch, rec *obs.Recorder) snapState {
+	st := snapState{
+		stats:   s.Stats(),
+		perPort: s.PortCounters(),
+		occ:     s.Occupancy(),
+		lens:    append([]int(nil), s.QueueLens()...),
+		works:   append([]int(nil), s.PortWorks()...),
+	}
+	if s.Model() == ModelValue {
+		st.mins = append([]int(nil), s.QueueMinValues()...)
+		st.sums = append([]int64(nil), s.QueueSums()...)
+	}
+	if rec != nil {
+		st.obsSnap = rec.Snapshot()
+	}
+	return st
+}
+
+func requireState(t *testing.T, s *Switch, rec *obs.Recorder, want snapState) {
+	t.Helper()
+	if got := s.Stats(); got != want.stats {
+		t.Errorf("Stats not restored\n got: %+v\nwant: %+v", got, want.stats)
+	}
+	if got := s.PortCounters(); !reflect.DeepEqual(got, want.perPort) {
+		t.Errorf("PortCounters not restored\n got: %+v\nwant: %+v", got, want.perPort)
+	}
+	if got := s.Occupancy(); got != want.occ {
+		t.Errorf("Occupancy not restored: got %d, want %d", got, want.occ)
+	}
+	if got := s.QueueLens(); !reflect.DeepEqual(got, want.lens) {
+		t.Errorf("QueueLens not restored: got %v, want %v", got, want.lens)
+	}
+	if got := s.PortWorks(); !reflect.DeepEqual(got, want.works) {
+		t.Errorf("PortWorks not restored: got %v, want %v", got, want.works)
+	}
+	if s.Model() == ModelValue {
+		if got := s.QueueMinValues(); !reflect.DeepEqual(got, want.mins) {
+			t.Errorf("QueueMinValues not restored: got %v, want %v", got, want.mins)
+		}
+		if got := s.QueueSums(); !reflect.DeepEqual(got, want.sums) {
+			t.Errorf("QueueSums not restored: got %v, want %v", got, want.sums)
+		}
+	}
+	if rec != nil {
+		if got := rec.Snapshot(); !reflect.DeepEqual(got, want.obsSnap) {
+			t.Errorf("obs counters not restored\n got: %+v\nwant: %+v", got, want.obsSnap)
+		}
+	}
+}
+
+// scriptPolicy admits according to a fixed per-call decision script.
+type scriptPolicy struct {
+	script []Decision
+	calls  int
+}
+
+func (p *scriptPolicy) Name() string { return "script" }
+
+func (p *scriptPolicy) Admit(View, pkt.Packet) Decision {
+	d := p.script[p.calls]
+	p.calls++
+	return d
+}
+
+// TestArriveBatchRollbackProcessing: a batch whose policy first performs
+// a valid push-out admission and then returns an invalid victim must
+// leave the switch exactly in its pre-batch state — queues, residuals,
+// Stats, per-port counters and obs counters all restored, the batch
+// reported as zero packets applied.
+func TestArriveBatchRollbackProcessing(t *testing.T) {
+	cfg := validProcCfg()
+	cfg.Buffer = 4
+	cfg.CheckInvariants = true
+	// Decisions 0-3 fill the buffer; in the faulty batch, decision 4 is a
+	// valid push-out from port 1 (mutates queues and counters) and
+	// decision 5 an out-of-range victim (fails); decision 6 serves the
+	// post-rollback liveness check.
+	script := &scriptPolicy{script: []Decision{
+		Accept(), Accept(), Accept(), Accept(),
+		PushOut(1), PushOut(99),
+		Accept(),
+	}}
+	sw := MustNew(cfg, script)
+	rec := obs.NewRecorder(cfg.Ports, 16)
+	sw.SetRecorder(rec)
+
+	// Fill the buffer: two packets on port 1, one on ports 0 and 2.
+	fill := []pkt.Packet{pkt.NewWork(1, 2), pkt.NewWork(1, 2), pkt.NewWork(0, 1), pkt.NewWork(2, 3)}
+	if err := sw.ArriveBurst(fill); err != nil {
+		t.Fatal(err)
+	}
+	sw.Transmit() // advance a slot so latency bookkeeping is nontrivial
+
+	want := captureState(sw, rec)
+
+	err := sw.ArriveBatch([]pkt.Packet{pkt.NewWork(3, 6), pkt.NewWork(3, 6)})
+	var be *BurstError
+	if !errors.As(err, &be) {
+		t.Fatalf("ArriveBatch error = %v, want *BurstError", err)
+	}
+	if be.Index != 1 || be.Applied != 0 {
+		t.Errorf("BurstError = {Index: %d, Applied: %d}, want {Index: 1, Applied: 0}", be.Index, be.Applied)
+	}
+	requireState(t, sw, rec, want)
+
+	// The rolled-back switch must remain fully operational, with
+	// invariant checking still passing.
+	if err := sw.Step([]pkt.Packet{pkt.NewWork(0, 1)}); err != nil {
+		t.Fatalf("post-rollback Step: %v", err)
+	}
+}
+
+// TestArriveBatchRollbackValue exercises the value-model undo paths:
+// rolling back a push-out admission must re-insert the evicted minimum
+// into the victim's multiset and remove the accepted value again,
+// restoring lengths, minima and sums exactly.
+func TestArriveBatchRollbackValue(t *testing.T) {
+	cfg := validValCfg()
+	cfg.Buffer = 4
+	cfg.CheckInvariants = true
+	// Decisions 0-3 fill the buffer; in the faulty batch, decision 4
+	// evicts port 0's minimum (value 1) to admit value 4, and decision 5
+	// plain-accepts into the full buffer (fails).
+	script := &scriptPolicy{script: []Decision{
+		Accept(), Accept(), Accept(), Accept(),
+		PushOut(0), Accept(),
+	}}
+	sw := MustNew(cfg, script)
+	rec := obs.NewRecorder(cfg.Ports, 16)
+	sw.SetRecorder(rec)
+
+	fill := []pkt.Packet{pkt.NewValue(0, 1), pkt.NewValue(0, 3), pkt.NewValue(1, 2), pkt.NewValue(2, 4)}
+	if err := sw.ArriveBurst(fill); err != nil {
+		t.Fatal(err)
+	}
+
+	want := captureState(sw, rec)
+
+	err := sw.ArriveBatch([]pkt.Packet{pkt.NewValue(0, 4), pkt.NewValue(1, 4)})
+	var be *BurstError
+	if !errors.As(err, &be) {
+		t.Fatalf("ArriveBatch error = %v, want *BurstError", err)
+	}
+	if be.Index != 1 || be.Applied != 0 {
+		t.Errorf("BurstError = {Index: %d, Applied: %d}, want {Index: 1, Applied: 0}", be.Index, be.Applied)
+	}
+	if !strings.Contains(err.Error(), "full buffer") {
+		t.Errorf("error %q does not name the full-buffer violation", err)
+	}
+	requireState(t, sw, rec, want)
+}
+
+// lazyBatch is a BatchPolicy whose kernel forgets the tail of the burst.
+type lazyBatch struct{}
+
+func (lazyBatch) Name() string { return "lazy" }
+
+func (lazyBatch) Admit(v View, _ pkt.Packet) Decision {
+	if v.Free() > 0 {
+		return Accept()
+	}
+	return Drop()
+}
+
+func (lazyBatch) AdmitBatch(b *Batch, ps []pkt.Packet) {
+	if len(ps) > 0 {
+		b.Apply(Accept(), ps[0])
+	}
+}
+
+// TestArriveBatchUndecidedKernel: a kernel that decides fewer packets
+// than it was handed is a policy bug; the engine must report it and
+// roll the decided prefix back.
+func TestArriveBatchUndecidedKernel(t *testing.T) {
+	cfg := validProcCfg()
+	sw := MustNew(cfg, lazyBatch{})
+	want := captureState(sw, nil)
+	err := sw.ArriveBatch([]pkt.Packet{pkt.NewWork(0, 1), pkt.NewWork(0, 1)})
+	if err == nil || !strings.Contains(err.Error(), "decided 1 of 2") {
+		t.Fatalf("ArriveBatch error = %v, want undecided-packet report", err)
+	}
+	requireState(t, sw, nil, want)
+}
+
+// TestArriveBurstPartialFailure pins the sequential burst semantics: the
+// error names the failing packet's index, Applied equals that index, and
+// the counters reflect exactly the applied prefix.
+func TestArriveBurstPartialFailure(t *testing.T) {
+	sw := MustNew(validProcCfg(), greedy)
+	burst := []pkt.Packet{
+		pkt.NewWork(0, 1),
+		pkt.NewWork(1, 2),
+		pkt.NewWork(99, 1), // invalid port
+		pkt.NewWork(2, 3),
+	}
+	err := sw.ArriveBurst(burst)
+	var be *BurstError
+	if !errors.As(err, &be) {
+		t.Fatalf("ArriveBurst error = %v, want *BurstError", err)
+	}
+	if be.Index != 2 || be.Applied != 2 {
+		t.Errorf("BurstError = {Index: %d, Applied: %d}, want {Index: 2, Applied: 2}", be.Index, be.Applied)
+	}
+	if be.Unwrap() == nil {
+		t.Error("BurstError.Unwrap returned nil")
+	}
+	if got := sw.Stats().Arrived; got != 2 {
+		t.Errorf("Stats.Arrived = %d, want 2 (only the applied prefix)", got)
+	}
+	if got := sw.Stats().Accepted; got != 2 {
+		t.Errorf("Stats.Accepted = %d, want 2", got)
+	}
+	if got := sw.Occupancy(); got != 2 {
+		t.Errorf("Occupancy = %d, want 2", got)
+	}
+}
+
+// TestQueueTotalWorksValueModel pins the value-model meaning of
+// QueueTotalWorks: every packet carries unit work, so the per-queue
+// total work is the queue length itself (the engine returns its live
+// length mirror). LWD's HeaviestQueue coincides with LongestQueue for
+// the same reason.
+func TestQueueTotalWorksValueModel(t *testing.T) {
+	sw := MustNew(validValCfg(), greedy)
+	if err := sw.ArriveBurst([]pkt.Packet{
+		pkt.NewValue(0, 2), pkt.NewValue(0, 3), pkt.NewValue(2, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tw := sw.QueueTotalWorks()
+	for i := 0; i < sw.Ports(); i++ {
+		if tw[i] != sw.QueueLen(i) {
+			t.Errorf("QueueTotalWorks()[%d] = %d, want queue length %d", i, tw[i], sw.QueueLen(i))
+		}
+	}
+	if want := []int{2, 0, 1, 0}; !reflect.DeepEqual(tw, want) {
+		t.Errorf("QueueTotalWorks() = %v, want %v", tw, want)
+	}
+}
+
+// TestFastViewAliasingDetected is the regression test for the FastView
+// slice-aliasing bug class: a policy that writes through a
+// FastView-returned slice corrupts engine state the engine itself never
+// rewrites per-slot. The engine must (a) keep the caller's Config slice
+// isolated from the corruption, (b) detect the tamper via invariant
+// verification, and (c) recover fully on Reset. The fastviewro smblint
+// analyzer forbids such writes statically in the policy packages; this
+// test pins the dynamic defenses for policies outside them.
+func TestFastViewAliasingDetected(t *testing.T) {
+	cfg := validProcCfg()
+	cfg.CheckInvariants = true
+	callerWorks := append([]int(nil), cfg.PortWork...)
+
+	mutator := PolicyFunc{PolicyName: "mutator", Func: func(v View, _ pkt.Packet) Decision {
+		f := v.(FastView)
+		f.PortWorks()[0] = 999 // illegal: FastView slices are read-only
+		return Accept()
+	}}
+	sw := MustNew(cfg, mutator)
+	err := sw.Arrive(pkt.NewWork(0, 1))
+	if err == nil || !strings.Contains(err.Error(), "read-only FastView slice") {
+		t.Fatalf("Arrive error = %v, want work-table tamper report", err)
+	}
+	if !reflect.DeepEqual(cfg.PortWork, callerWorks) {
+		t.Errorf("caller's Config.PortWork mutated to %v (engine must own a private copy)", cfg.PortWork)
+	}
+
+	// Reset restores the pristine work table from the engine's private
+	// reference copy; the switch must be fully usable again.
+	sw.Reset()
+	if err := sw.SetPolicy(greedy); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Step([]pkt.Packet{pkt.NewWork(0, 1), pkt.NewWork(1, 2)}); err != nil {
+		t.Fatalf("post-Reset Step: %v", err)
+	}
+
+	// Queue-length tampering is likewise caught by the occupancy/mirror
+	// cross-check.
+	lenMutator := PolicyFunc{PolicyName: "len-mutator", Func: func(v View, _ pkt.Packet) Decision {
+		v.(FastView).QueueLens()[1] += 3
+		return Accept()
+	}}
+	sw2 := MustNew(cfg, lenMutator)
+	if err := sw2.Arrive(pkt.NewWork(0, 1)); err == nil {
+		t.Error("queue-length tamper went undetected under CheckInvariants")
+	}
+}
+
+// TestArriveBatchTraceBuffering: decision events from a failed batch
+// must never reach the trace ring — they are buffered and only flushed
+// on commit.
+func TestArriveBatchTraceBuffering(t *testing.T) {
+	cfg := validProcCfg()
+	cfg.Buffer = 4
+	// Decisions 0-3 fill the buffer; the faulty batch drops (decision 4,
+	// traced into the event buffer) then accepts into the full buffer
+	// (decision 5, fails); decision 6 is the committed drop.
+	script := &scriptPolicy{script: []Decision{
+		Accept(), Accept(), Accept(), Accept(),
+		Drop(), Accept(),
+		Drop(),
+	}}
+	sw := MustNew(cfg, script)
+	rec := obs.NewRecorder(cfg.Ports, 16)
+	sw.SetRecorder(rec)
+
+	if err := sw.ArriveBurst([]pkt.Packet{
+		pkt.NewWork(0, 1), pkt.NewWork(0, 1), pkt.NewWork(0, 1), pkt.NewWork(0, 1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	preEvents := len(rec.Snapshot().Events)
+
+	if err := sw.ArriveBatch([]pkt.Packet{pkt.NewWork(1, 2), pkt.NewWork(1, 2)}); err == nil {
+		t.Fatal("faulty batch succeeded")
+	}
+	if got := len(rec.Snapshot().Events); got != preEvents {
+		t.Errorf("trace ring holds %d events after rollback, want %d (failed batch must not trace)", got, preEvents)
+	}
+
+	// A committed batch delivers its events in decision order.
+	if err := sw.ArriveBatch([]pkt.Packet{pkt.NewWork(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Snapshot().Events
+	if len(events) != preEvents+1 {
+		t.Fatalf("trace ring holds %d events, want %d", len(events), preEvents+1)
+	}
+	last := events[len(events)-1]
+	if last.Kind != obs.KindTailDrop || last.Port != 1 {
+		t.Errorf("last event = %+v, want tail-drop on port 1 (buffer full)", last)
+	}
+}

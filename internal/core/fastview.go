@@ -83,12 +83,24 @@ func (a *argmax) drop(i int) {
 	}
 }
 
-// top returns the argmax index and key, rescanning if invalidated.
+// invalidate unconditionally forces the next top query to rescan. The
+// batch rollback path uses it instead of replaying bump/drop inverses:
+// a valid cache always holds the exact largest-index argmax and an
+// invalid one rescans, so forcing a rescan is behaviorally equivalent
+// and keeps the undo log free of cache bookkeeping.
+func (a *argmax) invalidate() { a.ok = false }
+
+// top returns the argmax index and key, rescanning if invalidated. The
+// rescan walks backward with a strict comparison — identical result to
+// a forward walk that takes ties, but the replacement branch almost
+// never fires on the tie-heavy key distributions the equalizing
+// policies (LQD, LWD) produce, where a forward walk would update its
+// candidate on every tied key.
 func (a *argmax) top(keys []int) (int, int) {
 	if !a.ok {
-		best := 0
-		for j := 1; j < len(keys); j++ {
-			if keys[j] >= keys[best] {
+		best := len(keys) - 1
+		for j := best - 1; j >= 0; j-- {
+			if keys[j] > keys[best] {
 				best = j
 			}
 		}

@@ -14,7 +14,24 @@ import (
 type Switch struct {
 	cfg    Config
 	policy Policy
-	works  []int // effective per-port work
+
+	// soa is the contiguous structure-of-arrays backing for the per-port
+	// hot lanes: the admission and transmission loops walk parallel
+	// arrays carved out of this one allocation (qLen|holRes|qWork|works|
+	// speedTab in the processing model, vLen|vMin|works|speedTab in the
+	// value model), so a scan over all ports is cache-linear instead of
+	// hopping between separately allocated slices.
+	soa []int
+
+	// works is the engine-private per-port work table (a lane of soa).
+	// It is a defensive copy of the configuration: Config.PortWork stays
+	// caller-owned and uncorrupted even if a buggy policy writes through
+	// the PortWorks FastView slice (verify catches such writes against
+	// cfgWorks).
+	works []int
+	// cfgWorks is the pristine per-port work reference verify() compares
+	// works against; never handed out.
+	cfgWorks []int
 
 	occ  int
 	slot int64
@@ -54,8 +71,36 @@ type Switch struct {
 	speedOv  []int
 	bufLimit int
 
+	// Precomputed effective-configuration tables: speedTab[i] is port
+	// i's effective per-slot speedup and effBuf the effective shared
+	// buffer, refreshed whenever an override changes (New,
+	// SetPortSpeedup, ResetSpeedups, SetBufferLimit, Reset) so the
+	// per-slot hot loops read a table instead of re-branching on the
+	// override state per port per slot.
+	speedTab []int
+	effBuf   int
+
 	stats   Stats
 	perPort []PortCounters
+
+	// Batched arrival phase state (see batch.go): the reusable Batch
+	// executor, the policy's optional batch kernel, the undo log and
+	// counter checkpoints backing transactional commit/rollback, the
+	// buffered trace events, and the epoch-stamped drop-decision memo.
+	batchPol    BatchPolicy
+	batch       Batch
+	undo        []uint64
+	undoEv      []evictUndo
+	evBuf       []obs.Event
+	recSnap     []uint64
+	statsSnap   Stats
+	savedPC     []PortCounters
+	dirtyPorts  []int
+	dirtyStamp  []int64
+	batchSerial int64
+	memoStamp   []int64
+	memoStride  int
+	memoEpoch   int64
 
 	// Optional observability recorder (see SetRecorder). Every recording
 	// site is branch-on-nil, so a detached switch pays one predictable
@@ -76,35 +121,59 @@ func New(cfg Config, policy Policy) (*Switch, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("%w: nil policy", ErrBadConfig)
 	}
+	n := cfg.Ports
 	s := &Switch{
 		cfg:     cfg,
 		policy:  policy,
-		works:   cfg.portWork(),
-		perPort: make([]PortCounters, cfg.Ports),
+		perPort: make([]PortCounters, n),
 	}
+	// Carve the per-port hot lanes out of one contiguous allocation
+	// (full-capacity subslices, so an append on one lane can never bleed
+	// into the next). The work table is an engine-private copy of the
+	// configuration.
 	if cfg.Model == ModelProcessing {
-		s.qLen = make([]int, cfg.Ports)
-		s.holRes = make([]int, cfg.Ports)
-		s.qWork = make([]int, cfg.Ports)
-		s.arrivals = make([]deque.Deque, cfg.Ports)
+		s.soa = make([]int, 5*n)
+		s.qLen = s.soa[0*n : 1*n : 1*n]
+		s.holRes = s.soa[1*n : 2*n : 2*n]
+		s.qWork = s.soa[2*n : 3*n : 3*n]
+		s.works = s.soa[3*n : 4*n : 4*n]
+		s.speedTab = s.soa[4*n : 5*n : 5*n]
+		s.arrivals = make([]deque.Deque, n)
 		reserve := min(cfg.Buffer, reserveCap)
 		for i := range s.arrivals {
 			s.arrivals[i].Reserve(reserve)
 		}
 	} else {
-		s.vq = make([]*bmset.Set, cfg.Ports)
+		s.soa = make([]int, 4*n)
+		s.vLen = s.soa[0*n : 1*n : 1*n]
+		s.vMin = s.soa[1*n : 2*n : 2*n]
+		s.works = s.soa[2*n : 3*n : 3*n]
+		s.speedTab = s.soa[3*n : 4*n : 4*n]
+		s.vq = make([]*bmset.Set, n)
 		for i := range s.vq {
 			s.vq[i] = bmset.New(cfg.MaxLabel)
 		}
-		s.vLen = make([]int, cfg.Ports)
-		s.vMin = make([]int, cfg.Ports)
-		s.vSum = make([]int64, cfg.Ports)
+		s.vSum = make([]int64, n)
 	}
+	s.cfgWorks = append([]int(nil), cfg.portWork()...)
+	copy(s.works, s.cfgWorks)
+	s.recomputeSpeedTab()
+	s.recomputeEffBuf()
 	// Same ascending-port summation order as the NHST fallback scan so
 	// FastView thresholds are bit-identical to the plain-View path.
 	for _, w := range s.works {
 		s.invWorkSum += 1 / float64(w)
 	}
+	// Batched arrival scratch: preallocated so ArriveBatch stays
+	// allocation-free in steady state (the undo log and trace buffer
+	// grow amortized to the largest burst seen).
+	s.batch.s = s
+	s.batchPol, _ = policy.(BatchPolicy)
+	s.savedPC = make([]PortCounters, n)
+	s.dirtyPorts = make([]int, 0, n)
+	s.dirtyStamp = make([]int64, n)
+	s.memoStride = cfg.MaxLabel + 1
+	s.memoStamp = make([]int64, n*s.memoStride)
 	return s, nil
 }
 
@@ -119,6 +188,7 @@ func (s *Switch) SetPolicy(policy Policy) error {
 		return fmt.Errorf("core: SetPolicy with %d packets buffered; Reset first", s.occ)
 	}
 	s.policy = policy
+	s.batchPol, _ = policy.(BatchPolicy)
 	return nil
 }
 
@@ -183,6 +253,7 @@ func (s *Switch) SetPortSpeedup(i, c int) {
 		}
 	}
 	s.speedOv[i] = c
+	s.recomputeSpeedTab()
 }
 
 // ResetSpeedups clears all per-port speedup overrides, restoring the
@@ -191,6 +262,7 @@ func (s *Switch) ResetSpeedups() {
 	for i := range s.speedOv {
 		s.speedOv[i] = -1
 	}
+	s.recomputeSpeedTab()
 }
 
 // SetBufferLimit transiently caps the effective shared buffer at b
@@ -203,9 +275,10 @@ func (s *Switch) ResetSpeedups() {
 func (s *Switch) SetBufferLimit(b int) {
 	if b <= 0 {
 		s.bufLimit = 0
-		return
+	} else {
+		s.bufLimit = b
 	}
-	s.bufLimit = b
+	s.recomputeEffBuf()
 }
 
 // SetRecorder attaches an observability recorder (nil detaches),
@@ -223,21 +296,35 @@ func (s *Switch) SetRecorder(r *obs.Recorder) {
 }
 
 // effSpeedup returns port i's effective per-slot speedup under any
-// active override.
-func (s *Switch) effSpeedup(i int) int {
-	if s.speedOv != nil && s.speedOv[i] >= 0 {
-		return s.speedOv[i]
-	}
-	return s.cfg.Speedup
-}
+// active override, by reading the precomputed table.
+func (s *Switch) effSpeedup(i int) int { return s.speedTab[i] }
 
 // effBuffer returns the effective shared buffer under any active
-// squeeze.
-func (s *Switch) effBuffer() int {
-	if s.bufLimit > 0 && s.bufLimit < s.cfg.Buffer {
-		return s.bufLimit
+// squeeze, by reading the precomputed value.
+func (s *Switch) effBuffer() int { return s.effBuf }
+
+// recomputeSpeedTab refreshes the per-port effective-speedup table
+// from the configured speedup and any active overrides. Called on
+// every override change (a cold path) so the per-slot loops never
+// re-branch on the override state.
+func (s *Switch) recomputeSpeedTab() {
+	for i := range s.speedTab {
+		if s.speedOv != nil && s.speedOv[i] >= 0 {
+			s.speedTab[i] = s.speedOv[i]
+		} else {
+			s.speedTab[i] = s.cfg.Speedup
+		}
 	}
-	return s.cfg.Buffer
+}
+
+// recomputeEffBuf refreshes the cached effective buffer from the
+// configured B and any active squeeze.
+func (s *Switch) recomputeEffBuf() {
+	if s.bufLimit > 0 && s.bufLimit < s.cfg.Buffer {
+		s.effBuf = s.bufLimit
+	} else {
+		s.effBuf = s.cfg.Buffer
+	}
 }
 
 // --- View implementation -------------------------------------------------
@@ -323,7 +410,10 @@ var _ View = (*Switch)(nil)
 
 // --- FastView implementation ---------------------------------------------
 
-// QueueLens implements FastView.
+// QueueLens implements FastView. The returned slice is live engine
+// state and strictly read-only: writing through it corrupts the
+// switch (the fastviewro analyzer forbids such writes in the policy
+// packages, and verify() under CheckInvariants detects them).
 //
 //smb:hotpath
 func (s *Switch) QueueLens() []int {
@@ -333,7 +423,15 @@ func (s *Switch) QueueLens() []int {
 	return s.vLen
 }
 
-// QueueTotalWorks implements FastView.
+// QueueTotalWorks implements FastView. The returned slice is live
+// engine state and strictly read-only (see QueueLens).
+//
+// In the value model it returns the per-queue packet counts (the same
+// backing slice QueueLens returns): every value-model packet requires
+// exactly one unit of work, so total residual work ≡ queue length by
+// definition, mirroring View.QueueWork. Value-model policies must not
+// reinterpret it as a processing-work measure — none of the roster
+// policies do; TestQueueTotalWorksValueModel pins the equivalence.
 //
 //smb:hotpath
 func (s *Switch) QueueTotalWorks() []int {
@@ -343,17 +441,25 @@ func (s *Switch) QueueTotalWorks() []int {
 	return s.vLen
 }
 
-// QueueMinValues implements FastView. It is nil in the processing model.
+// QueueMinValues implements FastView. It is nil in the processing
+// model. The returned slice is live engine state and strictly
+// read-only (see QueueLens).
 //
 //smb:hotpath
 func (s *Switch) QueueMinValues() []int { return s.vMin }
 
 // QueueSums implements FastView. It is nil in the processing model.
+// The returned slice is live engine state and strictly read-only (see
+// QueueLens).
 //
 //smb:hotpath
 func (s *Switch) QueueSums() []int64 { return s.vSum }
 
-// PortWorks implements FastView.
+// PortWorks implements FastView. The returned slice is live engine
+// state and strictly read-only (see QueueLens); it is the engine's
+// private copy of the configured works, so a rogue write corrupts only
+// this switch — never the caller-owned Config.PortWork — and verify()
+// reports the divergence from the pristine configuration.
 //
 //smb:hotpath
 func (s *Switch) PortWorks() []int { return s.works }
@@ -391,6 +497,15 @@ var _ FastView = (*Switch)(nil)
 // executes its decision. It returns an error when the packet is malformed
 // for this switch or the policy's decision violates the model (accepting
 // into a full buffer, evicting from an empty queue).
+//
+// Arrive is atomic per packet: a failing packet contributes nothing —
+// no queue mutation, no Stats or per-port counter movement, no obs
+// event — because every validation (packet shape, victim, buffer
+// bound) runs before the first mutation. The one exception is a
+// CheckInvariants verify failure, which reports engine corruption
+// *after* the triggering packet was applied. Arrive is the executable
+// per-packet reference the batched ArriveBatch path is differentially
+// tested against.
 func (s *Switch) Arrive(p pkt.Packet) error {
 	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
 		return err
@@ -398,10 +513,10 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 	if s.cfg.Model == ModelProcessing && p.Work != s.works[p.Port] {
 		return fmt.Errorf("core: packet work %d does not match port %d configuration %d", p.Work, p.Port, s.works[p.Port])
 	}
-	s.stats.Arrived++
-	s.perPort[p.Port].Arrived++
 	d := s.policy.Admit(s, p)
 	if !d.Accept {
+		s.stats.Arrived++
+		s.perPort[p.Port].Arrived++
 		s.stats.Dropped++
 		s.perPort[p.Port].Dropped++
 		if s.rec != nil {
@@ -411,20 +526,32 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 		return nil
 	}
 	if d.Push {
-		if err := s.evict(d.Victim); err != nil {
+		if err := s.canEvict(d.Victim); err != nil {
 			return fmt.Errorf("core: policy %s: %w", s.policy.Name(), err)
 		}
+		// A push-out admission is occupancy-neutral, so during a buffer
+		// squeeze it only needs the physical bound — checked against the
+		// post-eviction occupancy before evicting, so a violating
+		// decision mutates nothing.
+		if s.occ-1 >= s.cfg.Buffer {
+			return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ-1, s.cfg.Buffer)
+		}
+		remWork, remValue := s.evict(d.Victim)
+		s.stats.PushedOut++
+		s.perPort[d.Victim].PushedOut++
+		if s.rec != nil {
+			s.rec.Inc(d.Victim, obs.KindPushOut)
+			s.rec.Add(d.Victim, obs.KindPushedOutWork, uint64(remWork))
+			s.rec.Add(d.Victim, obs.KindPushedOutValue, uint64(remValue))
+			s.rec.Trace(s.slot, d.Victim, obs.KindPushOut, remWork, remValue)
+		}
+	} else if s.occ >= s.effBuf {
+		// A plain accept needs room below the effective (possibly
+		// squeezed) buffer.
+		return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ, s.effBuf)
 	}
-	// A push-out admission is occupancy-neutral, so during a buffer
-	// squeeze it only needs the physical bound; a plain accept needs
-	// room below the effective (possibly squeezed) buffer.
-	limit := s.effBuffer()
-	if d.Push {
-		limit = s.cfg.Buffer
-	}
-	if s.occ >= limit {
-		return fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", s.policy.Name(), s.occ, limit)
-	}
+	s.stats.Arrived++
+	s.perPort[p.Port].Arrived++
 	s.insert(p)
 	s.stats.Accepted++
 	s.perPort[p.Port].Accepted++
@@ -439,11 +566,42 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 	return nil
 }
 
-// ArriveBurst offers packets in order, stopping at the first error.
+// BurstError reports a failure inside a burst arrival: which packet
+// failed and how many packets of the burst had been fully applied (and
+// remain applied) when the failure surfaced.
+type BurstError struct {
+	// Index is the position of the failing packet within the burst.
+	Index int
+	// Applied counts the burst's packets whose effects remain in Stats
+	// and the per-port counters: Index for the sequential ArriveBurst
+	// path (everything before the failure sticks), 0 for the
+	// transactional ArriveBatch path (everything rolls back).
+	Applied int
+	// Err is the underlying per-packet failure.
+	Err error
+}
+
+// Error implements error.
+func (e *BurstError) Error() string {
+	return fmt.Sprintf("core: burst packet %d (%d applied): %v", e.Index, e.Applied, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is and errors.As.
+func (e *BurstError) Unwrap() error { return e.Err }
+
+// ArriveBurst offers packets in order through the per-packet Arrive
+// path, stopping at the first error. A failure is returned as a
+// *BurstError whose Index names the failing packet and whose Applied
+// count equals Index: Arrive is atomic per packet, so exactly the
+// packets preceding the failure contributed to Stats and the per-port
+// counters, and the failing packet contributed nothing. (Exception:
+// with CheckInvariants set, a verify failure surfaces after the
+// triggering packet was applied; the error then describes engine
+// corruption, not a rejected packet.)
 func (s *Switch) ArriveBurst(ps []pkt.Packet) error {
-	for _, p := range ps {
+	for i, p := range ps {
 		if err := s.Arrive(p); err != nil {
-			return err
+			return &BurstError{Index: i, Applied: i, Err: err}
 		}
 	}
 	return nil
@@ -468,9 +626,21 @@ func (s *Switch) Transmit() {
 }
 
 func (s *Switch) transmitProcessing() {
+	// Hoist the SoA lanes into locals: the inner loop then indexes flat
+	// slices instead of reloading switch fields around every store, and
+	// the slot's consumed cycles accumulate into one register flushed to
+	// Stats once per phase.
+	var (
+		speedTab    = s.speedTab
+		qLen        = s.qLen
+		holRes      = s.holRes
+		qWork       = s.qWork
+		works       = s.works
+		cyclesTotal int64
+	)
 	for i := 0; i < s.cfg.Ports; i++ {
-		budget := s.effSpeedup(i)
-		if budget == 0 || s.qLen[i] == 0 {
+		budget := speedTab[i]
+		if budget == 0 || qLen[i] == 0 {
 			continue
 		}
 		// Per-port accumulators: counters are batched into stats and
@@ -481,17 +651,17 @@ func (s *Switch) transmitProcessing() {
 			latSum    int64
 		)
 		pc := &s.perPort[i]
-		for budget > 0 && s.qLen[i] > 0 {
-			use := min(budget, s.holRes[i])
-			s.holRes[i] -= use
-			s.qWork[i] -= use
+		for budget > 0 && qLen[i] > 0 {
+			use := min(budget, holRes[i])
+			holRes[i] -= use
+			qWork[i] -= use
 			budget -= use
 			cycles += int64(use)
-			if s.holRes[i] > 0 {
+			if holRes[i] > 0 {
 				break
 			}
 			// Head-of-line packet completed: transmit it.
-			s.qLen[i]--
+			qLen[i]--
 			s.occ--
 			completed++
 			latency := s.slot - s.arrivals[i].PopFront()
@@ -499,21 +669,21 @@ func (s *Switch) transmitProcessing() {
 			if latency > pc.MaxLatency {
 				pc.MaxLatency = latency
 			}
-			if s.qLen[i] > 0 {
-				s.holRes[i] = s.works[i]
+			if qLen[i] > 0 {
+				holRes[i] = works[i]
 			}
 		}
 		if cycles > 0 {
 			// Any consumed cycle lowers the queue's total work, but its
 			// length (the lenMax key) only changes on a completion.
 			s.workMax.drop(i)
+			cyclesTotal += cycles
 		}
-		s.stats.CyclesUsed += cycles
 		if completed > 0 {
 			s.lenMax.drop(i)
 			s.stats.Transmitted += completed
 			s.stats.TransmittedValue += completed
-			s.stats.TransmittedWork += completed * int64(s.works[i])
+			s.stats.TransmittedWork += completed * int64(works[i])
 			s.stats.LatencySlots += latSum
 			pc.Transmitted += completed
 			pc.TransmittedValue += completed
@@ -523,13 +693,14 @@ func (s *Switch) transmitProcessing() {
 			}
 		}
 	}
+	s.stats.CyclesUsed += cyclesTotal
 }
 
 func (s *Switch) transmitValue() {
 	for i := 0; i < s.cfg.Ports; i++ {
 		// The speedup override cannot change mid-phase, so hoist it and
 		// pop the exact count instead of re-testing per packet.
-		pops := min(s.effSpeedup(i), s.vLen[i])
+		pops := min(s.speedTab[i], s.vLen[i])
 		if pops == 0 {
 			continue
 		}
@@ -558,11 +729,15 @@ func (s *Switch) transmitValue() {
 }
 
 // Step runs one full time slot: the arrival phase over the given burst
-// (in order), then the transmission phase.
+// (in order), then the transmission phase. The arrival phase runs
+// through the batched ArriveBatch path, which is differentially tested
+// to be bit-identical to the per-packet ArriveBurst reference; on
+// error the slot's arrivals are rolled back wholesale and the
+// transmission phase does not run.
 //
 //smb:hotpath
 func (s *Switch) Step(arrivalsInOrder []pkt.Packet) error {
-	if err := s.ArriveBurst(arrivalsInOrder); err != nil {
+	if err := s.ArriveBatch(arrivalsInOrder); err != nil {
 		return err
 	}
 	s.Transmit()
@@ -627,6 +802,13 @@ func (s *Switch) Reset() {
 	}
 	s.lenMax = argmax{}
 	s.workMax = argmax{}
+	s.recomputeSpeedTab()
+	s.recomputeEffBuf()
+	// Restore the work table from the pristine configuration so a Reset
+	// also clears any corruption a rogue FastView-slice write left
+	// behind. The batch serial and memo epoch stay monotone: stale
+	// stamps can never match a future batch.
+	copy(s.works, s.cfgWorks)
 }
 
 // TotalWork returns the total residual work buffered across all queues.
@@ -638,21 +820,32 @@ func (s *Switch) TotalWork() int {
 	return t
 }
 
-// evict removes one packet from queue victim: the FIFO tail (processing
-// model) or the minimum value (value model).
-func (s *Switch) evict(victim int) error {
+// canEvict validates a push-out victim without mutating anything, so
+// the admission paths can reject a violating decision before touching
+// state (per-packet atomicity, batch transactionality).
+func (s *Switch) canEvict(victim int) error {
 	if victim < 0 || victim >= s.cfg.Ports {
 		return fmt.Errorf("push-out victim %d out of range", victim)
 	}
 	if s.QueueLen(victim) == 0 {
 		return fmt.Errorf("push-out from empty queue %d", victim)
 	}
-	// Residual work and intrinsic value removed by the eviction, for the
-	// observability counters: in the processing model the evicted tail's
-	// remaining cycles (the whole remaining queue work when the tail is
-	// also the head-of-line packet, whose partial progress is wasted);
-	// in the value model the popped minimum.
-	remWork, remValue := 1, 1
+	return nil
+}
+
+// evict removes one packet from queue victim — the FIFO tail
+// (processing model) or the minimum value (value model) — and returns
+// the residual work and intrinsic value the eviction discarded: in the
+// processing model the evicted tail's remaining cycles (the whole
+// remaining queue work when the tail is also the head-of-line packet,
+// whose partial progress is wasted), in the value model the popped
+// minimum. The victim must have been validated with canEvict first.
+// Counter and recorder updates belong to the callers: the per-packet
+// Arrive path records directly, the batched path transactionally.
+//
+//smb:hotpath
+func (s *Switch) evict(victim int) (remWork, remValue int) {
+	remWork, remValue = 1, 1
 	if s.cfg.Model == ModelProcessing {
 		if s.qLen[victim] == 1 {
 			remWork = s.qWork[victim]
@@ -683,15 +876,7 @@ func (s *Switch) evict(victim int) error {
 	}
 	s.lenMax.drop(victim)
 	s.occ--
-	s.stats.PushedOut++
-	s.perPort[victim].PushedOut++
-	if s.rec != nil {
-		s.rec.Inc(victim, obs.KindPushOut)
-		s.rec.Add(victim, obs.KindPushedOutWork, uint64(remWork))
-		s.rec.Add(victim, obs.KindPushedOutValue, uint64(remValue))
-		s.rec.Trace(s.slot, victim, obs.KindPushOut, remWork, remValue)
-	}
-	return nil
+	return remWork, remValue
 }
 
 // insert appends p to its destination queue.
@@ -719,9 +904,23 @@ func (s *Switch) insert(p pkt.Packet) {
 }
 
 // verify checks internal consistency; used when CheckInvariants is set.
+// Beyond the queue mirrors and conservation laws it re-derives the
+// precomputed per-port tables, so a rogue write through a FastView
+// slice (PortWorks, QueueLens, ...) is detected at the next checked
+// operation instead of silently skewing admissions.
 func (s *Switch) verify() error {
 	var sum int
 	for i := 0; i < s.cfg.Ports; i++ {
+		if s.works[i] != s.cfgWorks[i] {
+			return fmt.Errorf("core: port %d work table %d != configured %d (write through a read-only FastView slice?)", i, s.works[i], s.cfgWorks[i])
+		}
+		wantSpeed := s.cfg.Speedup
+		if s.speedOv != nil && s.speedOv[i] >= 0 {
+			wantSpeed = s.speedOv[i]
+		}
+		if s.speedTab[i] != wantSpeed {
+			return fmt.Errorf("core: port %d speedup table %d != effective %d", i, s.speedTab[i], wantSpeed)
+		}
 		l := s.QueueLen(i)
 		if l < 0 {
 			return fmt.Errorf("core: queue %d negative length %d", i, l)
@@ -762,6 +961,13 @@ func (s *Switch) verify() error {
 	}
 	if sum != s.occ {
 		return fmt.Errorf("core: occupancy %d != queue sum %d", s.occ, sum)
+	}
+	wantBuf := s.cfg.Buffer
+	if s.bufLimit > 0 && s.bufLimit < s.cfg.Buffer {
+		wantBuf = s.bufLimit
+	}
+	if s.effBuf != wantBuf {
+		return fmt.Errorf("core: effective buffer cache %d != recomputed %d", s.effBuf, wantBuf)
 	}
 	if s.occ > s.cfg.Buffer {
 		return fmt.Errorf("core: occupancy %d exceeds buffer %d", s.occ, s.cfg.Buffer)

@@ -1,0 +1,180 @@
+// Package fastviewro implements the read-only FastView contract
+// analyzer for the policy packages. core.FastView's slice-returning
+// accessors (QueueLens, QueueTotalWorks, QueueMinValues, QueueSums,
+// PortWorks) expose *live engine state* — the switch's own mirrors, not
+// copies — so a policy that writes through one of them silently
+// corrupts the engine: the aggregate caches, the configured work table,
+// the invariant between occupancy and the length mirrors. The engine
+// defends dynamically (a private work-table copy, CheckInvariants
+// cross-checks — see core.TestFastViewAliasingDetected), but inside the
+// policy packages the bug class is simply forbidden at the source
+// level: no assignment, op-assignment, increment/decrement or copy
+// destination may reach through a FastView slice, whether the slice is
+// indexed directly off the accessor call or via a local variable the
+// call's result was stored in (including re-slices and aliases).
+//
+// Outside the policy packages this analyzer is silent: engine code owns
+// those slices and mutates them by design.
+package fastviewro
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smbm/internal/lint"
+)
+
+// Analyzer is the fastviewro analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "fastviewro",
+	Doc: "forbid writes through FastView-returned slices in policy " +
+		"packages: the slices are live engine state and strictly read-only",
+	Run: run,
+}
+
+// accessors names the FastView methods that return live engine slices.
+var accessors = map[string]bool{
+	"QueueLens":       true,
+	"QueueTotalWorks": true,
+	"QueueMinValues":  true,
+	"QueueSums":       true,
+	"PortWorks":       true,
+}
+
+// run applies fastviewro to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() || !lint.PolicyPackage(pass.Path) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags writes through FastView slices within one function.
+// Taint analysis is per function: accessor call results and every local
+// alias of them (plain assignment, multi-assignment, re-slicing) are
+// tracked to a fixpoint, then each write statement is tested against
+// the tainted set.
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	tainted := make(map[types.Object]string) // local var -> accessor it aliases
+
+	// origin resolves the FastView accessor behind expr, "" when expr is
+	// not (an alias of) an accessor result.
+	origin := func(expr ast.Expr) string {
+		for {
+			switch e := expr.(type) {
+			case *ast.ParenExpr:
+				expr = e.X
+			case *ast.SliceExpr:
+				expr = e.X
+			case *ast.Ident:
+				if obj := pass.TypesInfo.ObjectOf(e); obj != nil {
+					return tainted[obj]
+				}
+				return ""
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || !accessors[sel.Sel.Name] {
+					return ""
+				}
+				if _, ok := pass.TypeOf(e).(*types.Slice); !ok {
+					return ""
+				}
+				return sel.Sel.Name
+			default:
+				return ""
+			}
+		}
+	}
+
+	// Propagate taint to a fixpoint: `lens := f.QueueLens()` taints lens,
+	// `a := lens` and `a := lens[1:]` taint a too, in whatever order the
+	// statements appear.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var names []ast.Expr
+			var values []ast.Expr
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != len(s.Rhs) {
+					return true
+				}
+				names, values = s.Lhs, s.Rhs
+			case *ast.ValueSpec:
+				if len(s.Names) != len(s.Values) {
+					return true
+				}
+				for _, id := range s.Names {
+					names = append(names, id)
+				}
+				values = s.Values
+			default:
+				return true
+			}
+			for i, lhs := range names {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				src := origin(values[i])
+				if src == "" {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil || tainted[obj] != "" {
+					continue
+				}
+				tainted[obj] = src
+				changed = true
+			}
+			return true
+		})
+	}
+
+	// indexWrite resolves an assignment/IncDec target: a write lands on
+	// a FastView slice when the target is an index expression whose base
+	// resolves to an accessor.
+	indexWrite := func(target ast.Expr) string {
+		if ix, ok := target.(*ast.IndexExpr); ok {
+			return origin(ix.X)
+		}
+		return ""
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// Taint-propagating aliases were handled above; here only the
+			// write targets matter (=, +=, -=, …).
+			for _, lhs := range s.Lhs {
+				if src := indexWrite(lhs); src != "" {
+					pass.Reportf(lhs.Pos(), "write through the read-only FastView slice %s(): policies are pure, the engine owns all mutation", src)
+				}
+			}
+		case *ast.IncDecStmt:
+			if src := indexWrite(s.X); src != "" {
+				pass.Reportf(s.X.Pos(), "write through the read-only FastView slice %s(): policies are pure, the engine owns all mutation", src)
+			}
+		case *ast.CallExpr:
+			// copy(dst, …) and append(dst[:…], …) mutate dst's backing
+			// array just as surely as an index assignment.
+			if id, ok := s.Fun.(*ast.Ident); ok && len(s.Args) > 0 {
+				if id.Name == "copy" || id.Name == "append" {
+					if src := origin(s.Args[0]); src != "" {
+						pass.Reportf(s.Args[0].Pos(), "%s into the read-only FastView slice %s(): policies are pure, the engine owns all mutation", id.Name, src)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package fastviewro_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/fastviewro"
+	"smbm/internal/lint/linttest"
+)
+
+func TestFastViewRO(t *testing.T) {
+	linttest.Run(t, "testdata", fastviewro.Analyzer, "policy", "core")
+}

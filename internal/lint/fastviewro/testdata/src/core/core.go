@@ -1,0 +1,19 @@
+// Package core is a fastviewro fixture standing in for an engine
+// package: the engine owns the mirror slices and mutates them by
+// design, so the analyzer stays silent here even on writes that would
+// be flagged in a policy package.
+package core
+
+// engineView mirrors the accessor names; in engine code writing
+// through them is the point.
+type engineView interface {
+	QueueLens() []int
+	PortWorks() []int
+}
+
+// insertBookkeeping is engine code: no diagnostics.
+func insertBookkeeping(v engineView, port int) {
+	lens := v.QueueLens()
+	lens[port]++
+	v.PortWorks()[port] = 5
+}

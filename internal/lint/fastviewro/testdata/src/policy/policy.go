@@ -1,0 +1,61 @@
+// Package policy is a fastviewro fixture standing in for a policy
+// package: FastView-returned slices are live engine state and must
+// never be written through.
+package policy
+
+// fastView mirrors the slice-returning accessors of core.FastView;
+// matching is by method name so the fixture needs no engine import.
+type fastView interface {
+	QueueLens() []int
+	QueueTotalWorks() []int
+	QueueMinValues() []int
+	QueueSums() []int64
+	PortWorks() []int
+	Free() int
+}
+
+// directWrite indexes straight off the accessor call and is flagged.
+func directWrite(f fastView) {
+	f.QueueLens()[0] = 7 // want `write through the read-only FastView slice QueueLens\(\)`
+}
+
+// hoistedWrite stores the slice in a local first, as the batch kernels
+// do, and is still flagged.
+func hoistedWrite(f fastView) {
+	lens := f.QueueLens()
+	lens[2]++ // want `write through the read-only FastView slice QueueLens\(\)`
+}
+
+// aliasedWrite launders the slice through a second variable and a
+// re-slice; both writes are flagged.
+func aliasedWrite(f fastView) {
+	works := f.PortWorks()
+	alias := works
+	alias[0] = 99 // want `write through the read-only FastView slice PortWorks\(\)`
+	tail := works[1:]
+	tail[0] -= 3 // want `write through the read-only FastView slice PortWorks\(\)`
+}
+
+// bulkWrite mutates through the builtins rather than an index
+// expression and is flagged for each.
+func bulkWrite(f fastView) {
+	mins := f.QueueMinValues()
+	copy(mins, []int{1, 2, 3}) // want `copy into the read-only FastView slice QueueMinValues\(\)`
+	sums := f.QueueSums()
+	_ = append(sums[:0], 4) // want `append into the read-only FastView slice QueueSums\(\)`
+}
+
+// readsOnly exercises every legal use: indexing, ranging, hoisting,
+// copying OUT of the engine slices into policy-owned scratch.
+func readsOnly(f fastView) int {
+	lens := f.QueueLens()
+	works := f.QueueTotalWorks()
+	total := lens[0]
+	for i, l := range lens {
+		total += l * works[i]
+	}
+	scratch := make([]int, len(lens))
+	copy(scratch, lens) // policy-owned destination: fine
+	scratch[0] = total  // policy-owned slice: fine
+	return total
+}

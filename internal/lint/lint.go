@@ -219,9 +219,22 @@ var wallclockExempt = map[string]bool{
 	"benchjson": true,
 }
 
+// policyPackages names the packages that hold buffer-management
+// policies: pure functions over a read-only switch view. The fastviewro
+// analyzer forbids writes through FastView-returned slices there.
+var policyPackages = map[string]bool{
+	"policy":    true,
+	"valpolicy": true,
+}
+
 // EnginePackage reports whether the import path names one of the
 // deterministic engine packages (matched on the final path element).
 func EnginePackage(path string) bool { return enginePackages[PathBase(path)] }
+
+// PolicyPackage reports whether the import path names a policy package
+// (matched on the final path element), whose code is bound by the
+// read-only FastView contract checked by fastviewro.
+func PolicyPackage(path string) bool { return policyPackages[PathBase(path)] }
 
 // WallclockExempt reports whether the import path is allow-listed for
 // wall-clock reads (matched on the final path element).

@@ -9,6 +9,7 @@ import (
 	"smbm/internal/lint/cursorerr"
 	"smbm/internal/lint/detmap"
 	"smbm/internal/lint/exporteddoc"
+	"smbm/internal/lint/fastviewro"
 	"smbm/internal/lint/hotalloc"
 	"smbm/internal/lint/leaseclock"
 	"smbm/internal/lint/seedrand"
@@ -22,6 +23,7 @@ func Analyzers() []*lint.Analyzer {
 		cursorerr.Analyzer,
 		detmap.Analyzer,
 		exporteddoc.Analyzer,
+		fastviewro.Analyzer,
 		hotalloc.Analyzer,
 		leaseclock.Analyzer,
 		seedrand.Analyzer,

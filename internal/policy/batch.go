@@ -1,0 +1,325 @@
+package policy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/hmath"
+	"smbm/internal/pkt"
+)
+
+// This file holds the processing-model batch kernels: each policy's
+// core.BatchPolicy implementation decides a whole arrival burst with
+// the per-burst evaluation its per-packet Admit cannot express —
+// thresholds and normalizers hoisted out of the loop, burst suffixes
+// dropped wholesale once free space is exhausted (free space never
+// grows during an arrival phase), repeated congested arrivals resolved
+// through the engine's drop memo, and the push-out victim pointer
+// maintained incrementally across the burst.
+//
+// Every kernel must reproduce its Admit decision sequence bit for bit;
+// the batch differential and fuzz suites replay both paths on every
+// roster policy and require identical Stats, PortCounters and obs
+// counters.
+
+// AdmitBatch implements core.BatchPolicy: the accept/drop split of a
+// greedy burst is a pure prefix of length min(free, len).
+//
+//smb:hotpath
+func (Greedy) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	free := b.Free()
+	if free > len(ps) {
+		free = len(ps)
+	}
+	for i := 0; i < free; i++ {
+		b.Accept(ps[i])
+	}
+	b.DropAll(ps[free:])
+}
+
+// AdmitBatch implements core.BatchPolicy. Z, the work table and the
+// buffer bound are hoisted once per burst; the length slice is live,
+// so each accept is observed by the next threshold comparison exactly
+// as in the per-packet path.
+//
+//smb:hotpath
+func (NHST) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	z := f.PortInvWorkSum()
+	lens := f.QueueLens()
+	works := f.PortWorks()
+	bufF := float64(f.Buffer())
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		if float64(lens[p.Port])*float64(works[p.Port])*z < bufF {
+			b.Accept(p)
+			free--
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (NEST) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens := f.QueueLens()
+	n := f.Ports()
+	buf := f.Buffer()
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		if lens[p.Port]*n < buf {
+			b.Accept(p)
+			free--
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy. The rank-and-sum scan only
+// reruns when the switch state changed since the same (port, value)
+// was last dropped: in a congested burst the engine's drop memo
+// collapses the repeated O(n) evaluations to O(1).
+//
+//smb:hotpath
+func (NHDT) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens := f.QueueLens()
+	bufF := float64(f.Buffer())
+	hn := hmath.Harmonic(f.Ports())
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		li := lens[p.Port]
+		var m, sum int
+		for _, l := range lens {
+			if l >= li {
+				m++
+				sum += l
+			}
+		}
+		threshold := bufF * hmath.Harmonic(m) / hn
+		if float64(sum) < threshold {
+			b.Accept(p)
+			free--
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy (see NHDT: same memoized
+// rank-and-sum structure on the work ranking).
+//
+//smb:hotpath
+func (NHDTW) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	qworks := f.QueueTotalWorks()
+	lens := f.QueueLens()
+	works := f.PortWorks()
+	bufF := float64(f.Buffer())
+	hn := hmath.Harmonic(f.Ports())
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		pw := works[p.Port]
+		wi := qworks[p.Port] + pw // virtual add
+		var m, sum int
+		for j, w := range qworks {
+			if j == p.Port {
+				w += pw
+			}
+			if w >= wi {
+				m++
+				sum += lens[j]
+			}
+		}
+		threshold := bufF * hmath.Harmonic(m) / hn
+		if float64(sum) < threshold {
+			b.Accept(p)
+			free--
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (s StaticThreshold) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens := f.QueueLens()
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		if p.Port < len(s.T) && lens[p.Port] < s.T[p.Port] {
+			b.Accept(p)
+			free--
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy: the congested tail resolves
+// every push-out against the engine's incrementally maintained argmax
+// plus the analytic virtual add, exactly like the per-packet fast
+// path, but with the free-space prefix accepted without any per-packet
+// policy evaluation.
+//
+//smb:hotpath
+func (LQD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens := f.QueueLens()
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		i := p.Port
+		ti, tk := f.LongestQueue()
+		winner := ti
+		if li := lens[i] + 1; li > tk || (li == tk && i > ti) {
+			winner = i
+		}
+		if winner != i {
+			b.PushOut(winner, p)
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (BPD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	bpdBatch(b, ps, 1)
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (BPD1) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	bpdBatch(b, ps, 2)
+}
+
+// bpdBatch is the shared BPD/BPD1 kernel. Instead of rescanning for
+// the biggest non-empty queue on every congested arrival, it
+// maintains j = max{idx : lens[idx] >= minLen} across the burst:
+// an accept can only raise its own queue (j moves up to that port at
+// most), and a push-out only changes queues at or below j (the insert
+// port never exceeds the victim), so j is repaired by a downward scan
+// only when the victim's queue drops below the bar. The maintained j
+// always equals what biggestNonEmpty would recompute.
+//
+//smb:hotpath
+func bpdBatch(b *core.Batch, ps []pkt.Packet, minLen int) {
+	f := b.View()
+	lens := f.QueueLens()
+	free := b.Free()
+	j := -2 // -2: not yet computed; -1: no qualifying queue
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			if j != -2 && p.Port > j && lens[p.Port] >= minLen {
+				j = p.Port
+			}
+			continue
+		}
+		if j == -2 {
+			j = len(lens) - 1
+			for j >= 0 && lens[j] < minLen {
+				j--
+			}
+		}
+		if j >= 0 && p.Port <= j {
+			b.PushOut(j, p)
+			for j >= 0 && lens[j] < minLen {
+				j--
+			}
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy (LQD's kernel on the
+// total-work key).
+//
+//smb:hotpath
+func (LWD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	qworks := f.QueueTotalWorks()
+	works := f.PortWorks()
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		i := p.Port
+		ti, tk := f.HeaviestQueue()
+		winner := ti
+		if wi := qworks[i] + works[i]; wi > tk || (wi == tk && i > ti) {
+			winner = i
+		}
+		if winner != i {
+			b.PushOut(winner, p)
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+var (
+	_ core.BatchPolicy = Greedy{}
+	_ core.BatchPolicy = NHST{}
+	_ core.BatchPolicy = NEST{}
+	_ core.BatchPolicy = NHDT{}
+	_ core.BatchPolicy = NHDTW{}
+	_ core.BatchPolicy = StaticThreshold{}
+	_ core.BatchPolicy = LQD{}
+	_ core.BatchPolicy = BPD{}
+	_ core.BatchPolicy = BPD1{}
+	_ core.BatchPolicy = LWD{}
+)

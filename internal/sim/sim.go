@@ -8,7 +8,10 @@
 // file, or a materialized trace), so per-replay arrival memory is
 // independent of the trace length for generator- and file-backed
 // providers — the property that makes the paper's 2·10⁶-slot runs fit
-// on ordinary machines.
+// on ordinary machines. Within one instance run the stream is
+// additionally memoized under a byte budget (Instance.MemoBytes), so
+// the OPT proxy and the policy replays share one generation pass when
+// the trace fits; over-budget traces keep streaming.
 package sim
 
 import (
@@ -235,6 +238,33 @@ type Instance struct {
 	// events per replay. The OPT proxies are not instrumented. A nil Obs
 	// keeps the engine in its zero-overhead detached state.
 	Obs *obs.Options
+	// MemoBytes bounds the in-memory arrival cache one run may build to
+	// amortize stream generation across its replays (traffic.Memoize):
+	// the first replay records the stream and later replays play it
+	// back, which removes the dominant per-replay cost of generator
+	// regeneration in multi-policy cells while staying bit-identical.
+	// 0 applies DefaultMemoBytes; negative disables caching so every
+	// replay regenerates (the bounded-memory streaming behavior, which
+	// also remains the fallback for any stream over budget).
+	MemoBytes int
+}
+
+// DefaultMemoBytes is the per-run arrival-cache budget applied when
+// Instance.MemoBytes is zero: generous enough to cover every Fig. 5
+// panel cell at report scale, small enough that paper-scale traces
+// (2·10⁶ slots) fall back to streaming regeneration.
+const DefaultMemoBytes = 32 << 20
+
+// provider returns the arrival stream for one run, memoized per the
+// instance's MemoBytes budget. Called once per run so the cache spans
+// exactly that run's replays (the OPT proxy plus every policy), never
+// leaking memory across cells.
+func (inst Instance) provider() traffic.Provider {
+	budget := inst.MemoBytes
+	if budget == 0 {
+		budget = DefaultMemoBytes
+	}
+	return traffic.Memoize(inst.Provider, budget)
 }
 
 // Result reports one policy's performance on an instance.
@@ -310,6 +340,7 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 		return inst.runParallel(ctx)
 	}
 	opts := inst.runOptions()
+	src := inst.provider()
 	if key := fingerprint(inst.Cfg); sc.key != key {
 		sc.key, sc.opt, sc.sw = key, nil, nil
 	}
@@ -328,7 +359,7 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 	if err != nil {
 		return nil, err
 	}
-	optStats, err := RunTraceContext(ctx, wrapped, inst.Provider, opts)
+	optStats, err := RunTraceContext(ctx, wrapped, src, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -354,7 +385,7 @@ func (inst Instance) RunScratch(ctx context.Context, sc *Scratch) ([]Result, err
 		}
 		rec := inst.newRecorder()
 		attached := attachRecorder(sys, rec)
-		stats, err := RunTraceContext(ctx, sys, inst.Provider, opts)
+		stats, err := RunTraceContext(ctx, sys, src, opts)
 		if attached {
 			// Detach before reuse or error return: the cached switch must
 			// not carry a recorder into the next cell.
@@ -411,6 +442,7 @@ func attachRecorder(sys System, rec *obs.Recorder) bool {
 // worker budget when there are fewer cells than workers.
 func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
 	opts := inst.runOptions()
+	src := inst.provider()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -448,7 +480,7 @@ func (inst Instance) runParallel(ctx context.Context) ([]Result, error) {
 					rec = inst.newRecorder()
 				}
 				attached := attachRecorder(sys, rec)
-				stats[i], err = RunTraceContext(ctx, sys, inst.Provider, opts)
+				stats[i], err = RunTraceContext(ctx, sys, src, opts)
 				if attached && err == nil {
 					snaps[i] = rec.Snapshot()
 				}

@@ -1,0 +1,174 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+
+	"smbm/internal/pkt"
+)
+
+// memoMMPP builds a small MMPP provider for memoization tests.
+func memoMMPP(t *testing.T, slots int) *MMPPProvider {
+	t.Helper()
+	cfg := MMPPConfig{
+		Sources:  20,
+		LambdaOn: 0.4,
+		POnOff:   0.2,
+		POffOn:   0.2,
+		Ports:    4,
+		MaxLabel: 4,
+		Label:    LabelValueUniform,
+		Seed:     7,
+	}
+	p, err := NewMMPPProvider(cfg, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// memoDrain pulls the full stream off a fresh cursor.
+func memoDrain(t *testing.T, p Provider) Trace {
+	t.Helper()
+	cur, err := p.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	out := make(Trace, 0, p.Slots())
+	for i := 0; i < p.Slots(); i++ {
+		burst := cur.Next()
+		cp := make([]pkt.Packet, len(burst))
+		copy(cp, burst)
+		out = append(out, cp)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMemoizeBitIdentical proves a memoized provider streams the same
+// slots before and after the recording is installed, and that they
+// match the unwrapped provider.
+func TestMemoizeBitIdentical(t *testing.T) {
+	src := memoMMPP(t, 200)
+	want := memoDrain(t, src)
+
+	m := Memoize(src, 1<<20)
+	first := memoDrain(t, m)  // records
+	second := memoDrain(t, m) // replays the recording
+	if !reflect.DeepEqual(want, first) {
+		t.Fatal("recording pass diverged from the unwrapped provider")
+	}
+	if !reflect.DeepEqual(want, second) {
+		t.Fatal("replay pass diverged from the unwrapped provider")
+	}
+	mp, ok := m.(*memoProvider)
+	if !ok {
+		t.Fatalf("Memoize returned %T, want *memoProvider", m)
+	}
+	if mp.trace == nil {
+		t.Fatal("full clean pass within budget did not install a recording")
+	}
+}
+
+// TestMemoizeOverBudget proves an over-budget stream is never
+// retained: the wrapper stays transparent and keeps regenerating.
+func TestMemoizeOverBudget(t *testing.T) {
+	src := memoMMPP(t, 200)
+	want := memoDrain(t, src)
+
+	m := Memoize(src, 64) // a few slots at most
+	for pass := 0; pass < 2; pass++ {
+		if got := memoDrain(t, m); !reflect.DeepEqual(want, got) {
+			t.Fatalf("pass %d diverged from the unwrapped provider", pass)
+		}
+	}
+	if mp := m.(*memoProvider); mp.trace != nil {
+		t.Fatal("over-budget stream was retained")
+	}
+}
+
+// TestMemoizeAbandonedOnEarlyClose proves a cursor closed mid-stream
+// does not install a partial recording, and a later full pass still
+// can.
+func TestMemoizeAbandonedOnEarlyClose(t *testing.T) {
+	src := memoMMPP(t, 100)
+	m := Memoize(src, 1<<20).(*memoProvider)
+
+	cur, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Next()
+	cur.Close()
+	if m.trace != nil {
+		t.Fatal("partial pass installed a recording")
+	}
+	if m.recording {
+		t.Fatal("abandoned pass left the recording claim held")
+	}
+	memoDrain(t, m)
+	if m.trace == nil {
+		t.Fatal("full pass after an abandoned one did not install")
+	}
+}
+
+// TestMemoizePassThrough pins the cases where Memoize must return its
+// argument unchanged: a disabled budget, an already-materialized
+// trace, and an already-memoized provider.
+func TestMemoizePassThrough(t *testing.T) {
+	src := memoMMPP(t, 10)
+	if got := Memoize(src, 0); got != Provider(src) {
+		t.Fatal("zero budget should disable memoization")
+	}
+	if got := Memoize(src, -1); got != Provider(src) {
+		t.Fatal("negative budget should disable memoization")
+	}
+	tr := Trace{nil, nil}
+	if got := Memoize(tr, 1<<20); !reflect.DeepEqual(got, Provider(tr)) {
+		t.Fatal("a materialized trace should pass through")
+	}
+	m := Memoize(src, 1<<20)
+	if got := Memoize(m, 1<<20); got != m {
+		t.Fatal("double memoization should pass through")
+	}
+}
+
+// TestMemoizeConcurrentOpens proves overlapping cursors are safe and
+// bit-identical while a recording is in flight.
+func TestMemoizeConcurrentOpens(t *testing.T) {
+	src := memoMMPP(t, 50)
+	want := memoDrain(t, src)
+	m := Memoize(src, 1<<20)
+
+	a, err := m.Open() // recording
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Open() // pass-through while a records
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Slots(); i++ {
+		ba := a.Next()
+		bb := b.Next()
+		if !reflect.DeepEqual(want[i], normalize(ba)) || !reflect.DeepEqual(want[i], normalize(bb)) {
+			t.Fatalf("slot %d diverged across concurrent cursors", i)
+		}
+	}
+	a.Close()
+	b.Close()
+	if m.(*memoProvider).trace == nil {
+		t.Fatal("recording cursor did not install on close")
+	}
+}
+
+// normalize maps a nil burst to the empty burst for comparison.
+func normalize(b []pkt.Packet) []pkt.Packet {
+	if b == nil {
+		return []pkt.Packet{}
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package valpolicy
+
+import (
+	"smbm/internal/core"
+	"smbm/internal/hmath"
+	"smbm/internal/pkt"
+)
+
+// This file holds the value-model batch kernels (see
+// internal/policy/batch.go for the processing-model set and the shared
+// bit-identity contract). The value-model scans are the expensive ones
+// — victim selection reads every queue's length, minimum and sum — so
+// the kernels lean on the engine's drop memo: a congested burst that
+// keeps offering the same (port, value) re-evaluates the O(n) scan
+// only after the buffer actually changed.
+//
+// Each kernel mirrors its Admit FastView fast path expression for
+// expression. Value-model policies driven against a processing-model
+// switch (QueueMinValues() == nil) delegate to Batch.PerPacket so the
+// plain-View fallback in Admit stays the single source of truth there.
+
+// AdmitBatch implements core.BatchPolicy. H_k, the label ceiling and
+// the buffer bound are hoisted once per burst.
+//
+//smb:hotpath
+func (NHSTV) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens := f.QueueLens()
+	k := f.MaxLabel()
+	hk := hmath.Harmonic(k)
+	bufF := float64(f.Buffer())
+	free := b.Free()
+	for i := range ps {
+		if free == 0 {
+			b.DropAll(ps[i:])
+			return
+		}
+		p := ps[i]
+		lhs := float64(lens[p.Port]) * float64(k-p.Value+1) * hk
+		if lhs < bufF {
+			b.Accept(p)
+			free--
+		} else {
+			b.Drop(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (LQD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens, mins := f.QueueLens(), f.QueueMinValues()
+	if mins == nil {
+		b.PerPacket(ps)
+		return
+	}
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		i := p.Port
+		longest, longestLen := -1, -1
+		for j, l := range lens {
+			if j == i {
+				l++ // virtually add p
+			}
+			switch {
+			case l > longestLen:
+				longest, longestLen = j, l
+			case l == longestLen && mins[j] < mins[longest]:
+				longest = j
+			}
+		}
+		if longest != i {
+			b.PushOut(longest, p)
+		} else if lens[i] > 0 && mins[i] < p.Value {
+			b.PushOut(i, p)
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MVD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	mvdBatch(b, ps, 1)
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MVD1) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	mvdBatch(b, ps, 2)
+}
+
+// mvdBatch is the batched mvdAdmit (minimum victim-queue length 1 for
+// MVD, 2 for MVD1).
+//
+//smb:hotpath
+func mvdBatch(b *core.Batch, ps []pkt.Packet, minLen int) {
+	f := b.View()
+	lens, mins := f.QueueLens(), f.QueueMinValues()
+	if mins == nil {
+		b.PerPacket(ps)
+		return
+	}
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		victim, minVal := -1, 0
+		for j, l := range lens {
+			if l < minLen {
+				continue
+			}
+			mv := mins[j]
+			switch {
+			case victim == -1 || mv < minVal:
+				victim, minVal = j, mv
+			case mv == minVal && l > lens[victim]:
+				victim = j
+			}
+		}
+		if victim >= 0 && minVal < p.Value {
+			b.PushOut(victim, p)
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MRD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums()
+	if mins == nil {
+		b.PerPacket(ps)
+		return
+	}
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		victim := -1
+		var bestNum, bestDen int64
+		globalMin := 0
+		for j := range lens {
+			l, sum := int64(lens[j]), sums[j]
+			if j == p.Port {
+				l++ // virtually add p
+				sum += int64(p.Value)
+			}
+			if l == 0 {
+				continue
+			}
+			mv := mins[j] // 0 on an empty queue: only possible for j == p.Port
+			if mv > 0 && (globalMin == 0 || mv < globalMin) {
+				globalMin = mv
+			}
+			num, den := l*l, sum
+			switch {
+			case victim == -1 || num*bestDen > bestNum*den:
+				victim, bestNum, bestDen = j, num, den
+			case num*bestDen == bestNum*den && minOrInfSlices(lens, mins, j) < minOrInfSlices(lens, mins, victim):
+				victim, bestNum, bestDen = j, num, den
+			}
+		}
+		// mrdDecide, phrased against the batch operations.
+		if victim != p.Port {
+			if globalMin <= p.Value {
+				b.PushOut(victim, p)
+			} else {
+				b.DropMemo(p)
+			}
+		} else if lens[p.Port] > 0 && mins[p.Port] < p.Value {
+			b.PushOut(p.Port, p)
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (TVD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	f := b.View()
+	lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums()
+	if mins == nil {
+		b.PerPacket(ps)
+		return
+	}
+	free := b.Free()
+	for x := range ps {
+		p := ps[x]
+		if free > 0 {
+			b.Accept(p)
+			free--
+			continue
+		}
+		if b.KnownDrop(p) {
+			b.Drop(p)
+			continue
+		}
+		victim := -1
+		var bestSum int64
+		globalMin := 0
+		for j, l := range lens {
+			if l == 0 {
+				continue
+			}
+			if mv := mins[j]; globalMin == 0 || mv < globalMin {
+				globalMin = mv
+			}
+			if sum := sums[j]; victim == -1 || sum > bestSum {
+				victim, bestSum = j, sum
+			}
+		}
+		// tvdDecide, phrased against the batch operations.
+		if victim != p.Port {
+			if globalMin <= p.Value {
+				b.PushOut(victim, p)
+			} else {
+				b.DropMemo(p)
+			}
+		} else if lens[p.Port] > 0 && mins[p.Port] < p.Value {
+			b.PushOut(p.Port, p)
+		} else {
+			b.DropMemo(p)
+		}
+	}
+}
+
+var (
+	_ core.BatchPolicy = NHSTV{}
+	_ core.BatchPolicy = LQD{}
+	_ core.BatchPolicy = MVD{}
+	_ core.BatchPolicy = MVD1{}
+	_ core.BatchPolicy = MRD{}
+	_ core.BatchPolicy = TVD{}
+)
