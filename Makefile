@@ -42,11 +42,12 @@ bench:
 
 # Machine-readable performance snapshot: per-policy engine micro-benches
 # (ns/slot, allocs/op) and per-panel sweep-cell costs (cells/sec). See
-# DESIGN.md §9 for methodology. BENCH_pr7.json (batched arrival phase,
-# DESIGN.md §14) sits next to BENCH_baseline.json (per-packet seed) so
-# the speedup is diffable.
+# DESIGN.md §9 for methodology. BENCH_pr8.json (unified engine + combined
+# model, DESIGN.md §15) sits next to BENCH_pr7.json (batched arrival
+# phase) and BENCH_baseline.json (per-packet seed) so the speedups are
+# diffable.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
 
 # Fast overhead gate: re-measure the per-policy micro-benchmarks and
 # fail if any policy's steady state (observability detached) allocates.

@@ -14,14 +14,13 @@ import (
 	"smbm/internal/sim"
 	"smbm/internal/singleq"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // Core model types, re-exported from the engine.
 type (
 	// Config describes a shared-memory switch instance.
 	Config = core.Config
-	// Model selects the processing or value generalization.
+	// Model selects the processing, value or combined generalization.
 	Model = core.Model
 	// Packet is a unit-sized packet with port, work and value labels.
 	Packet = pkt.Packet
@@ -68,6 +67,10 @@ const (
 	// ModelValue is the Section IV model: heterogeneous values,
 	// priority queues, throughput in total value.
 	ModelValue = core.ModelValue
+	// ModelCombined is the work×value model the paper never ran:
+	// FIFO queues with per-port work AND per-packet intrinsic value,
+	// objective = transmitted value (per cycle).
+	ModelCombined = core.ModelCombined
 )
 
 // Traffic labeling modes.
@@ -80,6 +83,9 @@ const (
 	// LabelValueByPort sets value = port+1 (the value≡port special
 	// case).
 	LabelValueByPort = traffic.LabelValueByPort
+	// LabelWorkValue stamps combined-model packets with their port's
+	// configured work and a value drawn uniformly from [1,k].
+	LabelWorkValue = traffic.LabelWorkValue
 )
 
 // NewSwitch builds a switch simulator from cfg driven by p.
@@ -92,6 +98,10 @@ func WorkPacket(port, work int) Packet { return pkt.NewWork(port, work) }
 // ValuePacket returns a value-model packet with the given intrinsic
 // value, destined to port.
 func ValuePacket(port, value int) Packet { return pkt.NewValue(port, value) }
+
+// WorkValuePacket returns a combined-model packet carrying both a
+// required work and an intrinsic value, destined to port.
+func WorkValuePacket(port, work, value int) Packet { return pkt.NewWorkValue(port, work, value) }
 
 // ContiguousWorks returns the canonical configuration of k ports with
 // required works 1..k.
@@ -138,33 +148,43 @@ func StaticThreshold(label string, thresholds []int) Policy {
 // MRD returns Maximal-Ratio-Drop, the paper's conjectured
 // constant-competitive value-model policy: push out the cheapest packet
 // of the queue maximizing |Q|/avg(Q).
-func MRD() Policy { return valpolicy.MRD{} }
+func MRD() Policy { return policy.MRD{} }
 
 // MVD returns Minimal-Value-Drop: push out the globally cheapest packet.
-func MVD() Policy { return valpolicy.MVD{} }
+func MVD() Policy { return policy.MVD{} }
 
 // MVD1 returns the MVD variant that never pushes out a queue's last
 // packet.
-func MVD1() Policy { return valpolicy.MVD1{} }
+func MVD1() Policy { return policy.MVD1{} }
 
 // ValueLQD returns Longest-Queue-Drop for the value model: drop the
 // cheapest packet of the longest queue.
-func ValueLQD() Policy { return valpolicy.LQD{} }
+func ValueLQD() Policy { return policy.VLQD{} }
 
 // NHSTV returns the reversed harmonic static thresholds for the
 // value-by-port special case.
-func NHSTV() Policy { return valpolicy.NHSTV{} }
+func NHSTV() Policy { return policy.NHSTV{} }
+
+// Combined-model policies (the open work×value model).
+
+// RVD returns Ratio-Value-Drop, the combined-model hybrid: push out
+// the tail of the queue buffering the most work per unit of value.
+func RVD() Policy { return policy.RVD{} }
 
 // ProcessingPolicies returns the full processing-model roster in the
 // paper's order.
 func ProcessingPolicies() []Policy { return policy.ForProcessing() }
 
 // ValuePolicies returns the value-model roster for uniform values.
-func ValuePolicies() []Policy { return valpolicy.ForUniform() }
+func ValuePolicies() []Policy { return policy.ForValueUniform() }
 
 // ValueByPortPolicies returns the value-model roster for the value≡port
 // special case (adds NHSTV).
-func ValueByPortPolicies() []Policy { return valpolicy.ForValueByPort() }
+func ValueByPortPolicies() []Policy { return policy.ForValueByPort() }
+
+// CombinedPolicies returns the combined work×value roster: the
+// carried-over disciplines plus the LWD/MRD/RVD push-out family.
+func CombinedPolicies() []Policy { return policy.ForCombined() }
 
 // References.
 

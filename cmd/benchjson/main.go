@@ -3,8 +3,8 @@
 // (BENCH_baseline.json by default):
 //
 //   - per-policy engine micro-benchmarks: ns and allocations per
-//     congested slot of Switch.Step for every roster policy in both
-//     models (steady state must be allocation-free);
+//     congested slot of Switch.Step for every roster policy in all
+//     three models (steady state must be allocation-free);
 //   - per-panel sweep-cell benchmarks: ns per (x, seed) cell and
 //     cells/sec for the Fig. 5 panels, each cell running the full
 //     policy roster plus the OPT proxy exactly as a sweep does;
@@ -35,7 +35,6 @@ import (
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // Micro is one per-policy engine measurement. An "op" replays a fixed
@@ -84,6 +83,7 @@ type Baseline struct {
 	MicroSlots  int           `json:"micro_slots"`      // slots per micro replay op
 	MicroProc   []Micro       `json:"micro_processing"` // processing-model policy rows
 	MicroValue  []Micro       `json:"micro_value"`      // value-model policy rows
+	MicroComb   []Micro       `json:"micro_combined"`   // combined-model policy rows
 	Panels      []Panel       `json:"panels"`           // sweep-cell rows
 	TraceMemory []TraceMemory `json:"trace_memory"`     // arrival-memory rows
 }
@@ -103,9 +103,12 @@ func microTrace(cfg core.Config) traffic.Trace {
 		bs := make([]pkt.Packet, microBurst)
 		for i := range bs {
 			port := rng.Intn(cfg.Ports)
-			if cfg.Model == core.ModelValue {
+			switch cfg.Model {
+			case core.ModelValue:
 				bs[i] = pkt.NewValue(port, 1+rng.Intn(cfg.MaxLabel))
-			} else {
+			case core.ModelCombined:
+				bs[i] = pkt.NewWorkValue(port, cfg.PortWork[port], 1+rng.Intn(cfg.MaxLabel))
+			default:
 				bs[i] = pkt.NewWork(port, cfg.PortWork[port])
 			}
 		}
@@ -309,6 +312,11 @@ func assertZeroAllocs(base *Baseline) error {
 			bad = append(bad, fmt.Sprintf("value/%s (%d allocs/op)", m.Policy, m.AllocsPerOp))
 		}
 	}
+	for _, m := range base.MicroComb {
+		if m.AllocsPerOp > 0 {
+			bad = append(bad, fmt.Sprintf("combined/%s (%d allocs/op)", m.Policy, m.AllocsPerOp))
+		}
+	}
 	if len(bad) > 0 {
 		return fmt.Errorf("steady state allocates: %s", strings.Join(bad, ", "))
 	}
@@ -344,13 +352,25 @@ func run(out string, benchtime time.Duration, zeroAllocs bool) error {
 	valCfg := core.Config{
 		Model: core.ModelValue, Ports: 16, Buffer: 128, MaxLabel: 16, Speedup: 1,
 	}
-	for _, p := range append(valpolicy.ForUniform(), valpolicy.Experimental()...) {
+	for _, p := range append(policy.ForValueUniform(), policy.ValueExperimental()...) {
 		m, err := microBench(valCfg, p)
 		if err != nil {
 			return fmt.Errorf("micro %s: %w", p.Name(), err)
 		}
 		base.MicroValue = append(base.MicroValue, m)
 		fmt.Fprintf(os.Stderr, "micro value      %-7s %8.0f ns/slot %3d allocs/op\n", p.Name(), m.NsPerSlot, m.AllocsPerOp)
+	}
+	combCfg := core.Config{
+		Model: core.ModelCombined, Ports: 16, Buffer: 128, MaxLabel: 16,
+		Speedup: 1, PortWork: core.ContiguousWorks(16),
+	}
+	for _, p := range policy.ForCombined() {
+		m, err := microBench(combCfg, p)
+		if err != nil {
+			return fmt.Errorf("micro %s: %w", p.Name(), err)
+		}
+		base.MicroComb = append(base.MicroComb, m)
+		fmt.Fprintf(os.Stderr, "micro combined   %-7s %8.0f ns/slot %3d allocs/op\n", p.Name(), m.NsPerSlot, m.AllocsPerOp)
 	}
 	if zeroAllocs {
 		// Gate before the (slow) panel benchmarks: a CI failure should

@@ -29,7 +29,7 @@ func main() {
 		maxLabel = flag.Int("k", 0, "max work/value label (default: ports)")
 		sources  = flag.Int("sources", 100, "MMPP on-off sources")
 		rate     = flag.Float64("rate", 0, "mean packets per slot (default: 1.5x ports)")
-		mode     = flag.String("mode", "work", `labeling: "work" (processing model, contiguous works), "value" (uniform values), "value-by-port"`)
+		mode     = flag.String("mode", "work", `labeling: "work" (processing model, contiguous works), "value" (uniform values), "value-by-port", "work-value" (combined model)`)
 		affinity = flag.Bool("affinity", true, "pin each source to one port")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		binFmt   = flag.Bool("binary", false, "emit the compact binary trace format")

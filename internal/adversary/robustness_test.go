@@ -5,7 +5,6 @@ import (
 
 	"smbm/internal/core"
 	"smbm/internal/policy"
-	"smbm/internal/valpolicy"
 )
 
 // measureOn runs any policy through a construction's warm-up/measure
@@ -60,7 +59,7 @@ func TestMRDRobustOnValueAdversaries(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ratio := measureOn(t, c, valpolicy.MRD{})
+			ratio := measureOn(t, c, policy.MRD{})
 			if ratio > 2.0 {
 				t.Errorf("MRD measured %.3f on %s — worth recording against the conjecture", ratio, id)
 			}
@@ -90,7 +89,7 @@ func TestAttackedPolicyIsTheSorestLoser(t *testing.T) {
 			if c.Cfg.Model == core.ModelProcessing {
 				reference = policy.LWD{}
 			} else {
-				reference = valpolicy.MRD{}
+				reference = policy.MRD{}
 			}
 			refRatio := attacked.Ratio
 			if c.Policy.Name() != reference.Name() {

@@ -8,7 +8,6 @@ import (
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // valueCfg builds a value-model configuration with n ports and labels up
@@ -67,7 +66,7 @@ func Theorem9(p Params) (Construction, error) {
 		Theorem:         "Theorem 9",
 		Statement:       "value-model LQD is at least (∛k − o(∛k))-competitive",
 		Cfg:             valueCfg(k, k, b),
-		Policy:          valpolicy.LQD{},
+		Policy:          policy.VLQD{},
 		Opt:             policy.StaticThreshold{Label: "OPT(script)", T: thresholds},
 		Round:           round,
 		Warmup:          p.Warmup,
@@ -117,7 +116,7 @@ func Theorem10(p Params) (Construction, error) {
 		Theorem:         "Theorem 10",
 		Statement:       "MVD is at least ((m−1)/2)-competitive, m = min{k,B}",
 		Cfg:             valueCfg(k, k, b),
-		Policy:          valpolicy.MVD{},
+		Policy:          policy.MVD{},
 		Opt:             policy.StaticThreshold{Label: "OPT(script)", T: thresholds},
 		Round:           round,
 		Warmup:          p.Warmup,
@@ -163,7 +162,7 @@ func Theorem11(p Params) (Construction, error) {
 		Theorem:         "Theorem 11",
 		Statement:       "MRD is at least 4/3-competitive (value ≡ port)",
 		Cfg:             valueCfg(4, 6, b),
-		Policy:          valpolicy.MRD{},
+		Policy:          policy.MRD{},
 		Opt:             policy.StaticThreshold{Label: "OPT(script)", T: []int{2, 2, 2, b - 6}},
 		Round:           round,
 		Warmup:          p.Warmup,

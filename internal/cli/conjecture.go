@@ -7,7 +7,6 @@ import (
 	"smbm/internal/core"
 	"smbm/internal/policy"
 	"smbm/internal/search"
-	"smbm/internal/valpolicy"
 )
 
 // ConjectureOptions drives Conjecture (cmd/conjecture).
@@ -82,7 +81,7 @@ func huntSpec(name string) (search.Spec, error) {
 	if p := policy.ByName(name); p != nil {
 		return search.Spec{Cfg: procCfg, Policy: p, MaxBurst: 4}, nil
 	}
-	if p := valpolicy.ByName(name); p != nil {
+	if p := policy.ValueByName(name); p != nil {
 		return search.Spec{Cfg: valCfg, Policy: p, MaxBurst: 4}, nil
 	}
 	return search.Spec{}, fmt.Errorf("unknown policy %q", name)

@@ -8,7 +8,6 @@ import (
 	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // GenerateOptions drives Generate (cmd/tracegen).
@@ -17,7 +16,8 @@ type GenerateOptions struct {
 	Slots, Ports, MaxLabel, Sources int
 	// Rate is the mean packets per slot (0 = 1.5x ports).
 	Rate float64
-	// Mode selects labeling: "work", "value" or "value-by-port".
+	// Mode selects labeling: "work", "value", "value-by-port" or
+	// "work-value" (combined model).
 	Mode string
 	// Affinity pins each source to one port.
 	Affinity bool
@@ -55,6 +55,9 @@ func (o GenerateOptions) buildMMPP() (traffic.MMPPConfig, error) {
 		cfg.Label = traffic.LabelValueUniform
 	case "value-by-port":
 		cfg.Label = traffic.LabelValueByPort
+	case "work-value":
+		cfg.Label = traffic.LabelWorkValue
+		cfg.PortWork = core.ContiguousWorks(o.Ports)
 	default:
 		return cfg, fmt.Errorf("unknown -mode %q", o.Mode)
 	}
@@ -171,7 +174,14 @@ func Replay(w io.Writer, r io.Reader, o ReplayOptions) error {
 		pol = policy.ByName(o.Policy)
 	case "value", "value-by-port":
 		cfg.Model = core.ModelValue
-		pol = valpolicy.ByName(o.Policy)
+		pol = policy.ValueByName(o.Policy)
+	case "work-value":
+		cfg.Model = core.ModelCombined
+		cfg.PortWork = core.ContiguousWorks(o.Ports)
+		if cfg.MaxLabel < o.Ports {
+			cfg.MaxLabel = o.Ports
+		}
+		pol = policy.CombinedByName(o.Policy)
 	default:
 		return fmt.Errorf("unknown -mode %q", o.Mode)
 	}

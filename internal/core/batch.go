@@ -47,9 +47,10 @@ func packUndo(kind, port, val int) uint64 {
 }
 
 // evictUndo carries the facts an eviction must restore beyond its
-// packed log entry: the processing model's head-of-line residual,
-// queue work and evicted arrival slot. (The value model's popped
-// minimum rides in the packed entry itself.)
+// packed log entry: the FIFO disciplines' head-of-line residual,
+// queue work and evicted arrival slot. (The evicted value — the
+// popped minimum in the value model, the popped tail value in the
+// combined model — rides in the packed entry itself.)
 type evictUndo struct {
 	hol  int   // pre-eviction head-of-line residual
 	wrk  int   // pre-eviction queue total work
@@ -79,7 +80,7 @@ func (s *Switch) ArriveBatch(ps []pkt.Packet) error {
 		if err := ps[i].Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
 			return &BurstError{Index: i, Err: err}
 		}
-		if s.cfg.Model == ModelProcessing && ps[i].Work != s.works[ps[i].Port] {
+		if s.fifo && ps[i].Work != s.works[ps[i].Port] {
 			return &BurstError{Index: i, Err: fmt.Errorf("core: packet work %d does not match port %d configuration %d", ps[i].Work, ps[i].Port, s.works[ps[i].Port])}
 		}
 	}
@@ -175,9 +176,9 @@ func (s *Switch) rollbackBatch() {
 // its queue (the FIFO tail / the recorded value), so popping it
 // restores the previous queue exactly.
 func (s *Switch) undoInsert(i, val int) {
-	if s.cfg.Model == ModelProcessing {
+	s.qLen[i]--
+	if s.fifo {
 		s.arrivals[i].PopBack()
-		s.qLen[i]--
 		if s.qLen[i] == 0 {
 			s.holRes[i] = 0
 			s.qWork[i] = 0
@@ -185,13 +186,23 @@ func (s *Switch) undoInsert(i, val int) {
 			s.qWork[i] -= s.works[i]
 		}
 	} else {
+		s.qWork[i]--
+	}
+	if s.valued {
+		if s.vals != nil {
+			s.vals[i].PopBack()
+		}
 		s.vq[i].Remove(val)
-		s.vLen[i]--
 		s.vSum[i] -= int64(val)
-		if s.vLen[i] == 0 {
+		if s.qLen[i] == 0 {
 			s.vMin[i] = 0
 		} else {
 			s.vMin[i] = s.vq[i].Min()
+		}
+	} else {
+		s.vSum[i]--
+		if s.qLen[i] == 0 {
+			s.vMin[i] = 0
 		}
 	}
 	s.occ--
@@ -199,19 +210,27 @@ func (s *Switch) undoInsert(i, val int) {
 
 // undoEvict inverts one eviction by re-adding the evicted packet with
 // its recorded pre-eviction facts (arrival slot, head-of-line
-// residual and queue work in the processing model; the popped minimum
-// in the value model).
+// residual and queue work under the FIFO disciplines; the evicted
+// value under the valued ones).
 func (s *Switch) undoEvict(i, val int, d evictUndo) {
-	if s.cfg.Model == ModelProcessing {
+	s.qLen[i]++
+	if s.fifo {
 		s.arrivals[i].PushBack(d.slot)
-		s.qLen[i]++
 		s.holRes[i] = d.hol
 		s.qWork[i] = d.wrk
 	} else {
+		s.qWork[i]++
+	}
+	if s.valued {
+		if s.vals != nil {
+			s.vals[i].PushBack(int64(val))
+		}
 		s.vq[i].Add(val)
-		s.vLen[i]++
 		s.vSum[i] += int64(val)
 		s.vMin[i] = s.vq[i].Min()
+	} else {
+		s.vSum[i]++
+		s.vMin[i] = 1
 	}
 	s.occ++
 }
@@ -366,9 +385,9 @@ func (b *Batch) KnownDrop(p pkt.Packet) bool {
 }
 
 // PushOut evicts one packet from queue victim (the FIFO tail in the
-// processing model, the minimum value in the value model) and admits p
-// in its place, executing the same validation, counter and event
-// sequence as the per-packet path.
+// processing and combined models, the minimum value in the value
+// model) and admits p in its place, executing the same validation,
+// counter and event sequence as the per-packet path.
 //
 //smb:hotpath
 func (b *Batch) PushOut(victim int, p pkt.Packet) {
@@ -388,10 +407,13 @@ func (b *Batch) PushOut(victim int, p pkt.Packet) {
 		d    evictUndo
 		eval int
 	)
-	if s.cfg.Model == ModelProcessing {
+	if s.fifo {
 		d.slot = s.arrivals[victim].Back()
 		d.hol = s.holRes[victim]
 		d.wrk = s.qWork[victim]
+		if s.valued {
+			eval = int(s.vals[victim].Back())
+		}
 	} else {
 		eval = s.vq[victim].Min()
 	}

@@ -10,26 +10,29 @@ package core
 //
 // All slice-returning methods expose live engine state: callers must
 // treat the slices as read-only and must not retain them across engine
-// mutations. Methods that do not apply to the current model return nil,
-// and callers are expected to fall back to the plain View path.
+// mutations. Every method is defined in every model: lanes whose
+// heterogeneity a model lacks are maintained as exact degenerate
+// mirrors (unit works in the value model, unit values in the
+// processing model), so policies never need a per-model nil check.
 type FastView interface {
 	View
 
-	// QueueLens returns the live per-queue packet counts (both models).
+	// QueueLens returns the live per-queue packet counts (all models).
 	QueueLens() []int
 
 	// QueueTotalWorks returns the live per-queue total residual work,
-	// mirroring View.QueueWork: (|Q_i|-1)·w_i + hol_i in the processing
-	// model, |Q_i| in the value model.
+	// mirroring View.QueueWork: (|Q_i|-1)·w_i + hol_i under the FIFO
+	// disciplines (processing and combined models), |Q_i| in the value
+	// model (unit works).
 	QueueTotalWorks() []int
 
 	// QueueMinValues returns the live per-queue minimum buffered value
-	// (0 for an empty queue) in the value model, nil in the processing
-	// model.
+	// (0 for an empty queue). In the processing model every buffered
+	// packet has value 1, so entries are 1 for non-empty queues.
 	QueueMinValues() []int
 
-	// QueueSums returns the live per-queue buffered value sums in the
-	// value model, nil in the processing model.
+	// QueueSums returns the live per-queue buffered value sums. In the
+	// processing model this equals the queue length (unit values).
 	QueueSums() []int64
 
 	// PortWorks returns the per-port work configuration w_1..w_n (unit
@@ -49,8 +52,8 @@ type FastView interface {
 
 	// HeaviestQueue returns the index and total residual work of the
 	// queue with the most buffered work, ties resolved to the largest
-	// index (the LWD ordering). Amortized O(1); equals LongestQueue in
-	// the value model.
+	// index (the LWD ordering). Amortized O(1); coincides with
+	// LongestQueue in the value model, where works are unit.
 	HeaviestQueue() (idx, work int)
 }
 

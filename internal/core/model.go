@@ -37,6 +37,14 @@ const (
 	// ModelValue is the Section IV model: heterogeneous values, unit
 	// work, priority queues, throughput = total value transmitted.
 	ModelValue
+	// ModelCombined is the combined work×value model the paper never
+	// studied: packets carry both a required work (fixed per port, like
+	// the processing model) and an intrinsic value drawn from [1,k].
+	// Queues are FIFO and push-out evicts the tail, exactly like the
+	// processing model, so every processing-style discipline carries
+	// over; the objective is the total value transmitted (equivalently,
+	// value per processing cycle — see Stats.ValuePerCycle).
+	ModelCombined
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +54,8 @@ func (m Model) String() string {
 		return "processing"
 	case ModelValue:
 		return "value"
+	case ModelCombined:
+		return "combined"
 	default:
 		return fmt.Sprintf("Model(%d)", int(m))
 	}
@@ -68,10 +78,10 @@ type Config struct {
 	// model); C packets are transmitted per queue per slot (value model).
 	Speedup int
 	// PortWork gives w_i, the required work of packets destined to port
-	// i (processing model only; the paper's "configuration"). A nil
-	// slice means unit work on every port, which recovers the classical
-	// shared-memory switch of Aiello et al. Must be non-decreasing: the
-	// paper sorts queues by processing requirement.
+	// i (processing and combined models; the paper's "configuration").
+	// A nil slice means unit work on every port, which recovers the
+	// classical shared-memory switch of Aiello et al. Must be
+	// non-decreasing: the paper sorts queues by processing requirement.
 	PortWork []int
 	// CheckInvariants enables per-slot internal consistency checks.
 	// Expensive; intended for tests.
@@ -103,7 +113,7 @@ var ErrBadConfig = errors.New("core: invalid config")
 // Validate checks internal consistency of the configuration.
 func (c Config) Validate() error {
 	switch {
-	case c.Model != ModelProcessing && c.Model != ModelValue:
+	case c.Model != ModelProcessing && c.Model != ModelValue && c.Model != ModelCombined:
 		return fmt.Errorf("%w: unknown model %d", ErrBadConfig, int(c.Model))
 	case c.Ports < 1:
 		return fmt.Errorf("%w: ports %d < 1", ErrBadConfig, c.Ports)

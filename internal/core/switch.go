@@ -17,10 +17,15 @@ type Switch struct {
 
 	// soa is the contiguous structure-of-arrays backing for the per-port
 	// hot lanes: the admission and transmission loops walk parallel
-	// arrays carved out of this one allocation (qLen|holRes|qWork|works|
-	// speedTab in the processing model, vLen|vMin|works|speedTab in the
-	// value model), so a scan over all ports is cache-linear instead of
-	// hopping between separately allocated slices.
+	// arrays carved out of this one allocation
+	// (qLen|holRes|qWork|vMin|works|speedTab — the same six lanes for
+	// every model), so a scan over all ports is cache-linear instead of
+	// hopping between separately allocated slices. Models that lack a
+	// heterogeneity dimension maintain the degenerate mirror instead of
+	// branching per access: the processing model keeps vMin at 1 for
+	// non-empty queues and vSum ≡ queue length; the value model keeps
+	// qWork ≡ queue length (unit works). Every FastView accessor is
+	// therefore a branch-free lane read.
 	soa []int
 
 	// works is the engine-private per-port work table (a lane of soa).
@@ -36,25 +41,44 @@ type Switch struct {
 	occ  int
 	slot int64
 
-	// Processing model state. A queue holding len packets with
-	// head-of-line residual hol has total residual work
-	// (len-1)*w_i + hol; arrivals records the arrival slot of each
-	// buffered packet in FIFO order for latency accounting. qWork
-	// mirrors QueueWork incrementally so FastView consumers avoid the
-	// per-queue recomputation.
+	// Model traits, fixed at construction, that drive every mutator's
+	// dispatch instead of per-site model enumeration:
+	//
+	//   - fifo (processing, combined): FIFO queue discipline — head-of-
+	//     line residuals, per-port work requirements, tail push-out, and
+	//     the arrivals deques for latency accounting;
+	//   - valued (value, combined): heterogeneous intrinsic values — one
+	//     bounded multiset per queue backing the min/max/sum mirrors.
+	//
+	// The pure value model is valued-only (priority-queue discipline:
+	// transmission pops the max, push-out pops the min); the combined
+	// model is both (FIFO discipline over work-and-value packets).
+	fifo   bool
+	valued bool
+
+	// Per-queue state. qLen is the packet count (every model). A FIFO
+	// queue holding len packets with head-of-line residual hol has total
+	// residual work (len-1)*w_i + hol, mirrored incrementally in qWork;
+	// the value model mirrors qWork ≡ qLen (unit works). arrivals
+	// records the arrival slot of each buffered packet in FIFO order for
+	// latency accounting (fifo models only).
 	qLen     []int
 	holRes   []int
 	qWork    []int
 	arrivals []deque.Deque
 
-	// Value model state: one bounded multiset per queue; transmission
-	// pops the max, push-out pops the min. vLen, vMin and vSum mirror
-	// the per-queue length, minimum (0 when empty) and value sum so
-	// FastView consumers read slices instead of querying each multiset.
+	// Value state (valued models): one bounded multiset per queue; vMin
+	// and vSum mirror the per-queue minimum (0 when empty) and value sum
+	// so FastView consumers read lanes instead of querying each
+	// multiset. The processing model maintains the degenerate mirrors
+	// (vMin 1 when non-empty, vSum ≡ qLen), matching its per-queue
+	// View semantics. vals additionally mirrors each combined-model FIFO
+	// queue's per-packet values in arrival order, so the tail eviction
+	// and head-of-line completion know which value leaves the multiset.
 	vq   []*bmset.Set
-	vLen []int
 	vMin []int
 	vSum []int64
+	vals []deque.Deque
 
 	// Incrementally maintained argmax caches over the per-queue length
 	// and total-work keys, and the precomputed NHST normalizer
@@ -130,30 +154,37 @@ func New(cfg Config, policy Policy) (*Switch, error) {
 	// Carve the per-port hot lanes out of one contiguous allocation
 	// (full-capacity subslices, so an append on one lane can never bleed
 	// into the next). The work table is an engine-private copy of the
-	// configuration.
-	if cfg.Model == ModelProcessing {
-		s.soa = make([]int, 5*n)
-		s.qLen = s.soa[0*n : 1*n : 1*n]
-		s.holRes = s.soa[1*n : 2*n : 2*n]
-		s.qWork = s.soa[2*n : 3*n : 3*n]
-		s.works = s.soa[3*n : 4*n : 4*n]
-		s.speedTab = s.soa[4*n : 5*n : 5*n]
+	// configuration. The lane layout is identical for every model; the
+	// traits only decide which side structures (arrival deques, value
+	// multisets) exist.
+	s.fifo = cfg.Model != ModelValue
+	s.valued = cfg.Model != ModelProcessing
+	s.soa = make([]int, 6*n)
+	s.qLen = s.soa[0*n : 1*n : 1*n]
+	s.holRes = s.soa[1*n : 2*n : 2*n]
+	s.qWork = s.soa[2*n : 3*n : 3*n]
+	s.vMin = s.soa[3*n : 4*n : 4*n]
+	s.works = s.soa[4*n : 5*n : 5*n]
+	s.speedTab = s.soa[5*n : 6*n : 6*n]
+	s.vSum = make([]int64, n)
+	reserve := min(cfg.Buffer, reserveCap)
+	if s.fifo {
 		s.arrivals = make([]deque.Deque, n)
-		reserve := min(cfg.Buffer, reserveCap)
 		for i := range s.arrivals {
 			s.arrivals[i].Reserve(reserve)
 		}
-	} else {
-		s.soa = make([]int, 4*n)
-		s.vLen = s.soa[0*n : 1*n : 1*n]
-		s.vMin = s.soa[1*n : 2*n : 2*n]
-		s.works = s.soa[2*n : 3*n : 3*n]
-		s.speedTab = s.soa[3*n : 4*n : 4*n]
+	}
+	if s.valued {
 		s.vq = make([]*bmset.Set, n)
 		for i := range s.vq {
 			s.vq[i] = bmset.New(cfg.MaxLabel)
 		}
-		s.vSum = make([]int64, n)
+	}
+	if s.fifo && s.valued {
+		s.vals = make([]deque.Deque, n)
+		for i := range s.vals {
+			s.vals[i].Reserve(reserve)
+		}
 	}
 	s.cfgWorks = append([]int(nil), cfg.portWork()...)
 	copy(s.works, s.cfgWorks)
@@ -355,38 +386,22 @@ func (s *Switch) Free() int {
 }
 
 // QueueLen implements View.
-func (s *Switch) QueueLen(i int) int {
-	if s.cfg.Model == ModelProcessing {
-		return s.qLen[i]
-	}
-	return s.vLen[i]
-}
+func (s *Switch) QueueLen(i int) int { return s.qLen[i] }
 
 // PortWork implements View.
 func (s *Switch) PortWork(i int) int { return s.works[i] }
 
-// QueueWork implements View.
-func (s *Switch) QueueWork(i int) int {
-	if s.cfg.Model == ModelValue {
-		return s.vLen[i]
-	}
-	return s.qWork[i]
-}
+// QueueWork implements View. The value model's lane mirrors the queue
+// length (unit works), so the read is branch-free in every model.
+func (s *Switch) QueueWork(i int) int { return s.qWork[i] }
 
-// QueueMinValue implements View.
-func (s *Switch) QueueMinValue(i int) int {
-	if s.cfg.Model == ModelProcessing {
-		if s.qLen[i] == 0 {
-			return 0
-		}
-		return 1
-	}
-	return s.vMin[i]
-}
+// QueueMinValue implements View. The processing model maintains the
+// degenerate mirror (1 when non-empty, 0 when empty) in the same lane.
+func (s *Switch) QueueMinValue(i int) int { return s.vMin[i] }
 
 // QueueMaxValue implements View.
 func (s *Switch) QueueMaxValue(i int) int {
-	if s.cfg.Model == ModelProcessing {
+	if !s.valued {
 		if s.qLen[i] == 0 {
 			return 0
 		}
@@ -398,13 +413,9 @@ func (s *Switch) QueueMaxValue(i int) int {
 	return s.vq[i].Max()
 }
 
-// QueueValueSum implements View.
-func (s *Switch) QueueValueSum(i int) int64 {
-	if s.cfg.Model == ModelProcessing {
-		return int64(s.qLen[i])
-	}
-	return s.vSum[i]
-}
+// QueueValueSum implements View. The processing model's lane mirrors
+// the queue length (unit values).
+func (s *Switch) QueueValueSum(i int) int64 { return s.vSum[i] }
 
 var _ View = (*Switch)(nil)
 
@@ -416,40 +427,32 @@ var _ View = (*Switch)(nil)
 // packages, and verify() under CheckInvariants detects them).
 //
 //smb:hotpath
-func (s *Switch) QueueLens() []int {
-	if s.cfg.Model == ModelProcessing {
-		return s.qLen
-	}
-	return s.vLen
-}
+func (s *Switch) QueueLens() []int { return s.qLen }
 
 // QueueTotalWorks implements FastView. The returned slice is live
 // engine state and strictly read-only (see QueueLens).
 //
-// In the value model it returns the per-queue packet counts (the same
-// backing slice QueueLens returns): every value-model packet requires
-// exactly one unit of work, so total residual work ≡ queue length by
-// definition, mirroring View.QueueWork. Value-model policies must not
-// reinterpret it as a processing-work measure — none of the roster
-// policies do; TestQueueTotalWorksValueModel pins the equivalence.
+// In the value model the lane mirrors the per-queue packet counts:
+// every value-model packet requires exactly one unit of work, so total
+// residual work ≡ queue length by definition, mirroring
+// View.QueueWork. Value-model policies must not reinterpret it as a
+// processing-work measure — none of the roster policies do;
+// TestQueueTotalWorksValueModel pins the equivalence.
 //
 //smb:hotpath
-func (s *Switch) QueueTotalWorks() []int {
-	if s.cfg.Model == ModelProcessing {
-		return s.qWork
-	}
-	return s.vLen
-}
+func (s *Switch) QueueTotalWorks() []int { return s.qWork }
 
-// QueueMinValues implements FastView. It is nil in the processing
-// model. The returned slice is live engine state and strictly
-// read-only (see QueueLens).
+// QueueMinValues implements FastView. The processing model maintains
+// the degenerate mirror (1 when non-empty, 0 when empty), matching
+// View.QueueMinValue. The returned slice is live engine state and
+// strictly read-only (see QueueLens).
 //
 //smb:hotpath
 func (s *Switch) QueueMinValues() []int { return s.vMin }
 
-// QueueSums implements FastView. It is nil in the processing model.
-// The returned slice is live engine state and strictly read-only (see
+// QueueSums implements FastView. The processing model's lane mirrors
+// the queue lengths (unit values), matching View.QueueValueSum. The
+// returned slice is live engine state and strictly read-only (see
 // QueueLens).
 //
 //smb:hotpath
@@ -472,22 +475,15 @@ func (s *Switch) PortInvWorkSum() float64 { return s.invWorkSum }
 // LongestQueue implements FastView.
 //
 //smb:hotpath
-func (s *Switch) LongestQueue() (int, int) {
-	if s.cfg.Model == ModelProcessing {
-		return s.lenMax.top(s.qLen)
-	}
-	return s.lenMax.top(s.vLen)
-}
+func (s *Switch) LongestQueue() (int, int) { return s.lenMax.top(s.qLen) }
 
-// HeaviestQueue implements FastView.
+// HeaviestQueue implements FastView. In the value model the work lane
+// mirrors the queue lengths and the work argmax sees exactly the same
+// key movements as the length argmax, so the answer coincides with
+// LongestQueue bit for bit.
 //
 //smb:hotpath
-func (s *Switch) HeaviestQueue() (int, int) {
-	if s.cfg.Model == ModelProcessing {
-		return s.workMax.top(s.qWork)
-	}
-	return s.lenMax.top(s.vLen)
-}
+func (s *Switch) HeaviestQueue() (int, int) { return s.workMax.top(s.qWork) }
 
 var _ FastView = (*Switch)(nil)
 
@@ -510,7 +506,7 @@ func (s *Switch) Arrive(p pkt.Packet) error {
 	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
 		return err
 	}
-	if s.cfg.Model == ModelProcessing && p.Work != s.works[p.Port] {
+	if s.fifo && p.Work != s.works[p.Port] {
 		return fmt.Errorf("core: packet work %d does not match port %d configuration %d", p.Work, p.Port, s.works[p.Port])
 	}
 	d := s.policy.Admit(s, p)
@@ -608,13 +604,17 @@ func (s *Switch) ArriveBurst(ps []pkt.Packet) error {
 }
 
 // Transmit runs one transmission phase: every non-empty queue receives
-// Speedup processing cycles (processing model) or transmits up to Speedup
-// packets (value model). It advances the slot counter.
+// Speedup processing cycles (processing and combined models) or
+// transmits up to Speedup packets (value model). It advances the slot
+// counter.
 func (s *Switch) Transmit() {
-	if s.cfg.Model == ModelProcessing {
+	switch s.cfg.Model {
+	case ModelProcessing:
 		s.transmitProcessing()
-	} else {
+	case ModelValue:
 		s.transmitValue()
+	default:
+		s.transmitCombined()
 	}
 	s.slot++
 	s.stats.Slots++
@@ -681,6 +681,12 @@ func (s *Switch) transmitProcessing() {
 		}
 		if completed > 0 {
 			s.lenMax.drop(i)
+			// Degenerate value mirrors (unit values): the sum lane tracks
+			// the queue length, the min lane drops to 0 on empty.
+			s.vSum[i] -= completed
+			if qLen[i] == 0 {
+				s.vMin[i] = 0
+			}
 			s.stats.Transmitted += completed
 			s.stats.TransmittedValue += completed
 			s.stats.TransmittedWork += completed * int64(works[i])
@@ -700,7 +706,7 @@ func (s *Switch) transmitValue() {
 	for i := 0; i < s.cfg.Ports; i++ {
 		// The speedup override cannot change mid-phase, so hoist it and
 		// pop the exact count instead of re-testing per packet.
-		pops := min(s.speedTab[i], s.vLen[i])
+		pops := min(s.speedTab[i], s.qLen[i])
 		if pops == 0 {
 			continue
 		}
@@ -708,12 +714,14 @@ func (s *Switch) transmitValue() {
 		for c := 0; c < pops; c++ {
 			sum += int64(s.vq[i].PopMax())
 		}
-		s.vLen[i] -= pops
+		s.qLen[i] -= pops
+		s.qWork[i] -= pops
 		s.vSum[i] -= sum
-		if s.vLen[i] == 0 {
+		if s.qLen[i] == 0 {
 			s.vMin[i] = 0
 		}
 		s.lenMax.drop(i)
+		s.workMax.drop(i)
 		s.occ -= pops
 		p64 := int64(pops)
 		s.stats.Transmitted += p64
@@ -726,6 +734,91 @@ func (s *Switch) transmitValue() {
 			s.rec.Add(i, obs.KindHOLTransmit, uint64(pops))
 		}
 	}
+}
+
+// transmitCombined is the combined-model transmission phase: FIFO
+// head-of-line processing exactly like transmitProcessing, with each
+// completion crediting the head packet's intrinsic value (tracked in
+// the per-queue vals deque) instead of a unit.
+func (s *Switch) transmitCombined() {
+	var (
+		speedTab    = s.speedTab
+		qLen        = s.qLen
+		holRes      = s.holRes
+		qWork       = s.qWork
+		works       = s.works
+		cyclesTotal int64
+	)
+	for i := 0; i < s.cfg.Ports; i++ {
+		budget := speedTab[i]
+		if budget == 0 || qLen[i] == 0 {
+			continue
+		}
+		var (
+			cycles    int64
+			completed int64
+			latSum    int64
+			valSum    int64
+			minHit    bool
+		)
+		pc := &s.perPort[i]
+		for budget > 0 && qLen[i] > 0 {
+			use := min(budget, holRes[i])
+			holRes[i] -= use
+			qWork[i] -= use
+			budget -= use
+			cycles += int64(use)
+			if holRes[i] > 0 {
+				break
+			}
+			// Head-of-line packet completed: transmit it, crediting its
+			// value.
+			qLen[i]--
+			s.occ--
+			completed++
+			latency := s.slot - s.arrivals[i].PopFront()
+			latSum += latency
+			if latency > pc.MaxLatency {
+				pc.MaxLatency = latency
+			}
+			v := int(s.vals[i].PopFront())
+			s.vq[i].Remove(v)
+			s.vSum[i] -= int64(v)
+			valSum += int64(v)
+			// s.vMin[i] is not touched inside the loop, so comparing the
+			// popped value against it detects whether any completion may
+			// have removed the last copy of the pre-phase minimum.
+			if v == s.vMin[i] {
+				minHit = true
+			}
+			if qLen[i] > 0 {
+				holRes[i] = works[i]
+			}
+		}
+		if qLen[i] == 0 {
+			s.vMin[i] = 0
+		} else if minHit {
+			s.vMin[i] = s.vq[i].Min()
+		}
+		if cycles > 0 {
+			s.workMax.drop(i)
+			cyclesTotal += cycles
+		}
+		if completed > 0 {
+			s.lenMax.drop(i)
+			s.stats.Transmitted += completed
+			s.stats.TransmittedValue += valSum
+			s.stats.TransmittedWork += completed * int64(works[i])
+			s.stats.LatencySlots += latSum
+			pc.Transmitted += completed
+			pc.TransmittedValue += valSum
+			pc.LatencySlots += latSum
+			if s.rec != nil {
+				s.rec.Add(i, obs.KindHOLTransmit, uint64(completed))
+			}
+		}
+	}
+	s.stats.CyclesUsed += cyclesTotal
 }
 
 // Step runs one full time slot: the arrival phase over the given burst
@@ -785,20 +878,21 @@ func (s *Switch) Reset() {
 	for i := range s.perPort {
 		s.perPort[i] = PortCounters{}
 	}
-	if s.cfg.Model == ModelProcessing {
-		for i := range s.qLen {
-			s.qLen[i] = 0
-			s.holRes[i] = 0
-			s.qWork[i] = 0
-			s.arrivals[i].Clear()
-		}
-	} else {
-		for i, q := range s.vq {
-			q.Clear()
-			s.vLen[i] = 0
-			s.vMin[i] = 0
-			s.vSum[i] = 0
-		}
+	for i := range s.qLen {
+		s.qLen[i] = 0
+		s.holRes[i] = 0
+		s.qWork[i] = 0
+		s.vMin[i] = 0
+		s.vSum[i] = 0
+	}
+	for i := range s.arrivals {
+		s.arrivals[i].Clear()
+	}
+	for _, q := range s.vq {
+		q.Clear()
+	}
+	for i := range s.vals {
+		s.vals[i].Clear()
 	}
 	s.lenMax = argmax{}
 	s.workMax = argmax{}
@@ -833,20 +927,22 @@ func (s *Switch) canEvict(victim int) error {
 	return nil
 }
 
-// evict removes one packet from queue victim — the FIFO tail
-// (processing model) or the minimum value (value model) — and returns
-// the residual work and intrinsic value the eviction discarded: in the
-// processing model the evicted tail's remaining cycles (the whole
-// remaining queue work when the tail is also the head-of-line packet,
-// whose partial progress is wasted), in the value model the popped
-// minimum. The victim must have been validated with canEvict first.
-// Counter and recorder updates belong to the callers: the per-packet
-// Arrive path records directly, the batched path transactionally.
+// evict removes one packet from queue victim — the FIFO tail (fifo
+// models: processing and combined) or the minimum value (pure value
+// model) — and returns the residual work and intrinsic value the
+// eviction discarded: in the fifo models the evicted tail's remaining
+// cycles (the whole remaining queue work when the tail is also the
+// head-of-line packet, whose partial progress is wasted) plus, in the
+// combined model, the tail's intrinsic value; in the value model the
+// popped minimum. The victim must have been validated with canEvict
+// first. Counter and recorder updates belong to the callers: the
+// per-packet Arrive path records directly, the batched path
+// transactionally.
 //
 //smb:hotpath
 func (s *Switch) evict(victim int) (remWork, remValue int) {
 	remWork, remValue = 1, 1
-	if s.cfg.Model == ModelProcessing {
+	if s.fifo {
 		if s.qLen[victim] == 1 {
 			remWork = s.qWork[victim]
 		} else {
@@ -862,18 +958,35 @@ func (s *Switch) evict(victim int) (remWork, remValue int) {
 		} else {
 			s.qWork[victim] -= s.works[victim]
 		}
-		s.workMax.drop(victim)
+		if s.valued {
+			v := int(s.vals[victim].PopBack())
+			remValue = v
+			s.vq[victim].Remove(v)
+			s.vSum[victim] -= int64(v)
+			if s.qLen[victim] == 0 {
+				s.vMin[victim] = 0
+			} else if v == s.vMin[victim] {
+				s.vMin[victim] = s.vq[victim].Min()
+			}
+		} else {
+			s.vSum[victim]--
+			if s.qLen[victim] == 0 {
+				s.vMin[victim] = 0
+			}
+		}
 	} else {
 		m := s.vq[victim].PopMin()
 		remValue = m
-		s.vLen[victim]--
+		s.qLen[victim]--
+		s.qWork[victim]--
 		s.vSum[victim] -= int64(m)
-		if s.vLen[victim] == 0 {
+		if s.qLen[victim] == 0 {
 			s.vMin[victim] = 0
 		} else {
 			s.vMin[victim] = s.vq[victim].Min()
 		}
 	}
+	s.workMax.drop(victim)
 	s.lenMax.drop(victim)
 	s.occ--
 	return remWork, remValue
@@ -882,24 +995,31 @@ func (s *Switch) evict(victim int) (remWork, remValue int) {
 // insert appends p to its destination queue.
 func (s *Switch) insert(p pkt.Packet) {
 	i := p.Port
-	if s.cfg.Model == ModelProcessing {
-		s.qLen[i]++
+	s.qLen[i]++
+	if s.fifo {
 		s.arrivals[i].PushBack(s.slot)
 		if s.qLen[i] == 1 {
 			s.holRes[i] = s.works[i]
 		}
 		s.qWork[i] += s.works[i]
-		s.lenMax.bump(s.qLen, i)
-		s.workMax.bump(s.qWork, i)
 	} else {
+		s.qWork[i]++
+	}
+	if s.valued {
 		s.vq[i].Add(p.Value)
-		s.vLen[i]++
 		s.vSum[i] += int64(p.Value)
-		if s.vLen[i] == 1 || p.Value < s.vMin[i] {
+		if s.qLen[i] == 1 || p.Value < s.vMin[i] {
 			s.vMin[i] = p.Value
 		}
-		s.lenMax.bump(s.vLen, i)
+		if s.vals != nil {
+			s.vals[i].PushBack(int64(p.Value))
+		}
+	} else {
+		s.vSum[i]++
+		s.vMin[i] = 1
 	}
+	s.lenMax.bump(s.qLen, i)
+	s.workMax.bump(s.qWork, i)
 	s.occ++
 }
 
@@ -925,7 +1045,7 @@ func (s *Switch) verify() error {
 		if l < 0 {
 			return fmt.Errorf("core: queue %d negative length %d", i, l)
 		}
-		if s.cfg.Model == ModelProcessing {
+		if s.fifo {
 			if l > 0 && (s.holRes[i] < 1 || s.holRes[i] > s.works[i]) {
 				return fmt.Errorf("core: queue %d HOL residual %d out of [1,%d]", i, s.holRes[i], s.works[i])
 			}
@@ -942,9 +1062,12 @@ func (s *Switch) verify() error {
 			if s.qWork[i] != want {
 				return fmt.Errorf("core: queue %d incremental work %d != recomputed %d", i, s.qWork[i], want)
 			}
-		} else {
-			if s.vLen[i] != s.vq[i].Len() {
-				return fmt.Errorf("core: queue %d incremental len %d != multiset %d", i, s.vLen[i], s.vq[i].Len())
+		} else if s.qWork[i] != l {
+			return fmt.Errorf("core: queue %d work mirror %d != len %d (unit works)", i, s.qWork[i], l)
+		}
+		if s.valued {
+			if l != s.vq[i].Len() {
+				return fmt.Errorf("core: queue %d incremental len %d != multiset %d", i, l, s.vq[i].Len())
 			}
 			if s.vSum[i] != s.vq[i].Sum() {
 				return fmt.Errorf("core: queue %d incremental sum %d != multiset %d", i, s.vSum[i], s.vq[i].Sum())
@@ -955,6 +1078,20 @@ func (s *Switch) verify() error {
 			}
 			if s.vMin[i] != wantMin {
 				return fmt.Errorf("core: queue %d incremental min %d != multiset %d", i, s.vMin[i], wantMin)
+			}
+			if s.vals != nil && s.vals[i].Len() != l {
+				return fmt.Errorf("core: queue %d value log len %d != len %d", i, s.vals[i].Len(), l)
+			}
+		} else {
+			if s.vSum[i] != int64(l) {
+				return fmt.Errorf("core: queue %d sum mirror %d != len %d (unit values)", i, s.vSum[i], l)
+			}
+			wantMin := 0
+			if l > 0 {
+				wantMin = 1
+			}
+			if s.vMin[i] != wantMin {
+				return fmt.Errorf("core: queue %d min mirror %d != degenerate %d", i, s.vMin[i], wantMin)
 			}
 		}
 		sum += l

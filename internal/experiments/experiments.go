@@ -20,7 +20,6 @@ import (
 	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // Options tunes the scale of a panel run. Zero fields take defaults.
@@ -283,9 +282,9 @@ func valInstance(k, b, c int, rate float64, label traffic.LabelMode, spiky bool,
 		MaxLabel: k,
 		Speedup:  c,
 	}
-	policies := valpolicy.ForUniform()
+	policies := policy.ForValueUniform()
 	if label == traffic.LabelValueByPort {
-		policies = valpolicy.ForValueByPort()
+		policies = policy.ForValueByPort()
 	}
 	mcfg := traffic.MMPPConfig{
 		Sources:      o.Sources,
@@ -331,9 +330,9 @@ func valDigestModel(label traffic.LabelMode, spiky bool) string {
 // valRoster returns the competing roster for the label mode.
 func valRoster(label traffic.LabelMode) []core.Policy {
 	if label == traffic.LabelValueByPort {
-		return valpolicy.ForValueByPort()
+		return policy.ForValueByPort()
 	}
-	return valpolicy.ForUniform()
+	return policy.ForValueUniform()
 }
 
 // panelValK is Fig. 5(4)/(7): value model, ratio vs k at a fixed offered

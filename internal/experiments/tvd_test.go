@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"smbm/internal/core"
+	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // TestAblationTVDVsMRD executes the paper's Section IV design argument:
@@ -22,7 +22,7 @@ func TestAblationTVDVsMRD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	inst.Policies = append([]core.Policy{valpolicy.MRD{}, valpolicy.LQD{}}, valpolicy.Experimental()...)
+	inst.Policies = append([]core.Policy{policy.MRD{}, policy.VLQD{}}, policy.ValueExperimental()...)
 	results, err := inst.Run()
 	if err != nil {
 		t.Fatal(err)

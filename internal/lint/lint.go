@@ -200,7 +200,6 @@ func FuncAnnotated(tag string, fn *ast.FuncDecl) bool {
 var enginePackages = map[string]bool{
 	"core":      true,
 	"policy":    true,
-	"valpolicy": true,
 	"opt":       true,
 	"sim":       true,
 	"faults":    true,
@@ -223,8 +222,7 @@ var wallclockExempt = map[string]bool{
 // policies: pure functions over a read-only switch view. The fastviewro
 // analyzer forbids writes through FastView-returned slices there.
 var policyPackages = map[string]bool{
-	"policy":    true,
-	"valpolicy": true,
+	"policy": true,
 }
 
 // EnginePackage reports whether the import path names one of the

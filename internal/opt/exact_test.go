@@ -9,7 +9,6 @@ import (
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 func tinyProcCfg() core.Config {
@@ -282,7 +281,7 @@ func TestQuickValueExactDominates(t *testing.T) {
 			t.Log(err)
 			return false
 		}
-		for _, p := range valpolicy.ForValueByPort() {
+		for _, p := range policy.ForValueByPort() {
 			if got := runPolicy(t, cfg, p, tr); got > exact {
 				t.Logf("%s value %d > exact %d", p.Name(), got, exact)
 				return false

@@ -1,11 +1,13 @@
 // Package opt provides the reference algorithms the paper compares
 // against:
 //
-//   - SPQProc / SPQVal: the simulation study's OPT proxy — a single
-//     priority queue over the whole buffer with n·C cores, processing
-//     smallest-work-first (processing model) or largest-value-first
-//     (value model) with greedy push-out admission. Optimal in the
-//     single-queue model, hence an upper bound on the shared-memory OPT.
+//   - SPQProc / SPQVal / SPQComb: the simulation study's OPT proxy — a
+//     single priority queue over the whole buffer with n·C cores,
+//     processing smallest-work-first (processing model),
+//     largest-value-first (value model) or densest-first, value per
+//     remaining cycle (combined model), with greedy push-out admission.
+//     Optimal in the single-queue model, hence an upper bound on the
+//     shared-memory OPT.
 //   - ExactProcessing / ExactValue: exhaustive offline optimum for tiny
 //     instances, used by tests to validate competitive bounds as
 //     executable invariants.

@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"smbm/internal/core"
+	"smbm/internal/pkt"
+)
+
+// SPQComb is the combined-model OPT proxy: one shared priority queue
+// over the whole buffer with n·C cores, ordered by value density —
+// intrinsic value per remaining processing cycle. Each slot every core
+// applies one cycle to a distinct densest packet, crediting the
+// packet's value on completion; push-out admission evicts a
+// least-dense packet when a strictly denser one arrives to a full
+// buffer. It generalizes both parents: under unit works density is the
+// value (SPQVal's order), under unit values it is 1/residual
+// (SPQProc's smallest-work-first order).
+//
+// State is a 2D histogram res[v][r] counting buffered packets of value
+// v and residual work r — both bounded by MaxLabel — walked in a
+// density order precomputed at construction, so a transmission phase
+// costs O(k² + cores) regardless of occupancy.
+type SPQComb struct {
+	cfg   core.Config
+	cores int
+	res   [][]int64  // res[v][r], both 1-based
+	order []combCell // all (v, r) cells, densest first
+	occ   int
+	slot  int64
+	stats core.Stats
+
+	// Fault-injection overrides; see SPQProc.
+	speedOv  []int
+	bufLimit int
+}
+
+// combCell is one (value, residual) histogram bucket.
+type combCell struct{ v, r int }
+
+// NewSPQComb builds the proxy for the given switch configuration.
+func NewSPQComb(cfg core.Config) (*SPQComb, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Model != core.ModelCombined {
+		return nil, fmt.Errorf("%w: SPQComb requires the combined model", core.ErrBadConfig)
+	}
+	k := cfg.MaxLabel
+	res := make([][]int64, k+1)
+	for v := 1; v <= k; v++ {
+		res[v] = make([]int64, k+1)
+	}
+	order := make([]combCell, 0, k*k)
+	for v := 1; v <= k; v++ {
+		for r := 1; r <= k; r++ {
+			order = append(order, combCell{v, r})
+		}
+	}
+	// Densest first (v/r descending, compared by cross-multiplying);
+	// ties prefer the higher value, then the smaller residual, so equal
+	// densities complete sooner rather than later.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if d := a.v*b.r - b.v*a.r; d != 0 {
+			return d > 0
+		}
+		if a.v != b.v {
+			return a.v > b.v
+		}
+		return a.r < b.r
+	})
+	return &SPQComb{
+		cfg:   cfg,
+		cores: cfg.Ports * cfg.Speedup,
+		res:   res,
+		order: order,
+	}, nil
+}
+
+// Name implements the sim.System contract.
+func (s *SPQComb) Name() string { return "OPT(SPQ)" }
+
+// Stats returns accumulated counters. TransmittedWork and latency are
+// not tracked by the proxy and stay zero.
+func (s *SPQComb) Stats() core.Stats { return s.stats }
+
+// Occupancy returns the buffered packet count.
+func (s *SPQComb) Occupancy() int { return s.occ }
+
+// SetPortSpeedup overrides port i's contribution to the proxy's core
+// budget; see SPQProc.SetPortSpeedup.
+func (s *SPQComb) SetPortSpeedup(i, c int) {
+	s.speedOv = setPortSpeedup(s.speedOv, s.cfg.Ports, i, c)
+}
+
+// ResetSpeedups clears all per-port speedup overrides.
+func (s *SPQComb) ResetSpeedups() { resetSpeedups(s.speedOv) }
+
+// SetBufferLimit transiently caps the proxy's effective buffer at b
+// packets; b <= 0 restores the configured B.
+func (s *SPQComb) SetBufferLimit(b int) { s.bufLimit = clampLimit(b) }
+
+// coreBudget returns the aggregate cores per slot under any active
+// overrides.
+func (s *SPQComb) coreBudget() int {
+	return coreBudget(s.speedOv, s.cfg.Ports, s.cfg.Speedup)
+}
+
+// effBuffer returns the effective buffer under any active squeeze.
+func (s *SPQComb) effBuffer() int { return effBuffer(s.bufLimit, s.cfg.Buffer) }
+
+// Arrive admits p greedily with push-out of a least-dense packet.
+func (s *SPQComb) Arrive(p pkt.Packet) error {
+	if err := p.Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+		return err
+	}
+	s.stats.Arrived++
+	if s.occ >= s.effBuffer() {
+		// The sparsest occupied cell is the last one in density order.
+		worst := combCell{}
+		for i := len(s.order) - 1; i >= 0; i-- {
+			c := s.order[i]
+			if s.res[c.v][c.r] > 0 {
+				worst = c
+				break
+			}
+		}
+		// Evict only for a strictly denser arrival: v/w > worst.v/worst.r.
+		if worst.v == 0 || p.Value*worst.r <= worst.v*p.Work {
+			s.stats.Dropped++
+			return nil
+		}
+		s.res[worst.v][worst.r]--
+		s.occ--
+		s.stats.PushedOut++
+	}
+	s.res[p.Value][p.Work]++
+	s.occ++
+	s.stats.Accepted++
+	if s.occ > s.stats.MaxOccupancy {
+		s.stats.MaxOccupancy = s.occ
+	}
+	return nil
+}
+
+// Step runs one slot: arrivals then transmission.
+func (s *SPQComb) Step(arrivals []pkt.Packet) error {
+	for _, p := range arrivals {
+		if err := s.Arrive(p); err != nil {
+			return err
+		}
+	}
+	s.Transmit()
+	return nil
+}
+
+// Transmit applies one cycle to each of the min(occupancy, cores)
+// densest packets, crediting values of the packets that complete.
+func (s *SPQComb) Transmit() {
+	budget := int64(s.coreBudget())
+	for _, c := range s.order {
+		if budget <= 0 {
+			break
+		}
+		n := s.res[c.v][c.r]
+		if n == 0 {
+			continue
+		}
+		if n > budget {
+			n = budget
+		}
+		budget -= n
+		s.res[c.v][c.r] -= n
+		s.stats.CyclesUsed += n
+		if c.r == 1 {
+			s.occ -= int(n)
+			s.stats.Transmitted += n
+			s.stats.TransmittedValue += n * int64(c.v)
+		} else {
+			// (v, r-1) is strictly denser than (v, r), so it was already
+			// passed earlier in the order: the moved packets cannot
+			// receive a second cycle this slot.
+			s.res[c.v][c.r-1] += n
+		}
+	}
+	s.slot++
+	s.stats.Slots++
+}
+
+// Drain transmits with no arrivals until empty, returning slots used.
+// See SPQProc.Drain for the blackout caveat.
+func (s *SPQComb) Drain() int {
+	var slots int
+	for s.occ > 0 {
+		s.Transmit()
+		slots++
+	}
+	return slots
+}
+
+// DrainMax is Drain bounded to at most max transmission phases,
+// returning the slots used and whether the proxy actually emptied.
+func (s *SPQComb) DrainMax(max int) (int, bool) {
+	var slots int
+	for s.occ > 0 {
+		if slots >= max {
+			return slots, false
+		}
+		s.Transmit()
+		slots++
+	}
+	return slots, true
+}
+
+// Reset clears all buffered packets, statistics and fault overrides.
+func (s *SPQComb) Reset() {
+	for v := 1; v < len(s.res); v++ {
+		for r := range s.res[v] {
+			s.res[v][r] = 0
+		}
+	}
+	s.occ = 0
+	s.slot = 0
+	s.stats = core.Stats{}
+	s.speedOv = nil
+	s.bufLimit = 0
+}

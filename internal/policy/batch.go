@@ -6,19 +6,25 @@ import (
 	"smbm/internal/pkt"
 )
 
-// This file holds the processing-model batch kernels: each policy's
-// core.BatchPolicy implementation decides a whole arrival burst with
-// the per-burst evaluation its per-packet Admit cannot express —
-// thresholds and normalizers hoisted out of the loop, burst suffixes
-// dropped wholesale once free space is exhausted (free space never
-// grows during an arrival phase), repeated congested arrivals resolved
+// This file holds the batch kernels: each policy's core.BatchPolicy
+// implementation decides a whole arrival burst with the per-burst
+// evaluation its per-packet Admit cannot express — thresholds and
+// normalizers hoisted out of the loop, burst suffixes dropped
+// wholesale once free space is exhausted (free space never grows
+// during an arrival phase), repeated congested arrivals resolved
 // through the engine's drop memo, and the push-out victim pointer
 // maintained incrementally across the burst.
 //
+// With the engine unified across models, the kernels are too: every
+// policy instantiates one of the two generic skeletons in kernel.go
+// with its rule struct, except Greedy (whose accept/drop split is a
+// pure prefix) and BPD/BPD1 (whose maintained-victim repair invariant
+// is stronger than a per-packet victim ordering can express).
+//
 // Every kernel must reproduce its Admit decision sequence bit for bit;
 // the batch differential and fuzz suites replay both paths on every
-// roster policy and require identical Stats, PortCounters and obs
-// counters.
+// roster policy — processing, value and combined — and require
+// identical Stats, PortCounters and obs counters.
 
 // AdmitBatch implements core.BatchPolicy: the accept/drop split of a
 // greedy burst is a pure prefix of length min(free, len).
@@ -35,162 +41,162 @@ func (Greedy) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 	b.DropAll(ps[free:])
 }
 
-// AdmitBatch implements core.BatchPolicy. Z, the work table and the
-// buffer bound are hoisted once per burst; the length slice is live,
-// so each accept is observed by the next threshold comparison exactly
-// as in the per-packet path.
+// nhstRule is NHST's admission predicate with Z, the work table and
+// the buffer bound hoisted. Z is precomputed by the engine with the
+// same ascending-port summation as the Admit fallback, so the
+// threshold comparison is bit-identical.
+type nhstRule struct {
+	lens, works []int
+	z, buf      float64
+}
+
+// newNHSTRule hoists NHST's per-burst constants once.
+func newNHSTRule(f core.FastView) nhstRule {
+	return nhstRule{f.QueueLens(), f.PortWorks(), f.PortInvWorkSum(), float64(f.Buffer())}
+}
+
+// admit implements thresholdRule.
+//
+//smb:hotpath
+func (r nhstRule) admit(p pkt.Packet) bool {
+	return float64(r.lens[p.Port])*float64(r.works[p.Port])*r.z < r.buf
+}
+
+// memo implements thresholdRule: the predicate is O(1).
+func (nhstRule) memo() bool { return false }
+
+// AdmitBatch implements core.BatchPolicy. The length slice is live, so
+// each accept is observed by the next threshold comparison exactly as
+// in the per-packet path.
 //
 //smb:hotpath
 func (NHST) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
-	f := b.View()
-	z := f.PortInvWorkSum()
-	lens := f.QueueLens()
-	works := f.PortWorks()
-	bufF := float64(f.Buffer())
-	free := b.Free()
-	for i := range ps {
-		if free == 0 {
-			b.DropAll(ps[i:])
-			return
-		}
-		p := ps[i]
-		if float64(lens[p.Port])*float64(works[p.Port])*z < bufF {
-			b.Accept(p)
-			free--
-		} else {
-			b.Drop(p)
-		}
-	}
+	thresholdBatch(b, ps, newNHSTRule(b.View()))
 }
+
+// nestRule is NEST's complete-partitioning predicate.
+type nestRule struct {
+	lens   []int
+	n, buf int
+}
+
+// admit implements thresholdRule: |Q_i| < B/n  ⇔  |Q_i|·n < B.
+//
+//smb:hotpath
+func (r nestRule) admit(p pkt.Packet) bool { return r.lens[p.Port]*r.n < r.buf }
+
+// memo implements thresholdRule: the predicate is O(1).
+func (nestRule) memo() bool { return false }
 
 // AdmitBatch implements core.BatchPolicy.
 //
 //smb:hotpath
 func (NEST) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 	f := b.View()
-	lens := f.QueueLens()
-	n := f.Ports()
-	buf := f.Buffer()
-	free := b.Free()
-	for i := range ps {
-		if free == 0 {
-			b.DropAll(ps[i:])
-			return
-		}
-		p := ps[i]
-		if lens[p.Port]*n < buf {
-			b.Accept(p)
-			free--
-		} else {
-			b.Drop(p)
-		}
-	}
+	thresholdBatch(b, ps, nestRule{f.QueueLens(), f.Ports(), f.Buffer()})
 }
 
-// AdmitBatch implements core.BatchPolicy. The rank-and-sum scan only
-// reruns when the switch state changed since the same (port, value)
-// was last dropped: in a congested burst the engine's drop memo
-// collapses the repeated O(n) evaluations to O(1).
+// nhdtRule is NHDT's rank-and-sum predicate with the buffer bound and
+// harmonic normalizer hoisted.
+type nhdtRule struct {
+	lens    []int
+	buf, hn float64
+}
+
+// admit implements thresholdRule.
+//
+//smb:hotpath
+func (r nhdtRule) admit(p pkt.Packet) bool {
+	li := r.lens[p.Port]
+	var m, sum int
+	for _, l := range r.lens {
+		if l >= li {
+			m++
+			sum += l
+		}
+	}
+	return float64(sum) < r.buf*hmath.Harmonic(m)/r.hn
+}
+
+// memo implements thresholdRule: the rank-and-sum scan only reruns
+// when the switch state changed since the same (port, value) was last
+// dropped — in a congested burst the engine's drop memo collapses the
+// repeated O(n) evaluations to O(1).
+func (nhdtRule) memo() bool { return true }
+
+// AdmitBatch implements core.BatchPolicy.
 //
 //smb:hotpath
 func (NHDT) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 	f := b.View()
-	lens := f.QueueLens()
-	bufF := float64(f.Buffer())
-	hn := hmath.Harmonic(f.Ports())
-	free := b.Free()
-	for i := range ps {
-		if free == 0 {
-			b.DropAll(ps[i:])
-			return
-		}
-		p := ps[i]
-		if b.KnownDrop(p) {
-			b.Drop(p)
-			continue
-		}
-		li := lens[p.Port]
-		var m, sum int
-		for _, l := range lens {
-			if l >= li {
-				m++
-				sum += l
-			}
-		}
-		threshold := bufF * hmath.Harmonic(m) / hn
-		if float64(sum) < threshold {
-			b.Accept(p)
-			free--
-		} else {
-			b.DropMemo(p)
-		}
-	}
+	thresholdBatch(b, ps, nhdtRule{f.QueueLens(), float64(f.Buffer()), hmath.Harmonic(f.Ports())})
 }
 
-// AdmitBatch implements core.BatchPolicy (see NHDT: same memoized
-// rank-and-sum structure on the work ranking).
+// nhdtwRule is NHDT's memoized rank-and-sum structure on the work
+// ranking (see NHDTW).
+type nhdtwRule struct {
+	qworks, lens, works []int
+	buf, hn             float64
+}
+
+// admit implements thresholdRule.
+//
+//smb:hotpath
+func (r nhdtwRule) admit(p pkt.Packet) bool {
+	pw := r.works[p.Port]
+	wi := r.qworks[p.Port] + pw // virtual add
+	var m, sum int
+	for j, w := range r.qworks {
+		if j == p.Port {
+			w += pw
+		}
+		if w >= wi {
+			m++
+			sum += r.lens[j]
+		}
+	}
+	return float64(sum) < r.buf*hmath.Harmonic(m)/r.hn
+}
+
+// memo implements thresholdRule (see nhdtRule.memo).
+func (nhdtwRule) memo() bool { return true }
+
+// AdmitBatch implements core.BatchPolicy.
 //
 //smb:hotpath
 func (NHDTW) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 	f := b.View()
-	qworks := f.QueueTotalWorks()
-	lens := f.QueueLens()
-	works := f.PortWorks()
-	bufF := float64(f.Buffer())
-	hn := hmath.Harmonic(f.Ports())
-	free := b.Free()
-	for i := range ps {
-		if free == 0 {
-			b.DropAll(ps[i:])
-			return
-		}
-		p := ps[i]
-		if b.KnownDrop(p) {
-			b.Drop(p)
-			continue
-		}
-		pw := works[p.Port]
-		wi := qworks[p.Port] + pw // virtual add
-		var m, sum int
-		for j, w := range qworks {
-			if j == p.Port {
-				w += pw
-			}
-			if w >= wi {
-				m++
-				sum += lens[j]
-			}
-		}
-		threshold := bufF * hmath.Harmonic(m) / hn
-		if float64(sum) < threshold {
-			b.Accept(p)
-			free--
-		} else {
-			b.DropMemo(p)
-		}
-	}
+	thresholdBatch(b, ps, nhdtwRule{f.QueueTotalWorks(), f.QueueLens(), f.PortWorks(), float64(f.Buffer()), hmath.Harmonic(f.Ports())})
 }
+
+// staticRule is StaticThreshold's per-port table predicate.
+type staticRule struct {
+	lens, t []int
+}
+
+// admit implements thresholdRule.
+//
+//smb:hotpath
+func (r staticRule) admit(p pkt.Packet) bool {
+	return p.Port < len(r.t) && r.lens[p.Port] < r.t[p.Port]
+}
+
+// memo implements thresholdRule: the predicate is O(1).
+func (staticRule) memo() bool { return false }
 
 // AdmitBatch implements core.BatchPolicy.
 //
 //smb:hotpath
 func (s StaticThreshold) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
-	f := b.View()
-	lens := f.QueueLens()
-	free := b.Free()
-	for i := range ps {
-		if free == 0 {
-			b.DropAll(ps[i:])
-			return
-		}
-		p := ps[i]
-		if p.Port < len(s.T) && lens[p.Port] < s.T[p.Port] {
-			b.Accept(p)
-			free--
-		} else {
-			b.Drop(p)
-		}
-	}
+	thresholdBatch(b, ps, staticRule{b.View().QueueLens(), s.T})
+}
+
+// AdmitBatch implements core.BatchPolicy. H_k, the label ceiling and
+// the buffer bound are hoisted once per burst.
+//
+//smb:hotpath
+func (NHSTV) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	thresholdBatch(b, ps, newNHSTVRule(b.View()))
 }
 
 // AdmitBatch implements core.BatchPolicy: the congested tail resolves
@@ -201,28 +207,50 @@ func (s StaticThreshold) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 //
 //smb:hotpath
 func (LQD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
-	f := b.View()
-	lens := f.QueueLens()
-	free := b.Free()
-	for x := range ps {
-		p := ps[x]
-		if free > 0 {
-			b.Accept(p)
-			free--
-			continue
-		}
-		i := p.Port
-		ti, tk := f.LongestQueue()
-		winner := ti
-		if li := lens[i] + 1; li > tk || (li == tk && i > ti) {
-			winner = i
-		}
-		if winner != i {
-			b.PushOut(winner, p)
-		} else {
-			b.Drop(p)
-		}
-	}
+	pushOutBatch(b, ps, newLQDRule(b.View()))
+}
+
+// AdmitBatch implements core.BatchPolicy (LQD's kernel on the
+// total-work key).
+//
+//smb:hotpath
+func (LWD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newLWDRule(b.View()))
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (VLQD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newVLQDRule(b.View()))
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MVD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newMVDRule(b.View(), 1))
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MVD1) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newMVDRule(b.View(), 2))
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (MRD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newMRDRule(b.View()))
+}
+
+// AdmitBatch implements core.BatchPolicy.
+//
+//smb:hotpath
+func (TVD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
+	pushOutBatch(b, ps, newTVDRule(b.View()))
 }
 
 // AdmitBatch implements core.BatchPolicy.
@@ -246,7 +274,9 @@ func (BPD1) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
 // most), and a push-out only changes queues at or below j (the insert
 // port never exceeds the victim), so j is repaired by a downward scan
 // only when the victim's queue drops below the bar. The maintained j
-// always equals what biggestNonEmpty would recompute.
+// always equals what biggestNonEmpty would recompute — a cross-packet
+// invariant the per-packet victimRule shape cannot express, so this
+// kernel stays outside the generic family.
 //
 //smb:hotpath
 func bpdBatch(b *core.Batch, ps []pkt.Packet, minLen int) {
@@ -281,36 +311,6 @@ func bpdBatch(b *core.Batch, ps []pkt.Packet, minLen int) {
 	}
 }
 
-// AdmitBatch implements core.BatchPolicy (LQD's kernel on the
-// total-work key).
-//
-//smb:hotpath
-func (LWD) AdmitBatch(b *core.Batch, ps []pkt.Packet) {
-	f := b.View()
-	qworks := f.QueueTotalWorks()
-	works := f.PortWorks()
-	free := b.Free()
-	for x := range ps {
-		p := ps[x]
-		if free > 0 {
-			b.Accept(p)
-			free--
-			continue
-		}
-		i := p.Port
-		ti, tk := f.HeaviestQueue()
-		winner := ti
-		if wi := qworks[i] + works[i]; wi > tk || (wi == tk && i > ti) {
-			winner = i
-		}
-		if winner != i {
-			b.PushOut(winner, p)
-		} else {
-			b.Drop(p)
-		}
-	}
-}
-
 var (
 	_ core.BatchPolicy = Greedy{}
 	_ core.BatchPolicy = NHST{}
@@ -318,8 +318,14 @@ var (
 	_ core.BatchPolicy = NHDT{}
 	_ core.BatchPolicy = NHDTW{}
 	_ core.BatchPolicy = StaticThreshold{}
+	_ core.BatchPolicy = NHSTV{}
 	_ core.BatchPolicy = LQD{}
 	_ core.BatchPolicy = BPD{}
 	_ core.BatchPolicy = BPD1{}
 	_ core.BatchPolicy = LWD{}
+	_ core.BatchPolicy = VLQD{}
+	_ core.BatchPolicy = MVD{}
+	_ core.BatchPolicy = MVD1{}
+	_ core.BatchPolicy = MRD{}
+	_ core.BatchPolicy = TVD{}
 )

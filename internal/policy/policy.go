@@ -1,11 +1,18 @@
-// Package policy implements the buffer management policies of Section III
-// of the paper (heterogeneous processing requirements), plus the
-// model-agnostic length-based policies (Greedy, NEST, NHDT) that the
-// evaluation also runs in the value model.
+// Package policy implements the buffer management policies for all
+// three switch models on the unified engine: Section III of the paper
+// (heterogeneous processing requirements, roster ForProcessing),
+// Section IV (heterogeneous packet values, rosters ForValueUniform and
+// ForValueByPort), and the combined work×value model the unification
+// opens (roster ForCombined). Model-agnostic length-based policies
+// (Greedy, NEST, NHDT) are shared across every roster.
 //
 // Every policy is a pure core.Policy: it inspects the read-only switch
 // view and returns a decision; the engine executes it. Tie-breaking rules
-// follow the paper text and are documented per policy.
+// follow the paper text and are documented per policy. Victim orderings
+// and threshold predicates exist exactly once, as the rule structs the
+// generic kernels in kernel.go and the Admit FastView fast paths share;
+// each policy additionally keeps a plain-View scan as the executable
+// reference the differential suites replay.
 package policy
 
 import "smbm/internal/core"

@@ -17,6 +17,41 @@ type LQD struct{}
 // Name implements core.Policy.
 func (LQD) Name() string { return "LQD" }
 
+// lqdRule is LQD's victim ordering over the engine's incrementally
+// maintained argmax: fold in the virtual arrival analytically. With
+// real top (ti, tk) and p's queue at lens[i]+1: a strictly larger
+// virtual length wins outright; an equal one wins only on the index
+// tie-break; otherwise the real top stands (ti != i there, since
+// lens[i] == tk would put the virtual length above tk). This
+// reproduces LQD's reference scan exactly.
+type lqdRule struct {
+	f    core.FastView
+	lens []int
+}
+
+// newLQDRule hoists the live length slice once.
+func newLQDRule(f core.FastView) lqdRule { return lqdRule{f, f.QueueLens()} }
+
+// victim implements victimRule.
+//
+//smb:hotpath
+func (r lqdRule) victim(p pkt.Packet) int {
+	i := p.Port
+	ti, tk := r.f.LongestQueue()
+	winner := ti
+	if li := r.lens[i] + 1; li > tk || (li == tk && i > ti) {
+		winner = i
+	}
+	if winner != i {
+		return winner
+	}
+	return -1
+}
+
+// memo implements victimRule: a push-out alters the state, so memoized
+// drops would rarely survive, and the argmax query is O(1) anyway.
+func (lqdRule) memo() bool { return false }
+
 // Admit implements core.Policy.
 //
 //smb:hotpath
@@ -24,28 +59,13 @@ func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
-	i := p.Port
 	if f, ok := v.(core.FastView); ok {
-		// The engine maintains the real argmax (largest-index ties)
-		// incrementally; fold in the virtual arrival analytically. With
-		// real top (ti, tk) and p's queue at lens[i]+1: a strictly
-		// larger virtual length wins outright; an equal one wins only on
-		// the index tie-break; otherwise the real top stands (ti != i
-		// there, since lens[i] == tk would put the virtual length above
-		// tk). This reproduces the reference scan below exactly.
-		ti, tk := f.LongestQueue()
-		winner := ti
-		if li := f.QueueLens()[i] + 1; li > tk || (li == tk && i > ti) {
-			winner = i
-		}
-		if winner != i {
-			return core.PushOut(winner)
-		}
-		return core.Drop()
+		return victimDecision(newLQDRule(f).victim(p))
 	}
 	// Reference scan: the executable definition of the ordering, kept as
 	// the fallback for foreign View implementations and replayed by the
-	// differential tests against the FastView branch above.
+	// differential tests against the shared rule above.
+	i := p.Port
 	longest, longestLen := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		l := v.QueueLen(j)
@@ -147,6 +167,38 @@ type LWD struct{}
 // Name implements core.Policy.
 func (LWD) Name() string { return "LWD" }
 
+// lwdRule is lqdRule's mirror on the total-work key: the engine's real
+// argmax plus the analytic virtual add of w_i.
+type lwdRule struct {
+	f      core.FastView
+	qworks []int
+	works  []int
+}
+
+// newLWDRule hoists the live work slices once.
+func newLWDRule(f core.FastView) lwdRule {
+	return lwdRule{f, f.QueueTotalWorks(), f.PortWorks()}
+}
+
+// victim implements victimRule.
+//
+//smb:hotpath
+func (r lwdRule) victim(p pkt.Packet) int {
+	i := p.Port
+	ti, tk := r.f.HeaviestQueue()
+	winner := ti
+	if wi := r.qworks[i] + r.works[i]; wi > tk || (wi == tk && i > ti) {
+		winner = i
+	}
+	if winner != i {
+		return winner
+	}
+	return -1
+}
+
+// memo implements victimRule (see lqdRule.memo).
+func (lwdRule) memo() bool { return false }
+
 // Admit implements core.Policy.
 //
 //smb:hotpath
@@ -154,20 +206,10 @@ func (LWD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
-	i := p.Port
 	if f, ok := v.(core.FastView); ok {
-		// Mirror of LQD's fast path on the total-work key: the engine's
-		// real argmax plus the analytic virtual add of w_i.
-		ti, tk := f.HeaviestQueue()
-		winner := ti
-		if wi := f.QueueTotalWorks()[i] + f.PortWorks()[i]; wi > tk || (wi == tk && i > ti) {
-			winner = i
-		}
-		if winner != i {
-			return core.PushOut(winner)
-		}
-		return core.Drop()
+		return victimDecision(newLWDRule(f).victim(p))
 	}
+	i := p.Port
 	heaviest, heaviestWork := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		w := v.QueueWork(j)

@@ -1,4 +1,4 @@
-package valpolicy
+package policy
 
 import (
 	"smbm/internal/core"
@@ -23,6 +23,51 @@ type TVD struct{}
 // Name implements core.Policy.
 func (TVD) Name() string { return "TVD" }
 
+// tvdRule is TVD's victim ordering over the hoisted length, minimum
+// and sum lanes.
+type tvdRule struct {
+	lens, mins []int
+	sums       []int64
+}
+
+// newTVDRule hoists the live slices once.
+func newTVDRule(f core.FastView) tvdRule {
+	return tvdRule{f.QueueLens(), f.QueueMinValues(), f.QueueSums()}
+}
+
+// victim implements victimRule.
+//
+//smb:hotpath
+func (r tvdRule) victim(p pkt.Packet) int {
+	victim := -1
+	var bestSum int64
+	globalMin := 0
+	for j, l := range r.lens {
+		if l == 0 {
+			continue
+		}
+		if mv := r.mins[j]; globalMin == 0 || mv < globalMin {
+			globalMin = mv
+		}
+		if sum := r.sums[j]; victim == -1 || sum > bestSum {
+			victim, bestSum = j, sum
+		}
+	}
+	if victim != p.Port {
+		if globalMin <= p.Value {
+			return victim
+		}
+		return -1
+	}
+	if r.lens[p.Port] > 0 && r.mins[p.Port] < p.Value {
+		return p.Port
+	}
+	return -1
+}
+
+// memo implements victimRule (see vlqdRule.memo).
+func (tvdRule) memo() bool { return true }
+
 // Admit implements core.Policy.
 //
 //smb:hotpath
@@ -30,25 +75,12 @@ func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
+	if f, ok := v.(core.FastView); ok {
+		return victimDecision(newTVDRule(f).victim(p))
+	}
 	victim := -1
 	var bestSum int64
 	globalMin := 0
-	if f, ok := v.(core.FastView); ok {
-		if lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums(); mins != nil {
-			for j, l := range lens {
-				if l == 0 {
-					continue
-				}
-				if mv := mins[j]; globalMin == 0 || mv < globalMin {
-					globalMin = mv
-				}
-				if sum := sums[j]; victim == -1 || sum > bestSum {
-					victim, bestSum = j, sum
-				}
-			}
-			return tvdDecide(v, p, victim, globalMin)
-		}
-	}
 	for j := 0; j < v.Ports(); j++ {
 		if v.QueueLen(j) == 0 {
 			continue
@@ -64,8 +96,8 @@ func (TVD) Admit(v core.View, p pkt.Packet) core.Decision {
 	return tvdDecide(v, p, victim, globalMin)
 }
 
-// tvdDecide turns TVD's max-sum scan result into a decision; shared by
-// the FastView and plain-View scans, which must agree exactly.
+// tvdDecide turns TVD's max-sum scan result into a decision — the
+// plain-View reference twin of tvdRule.victim's closing case split.
 //
 //smb:hotpath
 func tvdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
@@ -83,7 +115,8 @@ func tvdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
 
 var _ core.Policy = TVD{}
 
-// Experimental returns value-model policies beyond the paper's roster.
-func Experimental() []core.Policy {
+// ValueExperimental returns value-model policies beyond the paper's
+// roster.
+func ValueExperimental() []core.Policy {
 	return []core.Policy{TVD{}}
 }

@@ -1,10 +1,16 @@
-package valpolicy
+package policy
 
 import (
 	"smbm/internal/core"
 	"smbm/internal/hmath"
 	"smbm/internal/pkt"
 )
+
+// This file holds the value-model policies of Section IV of the paper
+// (heterogeneous packet values, unit work, priority-queue output
+// queues; objective: total transmitted value). Length-based policies
+// that carry over unchanged from the processing model (Greedy, NEST,
+// NHDT) are shared with the processing roster above.
 
 // NHSTV is the value-model adaptation of the harmonic static thresholds
 // for the value≡port special case: high values get the large thresholds,
@@ -18,6 +24,34 @@ type NHSTV struct{}
 // Name implements core.Policy.
 func (NHSTV) Name() string { return "NHSTV" }
 
+// nhstvRule is NHSTV's admission predicate with H_k, the label ceiling
+// and the buffer bound hoisted.
+type nhstvRule struct {
+	lens []int
+	k    int
+	hk   float64
+	buf  float64
+}
+
+// newNHSTVRule hoists NHSTV's per-burst constants once.
+func newNHSTVRule(f core.FastView) nhstvRule {
+	k := f.MaxLabel()
+	return nhstvRule{f.QueueLens(), k, hmath.Harmonic(k), float64(f.Buffer())}
+}
+
+// admit implements thresholdRule:
+// |Q_i| < B/((k−v+1)·H_k)  ⇔  |Q_i|·(k−v+1)·H_k < B. O(1) per arrival
+// already: one length read plus a table-backed H_k lookup.
+//
+//smb:hotpath
+func (r nhstvRule) admit(p pkt.Packet) bool {
+	return float64(r.lens[p.Port])*float64(r.k-p.Value+1)*r.hk < r.buf
+}
+
+// memo implements thresholdRule: the predicate is O(1), cheaper than
+// the memo probe it would replace.
+func (nhstvRule) memo() bool { return false }
+
 // Admit implements core.Policy.
 //
 //smb:hotpath
@@ -25,9 +59,13 @@ func (NHSTV) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() == 0 {
 		return core.Drop()
 	}
+	if f, ok := v.(core.FastView); ok {
+		if newNHSTVRule(f).admit(p) {
+			return core.Accept()
+		}
+		return core.Drop()
+	}
 	k := v.MaxLabel()
-	// |Q_i| < B/((k−v+1)·H_k)  ⇔  |Q_i|·(k−v+1)·H_k < B. O(1) per
-	// arrival already: one length read plus a table-backed H_k lookup.
 	lhs := float64(v.QueueLen(p.Port)) * float64(k-p.Value+1) * hmath.Harmonic(k)
 	if lhs < float64(v.Buffer()) {
 		return core.Accept()
@@ -35,52 +73,72 @@ func (NHSTV) Admit(v core.View, p pkt.Packet) core.Decision {
 	return core.Drop()
 }
 
-// LQD is Longest-Queue-Drop in the value model: on congestion it drops
+// VLQD is Longest-Queue-Drop in the value model: on congestion it drops
 // the lowest-value packet of the longest queue (the arriving packet
 // counted virtually). When the arriving packet's own queue is the
 // longest, the arriving packet competes with the queue's minimum: it is
 // admitted in place of a strictly cheaper packet, otherwise dropped —
 // either way the lowest value of the longest queue is what goes.
-// Theorem 9: ≥ ∛k − o(∛k) competitive.
-type LQD struct{}
+// Theorem 9: ≥ ∛k − o(∛k) competitive. Its reported Name stays "LQD",
+// the paper's label; the Go identifier distinguishes it from the
+// processing model's tail-dropping LQD.
+type VLQD struct{}
 
 // Name implements core.Policy.
-func (LQD) Name() string { return "LQD" }
+func (VLQD) Name() string { return "LQD" }
+
+// vlqdRule is VLQD's victim ordering over the hoisted length and
+// minimum-value lanes.
+type vlqdRule struct {
+	lens, mins []int
+}
+
+// newVLQDRule hoists the live slices once.
+func newVLQDRule(f core.FastView) vlqdRule {
+	return vlqdRule{f.QueueLens(), f.QueueMinValues()}
+}
+
+// victim implements victimRule.
+//
+//smb:hotpath
+func (r vlqdRule) victim(p pkt.Packet) int {
+	i := p.Port
+	longest, longestLen := -1, -1
+	for j, l := range r.lens {
+		if j == i {
+			l++ // virtually add p
+		}
+		switch {
+		case l > longestLen:
+			longest, longestLen = j, l
+		case l == longestLen && r.mins[j] < r.mins[longest]:
+			longest = j
+		}
+	}
+	if longest != i {
+		return longest
+	}
+	if r.lens[i] > 0 && r.mins[i] < p.Value {
+		return i
+	}
+	return -1
+}
+
+// memo implements victimRule: the O(n) scan is worth collapsing when a
+// congested burst keeps offering the same (port, value).
+func (vlqdRule) memo() bool { return true }
 
 // Admit implements core.Policy.
 //
 //smb:hotpath
-func (LQD) Admit(v core.View, p pkt.Packet) core.Decision {
+func (VLQD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
-	i := p.Port
 	if f, ok := v.(core.FastView); ok {
-		if lens, mins := f.QueueLens(), f.QueueMinValues(); mins != nil {
-			// Same scan as the fallback below, over the engine's live
-			// slices: no per-queue interface dispatch or multiset
-			// queries on the congested-arrival hot path.
-			longest, longestLen := -1, -1
-			for j, l := range lens {
-				if j == i {
-					l++ // virtually add p
-				}
-				switch {
-				case l > longestLen:
-					longest, longestLen = j, l
-				case l == longestLen && mins[j] < mins[longest]:
-					longest = j
-				}
-			}
-			if longest != i {
-				return core.PushOut(longest)
-			}
-			if lens[i] > 0 && mins[i] < p.Value {
-				return core.PushOut(i)
-			}
-			return core.Drop()
-		}
+		return victimDecision(newVLQDRule(f).victim(p))
 	}
+	i := p.Port
 	longest, longestLen := -1, -1
 	for j := 0; j < v.Ports(); j++ {
 		l := v.QueueLen(j)
@@ -115,13 +173,6 @@ type MVD struct{}
 // Name implements core.Policy.
 func (MVD) Name() string { return "MVD" }
 
-// Admit implements core.Policy.
-//
-//smb:hotpath
-func (MVD) Admit(v core.View, p pkt.Packet) core.Decision {
-	return mvdAdmit(v, p, 1)
-}
-
 // MVD1 is the simulation-section variant of MVD that never pushes out the
 // last packet of a queue, so an active port is never silenced by a single
 // expensive arrival elsewhere.
@@ -129,6 +180,52 @@ type MVD1 struct{}
 
 // Name implements core.Policy.
 func (MVD1) Name() string { return "MVD1" }
+
+// mvdRule is MVD's victim ordering with a minimum victim-queue length
+// (1 for MVD, 2 for MVD1).
+type mvdRule struct {
+	lens, mins []int
+	minLen     int
+}
+
+// newMVDRule hoists the live slices once.
+func newMVDRule(f core.FastView, minLen int) mvdRule {
+	return mvdRule{f.QueueLens(), f.QueueMinValues(), minLen}
+}
+
+// victim implements victimRule.
+//
+//smb:hotpath
+func (r mvdRule) victim(p pkt.Packet) int {
+	victim, minVal := -1, 0
+	for j, l := range r.lens {
+		if l < r.minLen {
+			continue
+		}
+		mv := r.mins[j]
+		switch {
+		case victim == -1 || mv < minVal:
+			victim, minVal = j, mv
+		case mv == minVal && l > r.lens[victim]:
+			// Ties: the longest queue among those holding the minimum.
+			victim = j
+		}
+	}
+	if victim >= 0 && minVal < p.Value {
+		return victim
+	}
+	return -1
+}
+
+// memo implements victimRule (see vlqdRule.memo).
+func (mvdRule) memo() bool { return true }
+
+// Admit implements core.Policy.
+//
+//smb:hotpath
+func (MVD) Admit(v core.View, p pkt.Packet) core.Decision {
+	return mvdAdmit(v, p, 1)
+}
 
 // Admit implements core.Policy.
 //
@@ -146,25 +243,7 @@ func mvdAdmit(v core.View, p pkt.Packet, minLen int) core.Decision {
 		return core.Accept()
 	}
 	if f, ok := v.(core.FastView); ok {
-		if lens, mins := f.QueueLens(), f.QueueMinValues(); mins != nil {
-			victim, minVal := -1, 0
-			for j, l := range lens {
-				if l < minLen {
-					continue
-				}
-				mv := mins[j]
-				switch {
-				case victim == -1 || mv < minVal:
-					victim, minVal = j, mv
-				case mv == minVal && l > lens[victim]:
-					victim = j
-				}
-			}
-			if victim >= 0 && minVal < p.Value {
-				return core.PushOut(victim)
-			}
-			return core.Drop()
-		}
+		return victimDecision(newMVDRule(f, minLen).victim(p))
 	}
 	victim, minVal := -1, 0
 	for j := 0; j < v.Ports(); j++ {
@@ -207,6 +286,63 @@ type MRD struct{}
 // Name implements core.Policy.
 func (MRD) Name() string { return "MRD" }
 
+// mrdRule is MRD's victim ordering over the hoisted length, minimum
+// and sum lanes.
+type mrdRule struct {
+	lens, mins []int
+	sums       []int64
+}
+
+// newMRDRule hoists the live slices once.
+func newMRDRule(f core.FastView) mrdRule {
+	return mrdRule{f.QueueLens(), f.QueueMinValues(), f.QueueSums()}
+}
+
+// victim implements victimRule:
+// |Q_j|/a_j = |Q_j|²/sum_j; compare fractions by cross-multiplying
+// in int64 (|Q| ≤ B, sums ≤ B·k keep this far from overflow).
+//
+//smb:hotpath
+func (r mrdRule) victim(p pkt.Packet) int {
+	victim := -1
+	var bestNum, bestDen int64
+	globalMin := 0
+	for j := range r.lens {
+		l, sum := int64(r.lens[j]), r.sums[j]
+		if j == p.Port {
+			l++ // virtually add p
+			sum += int64(p.Value)
+		}
+		if l == 0 {
+			continue
+		}
+		mv := r.mins[j] // 0 on an empty queue: only possible for j == p.Port
+		if mv > 0 && (globalMin == 0 || mv < globalMin) {
+			globalMin = mv
+		}
+		num, den := l*l, sum
+		switch {
+		case victim == -1 || num*bestDen > bestNum*den:
+			victim, bestNum, bestDen = j, num, den
+		case num*bestDen == bestNum*den && minOrInfSlices(r.lens, r.mins, j) < minOrInfSlices(r.lens, r.mins, victim):
+			victim, bestNum, bestDen = j, num, den
+		}
+	}
+	if victim != p.Port {
+		if globalMin <= p.Value {
+			return victim
+		}
+		return -1
+	}
+	if r.lens[p.Port] > 0 && r.mins[p.Port] < p.Value {
+		return p.Port
+	}
+	return -1
+}
+
+// memo implements victimRule (see vlqdRule.memo).
+func (mrdRule) memo() bool { return true }
+
 // Admit implements core.Policy.
 //
 //smb:hotpath
@@ -214,37 +350,12 @@ func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 	if v.Free() > 0 {
 		return core.Accept()
 	}
-	// |Q_j|/a_j = |Q_j|²/sum_j; compare fractions by cross-multiplying
-	// in int64 (|Q| ≤ B, sums ≤ B·k keep this far from overflow).
+	if f, ok := v.(core.FastView); ok {
+		return victimDecision(newMRDRule(f).victim(p))
+	}
 	victim := -1
 	var bestNum, bestDen int64
 	globalMin := 0
-	if f, ok := v.(core.FastView); ok {
-		if lens, mins, sums := f.QueueLens(), f.QueueMinValues(), f.QueueSums(); mins != nil {
-			for j := range lens {
-				l, sum := int64(lens[j]), sums[j]
-				if j == p.Port {
-					l++ // virtually add p
-					sum += int64(p.Value)
-				}
-				if l == 0 {
-					continue
-				}
-				mv := mins[j] // 0 on an empty queue: only possible for j == p.Port
-				if mv > 0 && (globalMin == 0 || mv < globalMin) {
-					globalMin = mv
-				}
-				num, den := l*l, sum
-				switch {
-				case victim == -1 || num*bestDen > bestNum*den:
-					victim, bestNum, bestDen = j, num, den
-				case num*bestDen == bestNum*den && minOrInfSlices(lens, mins, j) < minOrInfSlices(lens, mins, victim):
-					victim, bestNum, bestDen = j, num, den
-				}
-			}
-			return mrdDecide(v, p, victim, globalMin)
-		}
-	}
 	for j := 0; j < v.Ports(); j++ {
 		l, sum := int64(v.QueueLen(j)), v.QueueValueSum(j)
 		if j == p.Port {
@@ -269,8 +380,8 @@ func (MRD) Admit(v core.View, p pkt.Packet) core.Decision {
 	return mrdDecide(v, p, victim, globalMin)
 }
 
-// mrdDecide turns MRD's max-ratio scan result into a decision; shared by
-// the FastView and plain-View scans, which must agree exactly.
+// mrdDecide turns MRD's max-ratio scan result into a decision — the
+// plain-View reference twin of mrdRule.victim's closing case split.
 //
 //smb:hotpath
 func mrdDecide(v core.View, p pkt.Packet, victim, globalMin int) core.Decision {
@@ -307,9 +418,49 @@ func minOrInfSlices(lens, mins []int, j int) int {
 	return mins[j]
 }
 
+// ForValueUniform returns the roster of Fig. 5 panels 4–6: the value
+// model with both output port and value chosen uniformly at random.
+func ForValueUniform() []core.Policy {
+	return []core.Policy{
+		Greedy{},
+		NEST{},
+		NHDT{},
+		VLQD{},
+		MVD{},
+		MVD1{},
+		MRD{},
+	}
+}
+
+// ForValueByPort returns the roster of Fig. 5 panels 7–9: the special
+// case where a packet's value is uniquely determined by its output port,
+// which adds the reversed-threshold NHSTV.
+func ForValueByPort() []core.Policy {
+	return []core.Policy{
+		Greedy{},
+		NHSTV{},
+		NEST{},
+		NHDT{},
+		VLQD{},
+		MVD{},
+		MVD1{},
+		MRD{},
+	}
+}
+
+// ValueByName returns the value-model policy with the given Name, or nil.
+func ValueByName(name string) core.Policy {
+	for _, p := range ForValueByPort() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}
+
 var (
 	_ core.Policy = NHSTV{}
-	_ core.Policy = LQD{}
+	_ core.Policy = VLQD{}
 	_ core.Policy = MVD{}
 	_ core.Policy = MVD1{}
 	_ core.Policy = MRD{}

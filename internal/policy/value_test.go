@@ -1,4 +1,4 @@
-package valpolicy
+package policy
 
 import (
 	"math/rand"
@@ -7,7 +7,6 @@ import (
 
 	"smbm/internal/core"
 	"smbm/internal/pkt"
-	"smbm/internal/policy"
 )
 
 // valCfg is a 4-port value-model switch with values up to 8.
@@ -21,14 +20,14 @@ func valCfg(buffer int) core.Config {
 	}
 }
 
-// fill builds a switch holding the given per-port value multisets.
-func fill(t *testing.T, cfg core.Config, queues [][]int) *core.Switch {
+// fillValues builds a switch holding the given per-port value multisets.
+func fillValues(t *testing.T, cfg core.Config, queues [][]int) *core.Switch {
 	t.Helper()
-	sw := core.MustNew(cfg, policy.Greedy{})
+	sw := core.MustNew(cfg, Greedy{})
 	for port, vals := range queues {
 		for _, v := range vals {
 			if err := sw.Arrive(pkt.NewValue(port, v)); err != nil {
-				t.Fatalf("fill: %v", err)
+				t.Fatalf("fillValues: %v", err)
 			}
 		}
 	}
@@ -37,38 +36,38 @@ func fill(t *testing.T, cfg core.Config, queues [][]int) *core.Switch {
 
 func TestLQDValueModel(t *testing.T) {
 	t.Run("accepts with free space", func(t *testing.T) {
-		sw := fill(t, valCfg(8), [][]int{{1}, {2}, nil, nil})
-		if d := (LQD{}).Admit(sw, pkt.NewValue(2, 5)); !d.Accept || d.Push {
+		sw := fillValues(t, valCfg(8), [][]int{{1}, {2}, nil, nil})
+		if d := (VLQD{}).Admit(sw, pkt.NewValue(2, 5)); !d.Accept || d.Push {
 			t.Errorf("got %+v", d)
 		}
 	})
 
 	t.Run("evicts from the longest queue", func(t *testing.T) {
-		sw := fill(t, valCfg(6), [][]int{{5, 5, 5, 5}, {3}, {2}, nil})
-		d := (LQD{}).Admit(sw, pkt.NewValue(3, 1))
+		sw := fillValues(t, valCfg(6), [][]int{{5, 5, 5, 5}, {3}, {2}, nil})
+		d := (VLQD{}).Admit(sw, pkt.NewValue(3, 1))
 		if !d.Push || d.Victim != 0 {
 			t.Errorf("got %+v, want push-out from 0", d)
 		}
 	})
 
 	t.Run("own longest queue: arrival beats cheaper minimum", func(t *testing.T) {
-		sw := fill(t, valCfg(4), [][]int{{2, 5, 7}, {4}, nil, nil})
-		d := (LQD{}).Admit(sw, pkt.NewValue(0, 6))
+		sw := fillValues(t, valCfg(4), [][]int{{2, 5, 7}, {4}, nil, nil})
+		d := (VLQD{}).Admit(sw, pkt.NewValue(0, 6))
 		if !d.Push || d.Victim != 0 {
 			t.Errorf("got %+v, want push-out of own minimum", d)
 		}
 	})
 
 	t.Run("own longest queue: cheap arrival dropped", func(t *testing.T) {
-		sw := fill(t, valCfg(4), [][]int{{2, 5, 7}, {4}, nil, nil})
-		if d := (LQD{}).Admit(sw, pkt.NewValue(0, 2)); d.Accept {
+		sw := fillValues(t, valCfg(4), [][]int{{2, 5, 7}, {4}, nil, nil})
+		if d := (VLQD{}).Admit(sw, pkt.NewValue(0, 2)); d.Accept {
 			t.Errorf("got %+v, want drop (arrival == current min)", d)
 		}
 	})
 
 	t.Run("length ties prefer the cheaper minimum", func(t *testing.T) {
-		sw := fill(t, valCfg(4), [][]int{{8, 8}, {1, 7}, nil, nil})
-		d := (LQD{}).Admit(sw, pkt.NewValue(2, 5))
+		sw := fillValues(t, valCfg(4), [][]int{{8, 8}, {1, 7}, nil, nil})
+		d := (VLQD{}).Admit(sw, pkt.NewValue(2, 5))
 		if !d.Push || d.Victim != 1 {
 			t.Errorf("got %+v, want push-out from 1 (holds the 1)", d)
 		}
@@ -77,7 +76,7 @@ func TestLQDValueModel(t *testing.T) {
 
 func TestMVD(t *testing.T) {
 	t.Run("pushes out the global minimum", func(t *testing.T) {
-		sw := fill(t, valCfg(4), [][]int{{5}, {2, 6}, {7}, nil})
+		sw := fillValues(t, valCfg(4), [][]int{{5}, {2, 6}, {7}, nil})
 		d := (MVD{}).Admit(sw, pkt.NewValue(3, 3))
 		if !d.Push || d.Victim != 1 {
 			t.Errorf("got %+v, want push-out from 1 (min value 2)", d)
@@ -85,14 +84,14 @@ func TestMVD(t *testing.T) {
 	})
 
 	t.Run("drops arrivals not above the minimum", func(t *testing.T) {
-		sw := fill(t, valCfg(4), [][]int{{5}, {2, 6}, {7}, nil})
+		sw := fillValues(t, valCfg(4), [][]int{{5}, {2, 6}, {7}, nil})
 		if d := (MVD{}).Admit(sw, pkt.NewValue(3, 2)); d.Accept {
 			t.Errorf("got %+v, want drop (arrival equals min)", d)
 		}
 	})
 
 	t.Run("min ties go to the longest queue", func(t *testing.T) {
-		sw := fill(t, valCfg(6), [][]int{{2}, {2, 3, 4}, {8, 8}, nil})
+		sw := fillValues(t, valCfg(6), [][]int{{2}, {2, 3, 4}, {8, 8}, nil})
 		d := (MVD{}).Admit(sw, pkt.NewValue(3, 5))
 		if !d.Push || d.Victim != 1 {
 			t.Errorf("got %+v, want push-out from 1 (longer of the tied)", d)
@@ -103,7 +102,7 @@ func TestMVD(t *testing.T) {
 func TestMVD1KeepsLastPacket(t *testing.T) {
 	// The global minimum (value 1) is alone in queue 0; MVD evicts it,
 	// MVD1 goes for the cheapest among queues holding >= 2.
-	sw := fill(t, valCfg(5), [][]int{{1}, {3, 6}, {4, 7}, nil})
+	sw := fillValues(t, valCfg(5), [][]int{{1}, {3, 6}, {4, 7}, nil})
 	if d := (MVD{}).Admit(sw, pkt.NewValue(3, 8)); !d.Push || d.Victim != 0 {
 		t.Errorf("MVD got %+v, want push-out from 0", d)
 	}
@@ -111,7 +110,7 @@ func TestMVD1KeepsLastPacket(t *testing.T) {
 		t.Errorf("MVD1 got %+v, want push-out from 1", d)
 	}
 	// Only singleton queues: MVD1 drops.
-	sw = fill(t, valCfg(4), [][]int{{1}, {2}, {3}, {4}})
+	sw = fillValues(t, valCfg(4), [][]int{{1}, {2}, {3}, {4}})
 	if d := (MVD1{}).Admit(sw, pkt.NewValue(0, 8)); d.Accept {
 		t.Errorf("MVD1 with singleton queues got %+v, want drop", d)
 	}
@@ -120,7 +119,7 @@ func TestMVD1KeepsLastPacket(t *testing.T) {
 func TestMRD(t *testing.T) {
 	t.Run("pushes out the max length/avg ratio", func(t *testing.T) {
 		// q0: len 3, avg 2 -> ratio 1.5; q1: len 2, avg 8 -> 0.25.
-		sw := fill(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
+		sw := fillValues(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
 		d := (MRD{}).Admit(sw, pkt.NewValue(2, 5))
 		if !d.Push || d.Victim != 0 {
 			t.Errorf("got %+v, want push-out from 0", d)
@@ -128,14 +127,14 @@ func TestMRD(t *testing.T) {
 	})
 
 	t.Run("drops arrivals below the global minimum", func(t *testing.T) {
-		sw := fill(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
+		sw := fillValues(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
 		if d := (MRD{}).Admit(sw, pkt.NewValue(2, 1)); d.Accept {
 			t.Errorf("got %+v, want drop (arrival below global min)", d)
 		}
 	})
 
 	t.Run("equal minimum pushes (LQD emulation)", func(t *testing.T) {
-		sw := fill(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
+		sw := fillValues(t, valCfg(5), [][]int{{2, 2, 2}, {8, 8}, nil, nil})
 		d := (MRD{}).Admit(sw, pkt.NewValue(2, 2))
 		if !d.Push || d.Victim != 0 {
 			t.Errorf("got %+v, want push-out from 0", d)
@@ -145,7 +144,7 @@ func TestMRD(t *testing.T) {
 	t.Run("own max-ratio queue needs a strict improvement", func(t *testing.T) {
 		// Queue 0 is the (virtual) max ratio; an arrival matching its
 		// minimum is dropped, a better one displaces the minimum.
-		sw := fill(t, valCfg(5), [][]int{{2, 2, 2, 2}, {8}, nil, nil})
+		sw := fillValues(t, valCfg(5), [][]int{{2, 2, 2, 2}, {8}, nil, nil})
 		if d := (MRD{}).Admit(sw, pkt.NewValue(0, 2)); d.Accept {
 			t.Errorf("got %+v, want drop", d)
 		}
@@ -159,7 +158,7 @@ func TestMRD(t *testing.T) {
 		// q0: len 3 avg 5 -> 0.6; q1: len 1 value 1 -> ratio 1.
 		// Global min 1 < arrival 4 allows the push, but the victim is
 		// q1 (max ratio), exactly as the paper specifies.
-		sw := fill(t, valCfg(4), [][]int{{5, 5, 5}, {1}, nil, nil})
+		sw := fillValues(t, valCfg(4), [][]int{{5, 5, 5}, {1}, nil, nil})
 		d := (MRD{}).Admit(sw, pkt.NewValue(2, 4))
 		if !d.Push || d.Victim != 1 {
 			t.Errorf("got %+v, want push-out from 1", d)
@@ -168,7 +167,7 @@ func TestMRD(t *testing.T) {
 
 	t.Run("ratio ties prefer the smaller minimum", func(t *testing.T) {
 		// Both queues: len 2, sum 8 -> equal ratios; q1 holds the 3.
-		sw := fill(t, valCfg(4), [][]int{{4, 4}, {3, 5}, nil, nil})
+		sw := fillValues(t, valCfg(4), [][]int{{4, 4}, {3, 5}, nil, nil})
 		d := (MRD{}).Admit(sw, pkt.NewValue(2, 7))
 		if !d.Push || d.Victim != 1 {
 			t.Errorf("got %+v, want push-out from 1", d)
@@ -190,10 +189,10 @@ func TestMRD(t *testing.T) {
 					queues[q] = append(queues[q], 1)
 				}
 			}
-			sw := fill(t, cfg, queues)
+			sw := fillValues(t, cfg, queues)
 			p := pkt.NewValue(rng.Intn(3), 1)
 			dm := (MRD{}).Admit(sw, p)
-			dl := (LQD{}).Admit(sw, p)
+			dl := (VLQD{}).Admit(sw, p)
 			// The paper: "MRD emulates LQD in case all packets have
 			// unit values" — identical decisions, victim included.
 			if dm != dl {
@@ -214,7 +213,7 @@ func TestNHSTV(t *testing.T) {
 				queues[q] = append(queues[q], q+1)
 			}
 		}
-		return fill(t, cfg, queues)
+		return fillValues(t, cfg, queues)
 	}
 	sw := mk([]int{0, 0, 0, 0, 0, 0, 0, 11})
 	if d := (NHSTV{}).Admit(sw, pkt.NewValue(7, 8)); !d.Accept {
@@ -234,20 +233,34 @@ func TestNHSTV(t *testing.T) {
 	}
 }
 
-func TestRegistries(t *testing.T) {
-	if got := len(ForUniform()); got != 7 {
-		t.Errorf("ForUniform: %d policies, want 7", got)
+func TestValueRegistries(t *testing.T) {
+	if got := len(ForValueUniform()); got != 7 {
+		t.Errorf("ForValueUniform: %d policies, want 7", got)
 	}
 	if got := len(ForValueByPort()); got != 8 {
 		t.Errorf("ForValueByPort: %d policies, want 8", got)
 	}
 	for _, p := range ForValueByPort() {
-		if got := ByName(p.Name()); got == nil {
-			t.Errorf("ByName(%q) = nil", p.Name())
+		if got := ValueByName(p.Name()); got == nil {
+			t.Errorf("ValueByName(%q) = nil", p.Name())
 		}
 	}
-	if ByName("bogus") != nil {
-		t.Error("ByName(bogus) != nil")
+	if ValueByName("bogus") != nil {
+		t.Error("ValueByName(bogus) != nil")
+	}
+}
+
+func TestCombinedRegistry(t *testing.T) {
+	if got := len(ForCombined()); got != 7 {
+		t.Errorf("ForCombined: %d policies, want 7", got)
+	}
+	for _, p := range ForCombined() {
+		if got := CombinedByName(p.Name()); got == nil {
+			t.Errorf("CombinedByName(%q) = nil", p.Name())
+		}
+	}
+	if CombinedByName("bogus") != nil {
+		t.Error("CombinedByName(bogus) != nil")
 	}
 }
 
@@ -285,7 +298,7 @@ func TestQuickMVDMaximizesBufferedValue(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		mvd := core.MustNew(valCfg(5), MVD{})
-		lqd := core.MustNew(valCfg(5), LQD{})
+		lqd := core.MustNew(valCfg(5), VLQD{})
 		for i := 0; i < 40; i++ {
 			p := pkt.NewValue(rng.Intn(4), 1+rng.Intn(8))
 			if err := mvd.Arrive(p); err != nil {
@@ -305,10 +318,4 @@ func TestQuickMVDMaximizesBufferedValue(t *testing.T) {
 	if err := quick.Check(f, qcfg(100)); err != nil {
 		t.Error(err)
 	}
-}
-
-// qcfg returns a deterministic quick.Config so property tests are
-// reproducible run to run.
-func qcfg(n int) *quick.Config {
-	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(7))}
 }

@@ -348,8 +348,8 @@ ablations DESIGN.md calls out:
   (TestAblationTVDVsMRD) executes the paper's "total value per queue is a
   poor choice" argument; the NHDTW probe (TestNHDTWOnTheorem3Construction)
   records a negative result on the paper's NHDT-generalization question.
-- ` + "`internal/policy` / `internal/valpolicy`" + `: per-packet Admit cost of
-  every policy on a full 64-port switch.
+- ` + "`internal/policy`" + `: per-packet Admit cost of every policy in
+  every model on a full 64-port switch.
 
 See bench_output.txt for a recorded run.
 `

@@ -5,7 +5,6 @@ import (
 
 	"smbm/internal/core"
 	"smbm/internal/policy"
-	"smbm/internal/valpolicy"
 )
 
 // exhaustiveCfg is the fully enumerable micro-instance space: two ports
@@ -86,7 +85,7 @@ func TestExhaustiveValueModel(t *testing.T) {
 		Slots:    3,
 		MaxBurst: 2,
 	}
-	w, err := Exhaustive(spec, valpolicy.MRD{})
+	w, err := Exhaustive(spec, policy.MRD{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,6 @@ import (
 
 	"smbm/internal/core"
 	"smbm/internal/policy"
-	"smbm/internal/valpolicy"
 )
 
 func procSpec(p core.Policy) Spec {
@@ -130,7 +129,7 @@ func TestHuntFindsLQDWorseThanLWD(t *testing.T) {
 // On the searchable instance space MRD must stay below a small constant;
 // the found worst case is logged as the library's running record.
 func TestHuntMRDConjecture(t *testing.T) {
-	w, err := Run(valSpec(valpolicy.MRD{}))
+	w, err := Run(valSpec(policy.MRD{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -25,7 +25,6 @@ import (
 	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // perPacketSwitch drives a core.Switch through the per-packet reference
@@ -145,7 +144,7 @@ func TestBatchDifferentialProcessing(t *testing.T) {
 // per-packet arrivals, nominal and under a dense fault mix.
 func TestBatchDifferentialValue(t *testing.T) {
 	t.Run("uniform", func(t *testing.T) {
-		pols := append(valpolicy.ForUniform(), valpolicy.Experimental()...)
+		pols := append(policy.ForValueUniform(), policy.ValueExperimental()...)
 		for _, seed := range []int64{1, 2, 3} {
 			cfg, tr := valSetup(t, seed, 300)
 			for _, p := range pols {
@@ -170,7 +169,7 @@ func TestBatchDifferentialValue(t *testing.T) {
 				PortAffinity: true,
 				Seed:         seed,
 			}, 300)
-			for _, p := range valpolicy.ForValueByPort() {
+			for _, p := range policy.ForValueByPort() {
 				p := p
 				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
 					batchDiffRun(t, cfg, p, tr, faults.Spec{}, seed)
@@ -181,10 +180,38 @@ func TestBatchDifferentialValue(t *testing.T) {
 	t.Run("faulted", func(t *testing.T) {
 		const slots = 400
 		spec := denseFaults(slots)
-		pols := append(valpolicy.ForUniform(), valpolicy.Experimental()...)
+		pols := append(policy.ForValueUniform(), policy.ValueExperimental()...)
 		for _, seed := range []int64{11, 12} {
 			cfg, tr := valSetup(t, seed, slots)
 			for _, p := range pols {
+				p := p
+				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
+					batchDiffRun(t, cfg, p, tr, spec, seed)
+				})
+			}
+		}
+	})
+}
+
+// TestBatchDifferentialCombined drives the combined work×value roster
+// through batched vs per-packet arrivals, nominal and under a dense
+// fault mix.
+func TestBatchDifferentialCombined(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		cfg, tr := combSetup(t, seed, 300)
+		for _, p := range policy.ForCombined() {
+			p := p
+			t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
+				batchDiffRun(t, cfg, p, tr, faults.Spec{}, seed)
+			})
+		}
+	}
+	t.Run("faulted", func(t *testing.T) {
+		const slots = 400
+		spec := denseFaults(slots)
+		for _, seed := range []int64{11, 12} {
+			cfg, tr := combSetup(t, seed, slots)
+			for _, p := range policy.ForCombined() {
 				p := p
 				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
 					batchDiffRun(t, cfg, p, tr, spec, seed)

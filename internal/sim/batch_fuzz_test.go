@@ -6,7 +6,6 @@ import (
 	"smbm/internal/core"
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
-	"smbm/internal/valpolicy"
 )
 
 // FuzzArriveBatchDifferential fuzzes the batched-vs-per-packet
@@ -16,23 +15,35 @@ import (
 // (policy kernels active) and one via the per-packet Arrive reference,
 // both with invariant checking on. Stats must agree after every slot
 // and per-port counters at the end. The roster byte picks the policy,
-// covering every processing- and value-model kernel.
+// covering every processing-, value- and combined-model kernel
+// (combined takes precedence over valueModel when both bools are set).
 func FuzzArriveBatchDifferential(f *testing.F) {
-	f.Add(uint8(0), []byte{1, 2, 3, 0x84, 5, 6, 0x81}, false)
-	f.Add(uint8(4), []byte{9, 9, 9, 9, 0x89, 9, 9, 0x80}, false)
-	f.Add(uint8(3), []byte{7, 1, 0xff, 2, 2, 2, 0x82}, true)
-	f.Add(uint8(6), []byte{0x80, 0x80, 13, 21, 34, 0x85}, true)
-	f.Fuzz(func(t *testing.T, polIdx uint8, stream []byte, valueModel bool) {
+	f.Add(uint8(0), []byte{1, 2, 3, 0x84, 5, 6, 0x81}, false, false)
+	f.Add(uint8(4), []byte{9, 9, 9, 9, 0x89, 9, 9, 0x80}, false, false)
+	f.Add(uint8(3), []byte{7, 1, 0xff, 2, 2, 2, 0x82}, true, false)
+	f.Add(uint8(6), []byte{0x80, 0x80, 13, 21, 34, 0x85}, true, false)
+	f.Add(uint8(5), []byte{3, 1, 4, 0x81, 5, 9, 2, 0x86}, false, true)
+	f.Add(uint8(6), []byte{0x8f, 7, 7, 7, 0x80, 1, 0x82}, true, true)
+	f.Fuzz(func(t *testing.T, polIdx uint8, stream []byte, valueModel, combined bool) {
 		var pol core.Policy
 		var cfg core.Config
-		if valueModel {
-			pols := append(valpolicy.ForUniform(), valpolicy.NHSTV{}, valpolicy.TVD{})
+		switch {
+		case combined:
+			pols := policy.ForCombined()
+			pol = pols[int(polIdx)%len(pols)]
+			cfg = core.Config{
+				Model: core.ModelCombined, Ports: 3, Buffer: 5,
+				MaxLabel: 4, Speedup: 2, PortWork: []int{1, 2, 3},
+				CheckInvariants: true,
+			}
+		case valueModel:
+			pols := append(policy.ForValueUniform(), policy.NHSTV{}, policy.TVD{})
 			pol = pols[int(polIdx)%len(pols)]
 			cfg = core.Config{
 				Model: core.ModelValue, Ports: 3, Buffer: 5,
 				MaxLabel: 4, Speedup: 1, CheckInvariants: true,
 			}
-		} else {
+		default:
 			pols := append(policy.ForProcessing(),
 				policy.NHDTW{}, policy.StaticThreshold{T: []int{3, 2, 1}})
 			pol = pols[int(polIdx)%len(pols)]
@@ -59,9 +70,12 @@ func FuzzArriveBatchDifferential(f *testing.F) {
 		}
 		for _, b := range stream {
 			port := int(b) % cfg.Ports
-			if valueModel {
+			switch {
+			case combined:
+				burst = append(burst, pkt.NewWorkValue(port, cfg.PortWork[port], 1+int(b>>2)%cfg.MaxLabel))
+			case valueModel:
 				burst = append(burst, pkt.NewValue(port, 1+int(b>>2)%cfg.MaxLabel))
-			} else {
+			default:
 				burst = append(burst, pkt.NewWork(port, cfg.PortWork[port]))
 			}
 			if b&0x80 != 0 {

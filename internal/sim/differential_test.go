@@ -32,7 +32,6 @@ import (
 	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // refSwitch is an old-style reference implementation of the switch
@@ -48,11 +47,15 @@ type refSwitch struct {
 	occ  int
 	slot int64
 
-	// Processing model: queues[i] holds the arrival slot of each
-	// buffered packet in FIFO order; holRes[i] is the head-of-line
-	// residual.
+	// FIFO disciplines (processing and combined models): queues[i]
+	// holds the arrival slot of each buffered packet in FIFO order;
+	// holRes[i] is the head-of-line residual.
 	queues [][]int64
 	holRes []int
+
+	// Combined model: qvals[i] mirrors queues[i] with each packet's
+	// intrinsic value, in the same FIFO order.
+	qvals [][]int
 
 	// Value model: vals[i] is the unordered multiset of buffered values.
 	vals [][]int
@@ -87,11 +90,14 @@ func newRefSwitch(t *testing.T, cfg core.Config, p core.Policy) *refSwitch {
 		works:   works,
 		perPort: make([]core.PortCounters, cfg.Ports),
 	}
-	if cfg.Model == core.ModelProcessing {
+	if cfg.Model == core.ModelValue {
+		r.vals = make([][]int, cfg.Ports)
+	} else {
 		r.queues = make([][]int64, cfg.Ports)
 		r.holRes = make([]int, cfg.Ports)
-	} else {
-		r.vals = make([][]int, cfg.Ports)
+		if cfg.Model == core.ModelCombined {
+			r.qvals = make([][]int, cfg.Ports)
+		}
 	}
 	return r
 }
@@ -118,10 +124,10 @@ func (r *refSwitch) Free() int {
 }
 
 func (r *refSwitch) QueueLen(i int) int {
-	if r.cfg.Model == core.ModelProcessing {
-		return len(r.queues[i])
+	if r.cfg.Model == core.ModelValue {
+		return len(r.vals[i])
 	}
-	return len(r.vals[i])
+	return len(r.queues[i])
 }
 
 func (r *refSwitch) PortWork(i int) int { return r.works[i] }
@@ -136,6 +142,13 @@ func (r *refSwitch) QueueWork(i int) int {
 	return (len(r.queues[i])-1)*r.works[i] + r.holRes[i]
 }
 
+func (r *refSwitch) buffered(i int) []int {
+	if r.cfg.Model == core.ModelCombined {
+		return r.qvals[i]
+	}
+	return r.vals[i]
+}
+
 func (r *refSwitch) QueueMinValue(i int) int {
 	if r.cfg.Model == core.ModelProcessing {
 		if len(r.queues[i]) == 0 {
@@ -143,11 +156,12 @@ func (r *refSwitch) QueueMinValue(i int) int {
 		}
 		return 1
 	}
-	if len(r.vals[i]) == 0 {
+	vs := r.buffered(i)
+	if len(vs) == 0 {
 		return 0
 	}
-	m := r.vals[i][0]
-	for _, v := range r.vals[i][1:] {
+	m := vs[0]
+	for _, v := range vs[1:] {
 		if v < m {
 			m = v
 		}
@@ -162,11 +176,12 @@ func (r *refSwitch) QueueMaxValue(i int) int {
 		}
 		return 1
 	}
-	if len(r.vals[i]) == 0 {
+	vs := r.buffered(i)
+	if len(vs) == 0 {
 		return 0
 	}
-	m := r.vals[i][0]
-	for _, v := range r.vals[i][1:] {
+	m := vs[0]
+	for _, v := range vs[1:] {
 		if v > m {
 			m = v
 		}
@@ -179,7 +194,7 @@ func (r *refSwitch) QueueValueSum(i int) int64 {
 		return int64(len(r.queues[i]))
 	}
 	var s int64
-	for _, v := range r.vals[i] {
+	for _, v := range r.buffered(i) {
 		s += int64(v)
 	}
 	return s
@@ -231,7 +246,7 @@ func (r *refSwitch) arrive(p pkt.Packet) error {
 	if err := p.Validate(r.cfg.Ports, r.cfg.MaxLabel); err != nil {
 		return err
 	}
-	if r.cfg.Model == core.ModelProcessing && p.Work != r.works[p.Port] {
+	if r.cfg.Model != core.ModelValue && p.Work != r.works[p.Port] {
 		return fmt.Errorf("ref: packet work %d does not match port %d configuration %d", p.Work, p.Port, r.works[p.Port])
 	}
 	r.stats.Arrived++
@@ -256,13 +271,16 @@ func (r *refSwitch) arrive(p pkt.Packet) error {
 	}
 	// insert
 	i := p.Port
-	if r.cfg.Model == core.ModelProcessing {
+	if r.cfg.Model == core.ModelValue {
+		r.vals[i] = append(r.vals[i], p.Value)
+	} else {
 		r.queues[i] = append(r.queues[i], r.slot)
 		if len(r.queues[i]) == 1 {
 			r.holRes[i] = r.works[i]
 		}
-	} else {
-		r.vals[i] = append(r.vals[i], p.Value)
+		if r.cfg.Model == core.ModelCombined {
+			r.qvals[i] = append(r.qvals[i], p.Value)
+		}
 	}
 	r.occ++
 	r.stats.Accepted++
@@ -280,11 +298,14 @@ func (r *refSwitch) evict(victim int) error {
 	if r.QueueLen(victim) == 0 {
 		return fmt.Errorf("push-out from empty queue %d", victim)
 	}
-	if r.cfg.Model == core.ModelProcessing {
+	if r.cfg.Model != core.ModelValue {
 		q := r.queues[victim]
 		r.queues[victim] = q[:len(q)-1]
 		if len(r.queues[victim]) == 0 {
 			r.holRes[victim] = 0
+		}
+		if r.cfg.Model == core.ModelCombined {
+			r.qvals[victim] = r.qvals[victim][:len(r.qvals[victim])-1]
 		}
 	} else {
 		// Remove one instance of the minimum value: the multiset
@@ -305,7 +326,7 @@ func (r *refSwitch) evict(victim int) error {
 }
 
 func (r *refSwitch) transmit() {
-	if r.cfg.Model == core.ModelProcessing {
+	if r.cfg.Model != core.ModelValue {
 		for i := 0; i < r.cfg.Ports; i++ {
 			budget := r.effSpeedup(i)
 			for budget > 0 && len(r.queues[i]) > 0 {
@@ -321,15 +342,20 @@ func (r *refSwitch) transmit() {
 				}
 				arrivedAt := r.queues[i][0]
 				r.queues[i] = r.queues[i][1:]
+				val := int64(1)
+				if r.cfg.Model == core.ModelCombined {
+					val = int64(r.qvals[i][0])
+					r.qvals[i] = r.qvals[i][1:]
+				}
 				r.occ--
 				lat := r.slot - arrivedAt
 				r.stats.Transmitted++
-				r.stats.TransmittedValue++
+				r.stats.TransmittedValue += val
 				r.stats.TransmittedWork += int64(r.works[i])
 				r.stats.LatencySlots += lat
 				pc := &r.perPort[i]
 				pc.Transmitted++
-				pc.TransmittedValue++
+				pc.TransmittedValue += val
 				pc.LatencySlots += lat
 				if lat > pc.MaxLatency {
 					pc.MaxLatency = lat
@@ -413,6 +439,9 @@ func (r *refSwitch) Reset() {
 	for i := range r.queues {
 		r.queues[i] = nil
 		r.holRes[i] = 0
+	}
+	for i := range r.qvals {
+		r.qvals[i] = nil
 	}
 	for i := range r.vals {
 		r.vals[i] = nil
@@ -546,7 +575,7 @@ func TestDifferentialProcessing(t *testing.T) {
 // engines, in both the uniform-value and value-by-port labelings.
 func TestDifferentialValue(t *testing.T) {
 	t.Run("uniform", func(t *testing.T) {
-		pols := append(valpolicy.ForUniform(), valpolicy.Experimental()...)
+		pols := append(policy.ForValueUniform(), policy.ValueExperimental()...)
 		for _, seed := range []int64{1, 2, 3} {
 			cfg, tr := valSetup(t, seed, 300)
 			for _, p := range pols {
@@ -573,7 +602,7 @@ func TestDifferentialValue(t *testing.T) {
 				PortAffinity: true,
 				Seed:         seed,
 			}, 300)
-			for _, p := range valpolicy.ForValueByPort() {
+			for _, p := range policy.ForValueByPort() {
 				p := p
 				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
 					diffRun(t, cfg, p, tr, faults.Spec{}, seed)
@@ -594,6 +623,48 @@ func denseFaults(slots int) faults.Spec {
 			{Kind: faults.BufferSqueeze, Value: 4, Period: 80, Duration: 30},
 			{Kind: faults.BurstAmplify, Value: 2, Period: 70, Duration: 20},
 		},
+	}
+}
+
+// combSetup is the combined work×value differential cell: FIFO queues
+// with heterogeneous works, packets also carrying uniform values.
+func combSetup(t *testing.T, seed int64, slots int) (core.Config, traffic.Trace) {
+	t.Helper()
+	cfg := core.Config{
+		Model:    core.ModelCombined,
+		Ports:    4,
+		Buffer:   12,
+		MaxLabel: 6,
+		Speedup:  2,
+		PortWork: core.ContiguousWorks(4),
+	}
+	tr := diffTrace(t, traffic.MMPPConfig{
+		Sources:      40,
+		LambdaOn:     0.35,
+		POnOff:       0.2,
+		POffOn:       0.3,
+		Label:        traffic.LabelWorkValue,
+		Ports:        cfg.Ports,
+		MaxLabel:     cfg.MaxLabel,
+		PortWork:     cfg.PortWork,
+		PortAffinity: true,
+		Seed:         seed,
+	}, slots)
+	return cfg, tr
+}
+
+// TestDifferentialCombined replays fixed-seed work×value traces through
+// the combined roster on both engines.
+func TestDifferentialCombined(t *testing.T) {
+	pols := policy.ForCombined()
+	for _, seed := range []int64{1, 2, 3} {
+		cfg, tr := combSetup(t, seed, 300)
+		for _, p := range pols {
+			p := p
+			t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
+				diffRun(t, cfg, p, tr, faults.Spec{}, seed)
+			})
+		}
 	}
 }
 
@@ -618,9 +689,21 @@ func TestDifferentialUnderFaults(t *testing.T) {
 		}
 	})
 	t.Run("value", func(t *testing.T) {
-		pols := []core.Policy{valpolicy.LQD{}, valpolicy.MRD{}, valpolicy.MVD{}, valpolicy.TVD{}}
+		pols := []core.Policy{policy.VLQD{}, policy.MRD{}, policy.MVD{}, policy.TVD{}}
 		for _, seed := range []int64{11, 12} {
 			cfg, tr := valSetup(t, seed, slots)
+			for _, p := range pols {
+				p := p
+				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {
+					diffRun(t, cfg, p, tr, spec, seed)
+				})
+			}
+		}
+	})
+	t.Run("combined", func(t *testing.T) {
+		pols := []core.Policy{policy.LQD{}, policy.LWD{}, policy.MRD{}, policy.RVD{}}
+		for _, seed := range []int64{11, 12} {
+			cfg, tr := combSetup(t, seed, slots)
 			for _, p := range pols {
 				p := p
 				t.Run(fmt.Sprintf("%s/seed%d", p.Name(), seed), func(t *testing.T) {

@@ -22,7 +22,6 @@ import (
 	"smbm/internal/policy"
 	"smbm/internal/sim"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 // countingPolicy wraps a policy and recomputes, from the pre-decision
@@ -48,10 +47,15 @@ func newCountingPolicy(p core.Policy, ports int) *countingPolicy {
 }
 
 // Admit delegates the decision and then mirrors the engine's recording
-// semantics against the still-unmutated View: the evicted tail's
-// residual work is the whole queue work when the victim queue holds one
-// packet (head-of-line progress included), one port-work quantum
-// otherwise; the evicted value is the victim queue's minimum.
+// semantics against the still-unmutated View: in the FIFO disciplines
+// (processing and combined) the evicted tail's residual work is the
+// whole queue work when the victim queue holds one packet (head-of-line
+// progress included), one port-work quantum otherwise; in the value
+// model the evicted value is the victim queue's minimum. The combined
+// model's evicted tail value is invisible to the plain View (it exposes
+// only min/max/sum aggregates), so the shim cannot recompute
+// PushedOutValue there; obsRun copies it from the recorder like
+// HOLTransmits.
 func (c *countingPolicy) Admit(v core.View, p pkt.Packet) core.Decision {
 	d := c.Policy.Admit(v, p)
 	if !d.Accept {
@@ -61,16 +65,18 @@ func (c *countingPolicy) Admit(v core.View, p pkt.Packet) core.Decision {
 	c.admits[p.Port]++
 	if d.Push {
 		c.pushouts[d.Victim]++
-		if v.Model() == core.ModelProcessing {
+		if v.Model() == core.ModelValue {
+			c.poWork[d.Victim]++
+			c.poValue[d.Victim] += uint64(v.QueueMinValue(d.Victim))
+		} else {
 			if v.QueueLen(d.Victim) == 1 {
 				c.poWork[d.Victim] += uint64(v.QueueWork(d.Victim))
 			} else {
 				c.poWork[d.Victim] += uint64(v.PortWork(d.Victim))
 			}
-			c.poValue[d.Victim]++
-		} else {
-			c.poWork[d.Victim]++
-			c.poValue[d.Victim] += uint64(v.QueueMinValue(d.Victim))
+			if v.Model() == core.ModelProcessing {
+				c.poValue[d.Victim]++
+			}
 		}
 	}
 	return d
@@ -118,6 +124,9 @@ func obsRun(t *testing.T, cfg core.Config, pol core.Policy, tr traffic.Trace, sp
 			HOLTransmits:   c.HOLTransmits, // shim cannot see transmissions
 			FaultEvents:    c.FaultEvents,  // nor fault windows
 		}
+		if cfg.Model == core.ModelCombined {
+			ref.PushedOutValue = c.PushedOutValue // tail value invisible to the plain View
+		}
 		if c != ref {
 			t.Errorf("%s: port %d counters diverged from recomputation\n  rec: %+v\n  ref: %+v", pol.Name(), i, c, ref)
 		}
@@ -143,7 +152,7 @@ func obsRun(t *testing.T, cfg core.Config, pol core.Policy, tr traffic.Trace, sp
 	}
 }
 
-// obsRosters returns the full 17-policy roster paired with its
+// obsRosters returns every model's full roster paired with its
 // differential cell builder.
 func obsRosters() []struct {
 	name  string
@@ -156,13 +165,14 @@ func obsRosters() []struct {
 		setup func(*testing.T, int64, int) (core.Config, traffic.Trace)
 	}{
 		{"processing", append(policy.ForProcessing(), policy.Experimental()...), procSetup},
-		{"value", append(valpolicy.ForUniform(), valpolicy.Experimental()...), valSetup},
+		{"value", append(policy.ForValueUniform(), policy.ValueExperimental()...), valSetup},
+		{"combined", policy.ForCombined(), combSetup},
 	}
 }
 
 // TestObsDifferentialNominal cross-checks the recorder against the
-// counting shim and the engine's own counters for all 17 roster
-// policies on the nominal (fault-free) differential cells.
+// counting shim and the engine's own counters for every roster policy
+// of every model on the nominal (fault-free) differential cells.
 func TestObsDifferentialNominal(t *testing.T) {
 	for _, r := range obsRosters() {
 		r := r

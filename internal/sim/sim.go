@@ -195,10 +195,14 @@ func drain(sys System, max int) error {
 // NewOptProxy builds the paper's OPT proxy matching the configuration's
 // model: a single priority queue with Ports·Speedup cores.
 func NewOptProxy(cfg core.Config) (System, error) {
-	if cfg.Model == core.ModelValue {
+	switch cfg.Model {
+	case core.ModelValue:
 		return opt.NewSPQVal(cfg)
+	case core.ModelCombined:
+		return opt.NewSPQComb(cfg)
+	default:
+		return opt.NewSPQProc(cfg)
 	}
-	return opt.NewSPQProc(cfg)
 }
 
 // Instance is one simulation cell: a switch configuration, the competing

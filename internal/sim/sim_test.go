@@ -8,7 +8,6 @@ import (
 	"smbm/internal/pkt"
 	"smbm/internal/policy"
 	"smbm/internal/traffic"
-	"smbm/internal/valpolicy"
 )
 
 func procCfg() core.Config {
@@ -132,7 +131,7 @@ func TestInstanceRunProcessing(t *testing.T) {
 func TestInstanceRunValueModel(t *testing.T) {
 	inst := Instance{
 		Cfg:      valCfg(),
-		Policies: []core.Policy{valpolicy.MRD{}},
+		Policies: []core.Policy{policy.MRD{}},
 		Provider: traffic.Slots(
 			pkt.Concat(pkt.Burst(pkt.NewValue(0, 5), 4), pkt.Burst(pkt.NewValue(1, 1), 8)),
 		),
