@@ -13,9 +13,12 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis: gofmt hygiene plus the smblint suite (determinism,
-# seeding, wall-clock, hot-path allocation, cursor sticky-error and doc
-# contracts — see DESIGN.md §11). Fails on any diagnostic.
-lint:
+# seeding, wall-clock, hot-path allocation, concurrency fence, cursor
+# sticky-error and doc contracts — see DESIGN.md §11; the
+# compiler-diagnostic escapecheck/hotcall layer is §16). Runs a full
+# build first so escapecheck replays -m=2 diagnostics from a warm build
+# cache. Fails on any diagnostic.
+lint: build
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	$(GO) run ./cmd/smblint ./...

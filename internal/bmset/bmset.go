@@ -68,7 +68,10 @@ func (s *Set) Avg() float64 {
 }
 
 // Add inserts one copy of v.
+//
+//smb:hotpath
 func (s *Set) Add(v int) {
+	//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 	s.check(v)
 	s.update(v, 1)
 	if s.size == 1 {
@@ -86,15 +89,21 @@ func (s *Set) Add(v int) {
 
 // Remove deletes one copy of v. It panics if v is not present: removing an
 // absent element indicates a simulator bug.
+//
+//smb:hotpath
 func (s *Set) Remove(v int) {
+	//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 	s.check(v)
 	if s.mult[v] == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic(fmt.Sprintf("bmset: Remove(%d) not present", v))
 	}
 	s.remove(v)
 }
 
 // remove deletes one present copy of v, maintaining the cached extremes.
+//
+//smb:hotpath
 func (s *Set) remove(v int) {
 	s.update(v, -1)
 	if s.mult[v] > 0 {
@@ -139,8 +148,11 @@ func (s *Set) SumLE(v int) int64 {
 
 // Min returns the smallest stored value. It panics on an empty set.
 // Amortized O(1): the cached minimum is reused until its bucket empties.
+//
+//smb:hotpath
 func (s *Set) Min() int {
 	if s.size == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("bmset: Min on empty set")
 	}
 	if !s.minOK {
@@ -152,8 +164,11 @@ func (s *Set) Min() int {
 
 // Max returns the largest stored value. It panics on an empty set.
 // Amortized O(1), mirroring Min.
+//
+//smb:hotpath
 func (s *Set) Max() int {
 	if s.size == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("bmset: Max on empty set")
 	}
 	if !s.maxOK {
@@ -164,6 +179,8 @@ func (s *Set) Max() int {
 }
 
 // PopMin removes and returns the smallest stored value.
+//
+//smb:hotpath
 func (s *Set) PopMin() int {
 	v := s.Min()
 	s.remove(v)
@@ -171,6 +188,8 @@ func (s *Set) PopMin() int {
 }
 
 // PopMax removes and returns the largest stored value.
+//
+//smb:hotpath
 func (s *Set) PopMax() int {
 	v := s.Max()
 	s.remove(v)
@@ -182,8 +201,11 @@ func (s *Set) PopMax() int {
 //
 // The implementation descends the Fenwick tree: classic O(log k) order
 // statistics.
+//
+//smb:hotpath
 func (s *Set) Kth(j int) int {
 	if j < 1 || j > s.size {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic(fmt.Sprintf("bmset: Kth(%d) out of range [1,%d]", j, s.size))
 	}
 	var (
@@ -229,12 +251,15 @@ func (s *Set) Values() []int {
 	return out
 }
 
+//smb:hotpath
 func (s *Set) check(v int) {
 	if v < 1 || v > s.k {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic(fmt.Sprintf("bmset: value %d out of range [1,%d]", v, s.k))
 	}
 }
 
+//smb:hotpath
 func (s *Set) update(v int, delta int64) {
 	for i := v; i <= s.k; i += i & (-i) {
 		s.count[i] += delta

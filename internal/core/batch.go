@@ -23,6 +23,7 @@ import (
 type BatchPolicy interface {
 	Policy
 	// AdmitBatch decides every packet of ps in arrival order via b.
+	//smb:hotpath
 	AdmitBatch(b *Batch, ps []pkt.Packet)
 }
 
@@ -72,15 +73,19 @@ type evictUndo struct {
 // On success the resulting Stats, PortCounters and obs counters are
 // bit-identical to ArriveBurst on the same burst — the differential
 // contract the batch suites enforce for all roster policies.
+//
+//smb:hotpath
 func (s *Switch) ArriveBatch(ps []pkt.Packet) error {
 	if len(ps) == 0 {
 		return nil
 	}
 	for i := range ps {
 		if err := ps[i].Validate(s.cfg.Ports, s.cfg.MaxLabel); err != nil {
+			//smb:alloc-ok validation failure path, never taken by well-formed input
 			return &BurstError{Index: i, Err: err}
 		}
 		if s.fifo && ps[i].Work != s.works[ps[i].Port] {
+			//smb:alloc-ok validation failure path, never taken by well-formed input
 			return &BurstError{Index: i, Err: fmt.Errorf("core: packet work %d does not match port %d configuration %d", ps[i].Work, ps[i].Port, s.works[ps[i].Port])}
 		}
 	}
@@ -92,12 +97,14 @@ func (s *Switch) ArriveBatch(ps []pkt.Packet) error {
 		b.PerPacket(ps)
 	}
 	if b.err == nil && b.idx != len(ps) {
+		//smb:alloc-ok kernel-contract failure path, never taken by a conforming policy
 		b.err = fmt.Errorf("core: policy %s batch kernel decided %d of %d packets", s.policy.Name(), b.idx, len(ps))
 		b.errIdx = b.idx
 	}
 	if b.err != nil {
 		idx, err := b.errIdx, b.err
 		s.rollbackBatch()
+		//smb:alloc-ok burst rollback, error path only
 		return &BurstError{Index: idx, Applied: 0, Err: err}
 	}
 	s.commitBatch()
@@ -109,6 +116,8 @@ func (s *Switch) ArriveBatch(ps []pkt.Packet) error {
 // the obs counter slab, and rewinds the undo log, the dirty-port
 // journal and the trace buffer. All scratch is preallocated or reused,
 // so steady-state batches stay allocation-free.
+//
+//smb:hotpath
 func (s *Switch) beginBatch() {
 	s.batchSerial++
 	s.memoEpoch++
@@ -118,6 +127,7 @@ func (s *Switch) beginBatch() {
 	s.dirtyPorts = s.dirtyPorts[:0]
 	s.evBuf = s.evBuf[:0]
 	if s.rec != nil {
+		//smb:alloc-ok checkpoint slab grows on first use, reused every batch after
 		s.recSnap = s.rec.SaveCounts(s.recSnap)
 	}
 	s.batch.idx = 0
@@ -128,6 +138,8 @@ func (s *Switch) beginBatch() {
 // commitBatch closes a successful transaction. Counters were written
 // in place, so the only remaining work is delivering the buffered
 // trace events in decision order.
+//
+//smb:hotpath
 func (s *Switch) commitBatch() {
 	if s.rec != nil {
 		for i := range s.evBuf {
@@ -145,6 +157,8 @@ func (s *Switch) commitBatch() {
 // trace events are discarded. The argmax caches are force-invalidated
 // instead of replayed — a rescan is behaviorally identical to any
 // valid cache state.
+//
+//smb:hotpath
 func (s *Switch) rollbackBatch() {
 	ev := len(s.undoEv)
 	for i := len(s.undo) - 1; i >= 0; i-- {
@@ -167,6 +181,7 @@ func (s *Switch) rollbackBatch() {
 	}
 	s.dirtyPorts = s.dirtyPorts[:0]
 	if s.rec != nil {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		s.rec.RestoreCounts(s.recSnap)
 	}
 	s.evBuf = s.evBuf[:0]
@@ -175,6 +190,8 @@ func (s *Switch) rollbackBatch() {
 // undoInsert inverts one insert: the inserted packet is the newest in
 // its queue (the FIFO tail / the recorded value), so popping it
 // restores the previous queue exactly.
+//
+//smb:hotpath
 func (s *Switch) undoInsert(i, val int) {
 	s.qLen[i]--
 	if s.fifo {
@@ -212,6 +229,8 @@ func (s *Switch) undoInsert(i, val int) {
 // its recorded pre-eviction facts (arrival slot, head-of-line
 // residual and queue work under the FIFO disciplines; the evicted
 // value under the valued ones).
+//
+//smb:hotpath
 func (s *Switch) undoEvict(i, val int, d evictUndo) {
 	s.qLen[i]++
 	if s.fifo {
@@ -408,10 +427,12 @@ func (b *Batch) PushOut(victim int, p pkt.Packet) {
 		eval int
 	)
 	if s.fifo {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		d.slot = s.arrivals[victim].Back()
 		d.hol = s.holRes[victim]
 		d.wrk = s.qWork[victim]
 		if s.valued {
+			//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 			eval = int(s.vals[victim].Back())
 		}
 	} else {
@@ -471,6 +492,8 @@ func (b *Batch) Apply(d Decision, p pkt.Packet) {
 // PerPacket decides the burst with one policy.Admit call per packet —
 // the fallback for policies without a batch kernel, still inside the
 // batch transaction.
+//
+//smb:hotpath
 func (b *Batch) PerPacket(ps []pkt.Packet) {
 	for i := range ps {
 		if b.err != nil {
@@ -500,13 +523,19 @@ func (b *Batch) checkInvariants() {
 
 // failFull records the sticky full-buffer failure, matching the
 // per-packet path's error text.
+//
+//smb:hotpath
 func (b *Batch) failFull(occ, limit int) {
+	//smb:alloc-ok policy-violation failure path, never taken by a correct policy
 	b.fail(fmt.Errorf("core: policy %s accepted into a full buffer (occ=%d, B=%d)", b.s.policy.Name(), occ, limit))
 }
 
 // failEvict records the sticky eviction-validation failure, matching
 // the per-packet path's error text.
+//
+//smb:hotpath
 func (b *Batch) failEvict(err error) {
+	//smb:alloc-ok policy-violation failure path, never taken by a correct policy
 	b.fail(fmt.Errorf("core: policy %s: %w", b.s.policy.Name(), err))
 }
 

@@ -18,42 +18,50 @@ type FastView interface {
 	View
 
 	// QueueLens returns the live per-queue packet counts (all models).
+	//smb:hotpath
 	QueueLens() []int
 
 	// QueueTotalWorks returns the live per-queue total residual work,
 	// mirroring View.QueueWork: (|Q_i|-1)·w_i + hol_i under the FIFO
 	// disciplines (processing and combined models), |Q_i| in the value
 	// model (unit works).
+	//smb:hotpath
 	QueueTotalWorks() []int
 
 	// QueueMinValues returns the live per-queue minimum buffered value
 	// (0 for an empty queue). In the processing model every buffered
 	// packet has value 1, so entries are 1 for non-empty queues.
+	//smb:hotpath
 	QueueMinValues() []int
 
 	// QueueSums returns the live per-queue buffered value sums. In the
 	// processing model this equals the queue length (unit values).
+	//smb:hotpath
 	QueueSums() []int64
 
 	// PortWorks returns the per-port work configuration w_1..w_n (unit
 	// works in the value model).
+	//smb:hotpath
 	PortWorks() []int
 
 	// PortInvWorkSum returns Z = Σ_j 1/w_j, precomputed once from the
 	// configuration with the same summation order as the NHST fallback
 	// scan so thresholds are bit-identical.
+	//smb:hotpath
 	PortInvWorkSum() float64
 
 	// LongestQueue returns the index and length of the longest queue,
 	// ties resolved to the largest index (the LQD ordering). The engine
 	// maintains the answer incrementally across admissions, push-outs
 	// and transmissions; amortized O(1).
+	//smb:hotpath
 	LongestQueue() (idx, length int)
 
 	// HeaviestQueue returns the index and total residual work of the
 	// queue with the most buffered work, ties resolved to the largest
 	// index (the LWD ordering). Amortized O(1); coincides with
 	// LongestQueue in the value model, where works are unit.
+	//smb:hotpath
 	HeaviestQueue() (idx, work int)
 }
 
@@ -70,6 +78,8 @@ type argmax struct {
 }
 
 // bump repairs the cache after keys[i] increased.
+//
+//smb:hotpath
 func (a *argmax) bump(keys []int, i int) {
 	if !a.ok {
 		return
@@ -80,6 +90,8 @@ func (a *argmax) bump(keys []int, i int) {
 }
 
 // drop invalidates the cache after keys[i] decreased, when necessary.
+//
+//smb:hotpath
 func (a *argmax) drop(i int) {
 	if a.ok && i == a.idx {
 		a.ok = false
@@ -91,6 +103,8 @@ func (a *argmax) drop(i int) {
 // a valid cache always holds the exact largest-index argmax and an
 // invalid one rescans, so forcing a rescan is behaviorally equivalent
 // and keeps the undo log free of cache bookkeeping.
+//
+//smb:hotpath
 func (a *argmax) invalidate() { a.ok = false }
 
 // top returns the argmax index and key, rescanning if invalidated. The
@@ -99,6 +113,8 @@ func (a *argmax) invalidate() { a.ok = false }
 // never fires on the tie-heavy key distributions the equalizing
 // policies (LQD, LWD) produce, where a forward walk would update its
 // candidate on every tied key.
+//
+//smb:hotpath
 func (a *argmax) top(keys []int) (int, int) {
 	if !a.ok {
 		best := len(keys) - 1

@@ -7,32 +7,44 @@ import "smbm/internal/pkt"
 // value accessors return zero in the processing model and vice versa.
 type View interface {
 	// Model identifies which generalization is being simulated.
+	//smb:hotpath
 	Model() Model
 	// Ports returns n.
+	//smb:hotpath
 	Ports() int
 	// Buffer returns B.
+	//smb:hotpath
 	Buffer() int
 	// MaxLabel returns k.
+	//smb:hotpath
 	MaxLabel() int
 	// Occupancy returns the number of packets currently buffered.
+	//smb:hotpath
 	Occupancy() int
 	// Free returns Buffer() - Occupancy().
+	//smb:hotpath
 	Free() int
 	// QueueLen returns |Q_i|.
+	//smb:hotpath
 	QueueLen(i int) int
 	// PortWork returns w_i, the required work of port i's packets
 	// (1 in the value model).
+	//smb:hotpath
 	PortWork(i int) int
 	// QueueWork returns W_i, the total residual work of Q_i
 	// (processing model; equals QueueLen in the value model).
+	//smb:hotpath
 	QueueWork(i int) int
 	// QueueMinValue returns the smallest value buffered in Q_i, or 0 if
 	// the queue is empty (value model; 1-valued in the processing model).
+	//smb:hotpath
 	QueueMinValue(i int) int
 	// QueueMaxValue returns the largest value buffered in Q_i, or 0 if
 	// empty.
+	//smb:hotpath
 	QueueMaxValue(i int) int
 	// QueueValueSum returns the sum of values buffered in Q_i.
+	//smb:hotpath
 	QueueValueSum(i int) int64
 }
 
@@ -68,6 +80,7 @@ type Policy interface {
 	// Name returns the short policy name used in reports ("LWD", ...).
 	Name() string
 	// Admit decides the fate of arriving packet p given switch state v.
+	//smb:hotpath
 	Admit(v View, p pkt.Packet) Decision
 }
 

@@ -607,6 +607,8 @@ func (s *Switch) ArriveBurst(ps []pkt.Packet) error {
 // Speedup processing cycles (processing and combined models) or
 // transmits up to Speedup packets (value model). It advances the slot
 // counter.
+//
+//smb:hotpath
 func (s *Switch) Transmit() {
 	switch s.cfg.Model {
 	case ModelProcessing:
@@ -619,12 +621,14 @@ func (s *Switch) Transmit() {
 	s.slot++
 	s.stats.Slots++
 	if s.cfg.CheckInvariants {
+		//smb:alloc-ok CheckInvariants debug mode, off in measured runs
 		if err := s.verify(); err != nil {
 			panic(err) // unreachable unless the engine itself is broken
 		}
 	}
 }
 
+//smb:hotpath
 func (s *Switch) transmitProcessing() {
 	// Hoist the SoA lanes into locals: the inner loop then indexes flat
 	// slices instead of reloading switch fields around every store, and
@@ -702,6 +706,7 @@ func (s *Switch) transmitProcessing() {
 	s.stats.CyclesUsed += cyclesTotal
 }
 
+//smb:hotpath
 func (s *Switch) transmitValue() {
 	for i := 0; i < s.cfg.Ports; i++ {
 		// The speedup override cannot change mid-phase, so hoist it and
@@ -740,6 +745,8 @@ func (s *Switch) transmitValue() {
 // head-of-line processing exactly like transmitProcessing, with each
 // completion crediting the head packet's intrinsic value (tracked in
 // the per-queue vals deque) instead of a unit.
+//
+//smb:hotpath
 func (s *Switch) transmitCombined() {
 	var (
 		speedTab    = s.speedTab
@@ -917,11 +924,15 @@ func (s *Switch) TotalWork() int {
 // canEvict validates a push-out victim without mutating anything, so
 // the admission paths can reject a violating decision before touching
 // state (per-packet atomicity, batch transactionality).
+//
+//smb:hotpath
 func (s *Switch) canEvict(victim int) error {
 	if victim < 0 || victim >= s.cfg.Ports {
+		//smb:alloc-ok validation failure path, never taken by well-formed input
 		return fmt.Errorf("push-out victim %d out of range", victim)
 	}
 	if s.QueueLen(victim) == 0 {
+		//smb:alloc-ok validation failure path, never taken by well-formed input
 		return fmt.Errorf("push-out from empty queue %d", victim)
 	}
 	return nil
@@ -993,6 +1004,8 @@ func (s *Switch) evict(victim int) (remWork, remValue int) {
 }
 
 // insert appends p to its destination queue.
+//
+//smb:hotpath
 func (s *Switch) insert(p pkt.Packet) {
 	i := p.Port
 	s.qLen[i]++

@@ -86,6 +86,8 @@ func (d *Deque) floor() int {
 }
 
 // PushBack appends v at the back.
+//
+//smb:hotpath
 func (d *Deque) PushBack(v int64) {
 	d.grow()
 	d.buf[d.index(d.count)] = v
@@ -93,6 +95,8 @@ func (d *Deque) PushBack(v int64) {
 }
 
 // PushFront prepends v at the front.
+//
+//smb:hotpath
 func (d *Deque) PushFront(v int64) {
 	d.grow()
 	d.head = d.index(len(d.buf) - 1)
@@ -103,8 +107,11 @@ func (d *Deque) PushFront(v int64) {
 // PopFront removes and returns the front element. It panics on an empty
 // deque: popping an empty queue is a programming error in the simulator,
 // not a recoverable condition.
+//
+//smb:hotpath
 func (d *Deque) PopFront() int64 {
 	if d.count == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("deque: PopFront on empty deque")
 	}
 	v := d.buf[d.head]
@@ -116,8 +123,11 @@ func (d *Deque) PopFront() int64 {
 
 // PopBack removes and returns the back element. It panics on an empty
 // deque.
+//
+//smb:hotpath
 func (d *Deque) PopBack() int64 {
 	if d.count == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("deque: PopBack on empty deque")
 	}
 	d.count--
@@ -127,16 +137,22 @@ func (d *Deque) PopBack() int64 {
 }
 
 // Front returns the front element without removing it.
+//
+//smb:hotpath
 func (d *Deque) Front() int64 {
 	if d.count == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("deque: Front on empty deque")
 	}
 	return d.buf[d.head]
 }
 
 // Back returns the back element without removing it.
+//
+//smb:hotpath
 func (d *Deque) Back() int64 {
 	if d.count == 0 {
+		//smb:alloc-ok panic on a violated invariant, unreachable in a correct simulator
 		panic("deque: Back on empty deque")
 	}
 	return d.buf[d.index(d.count-1)]
@@ -179,6 +195,8 @@ func (d *Deque) index(off int) int {
 
 // grow ensures room for one more element. Capacity is always a power of
 // two so index() can mask instead of mod.
+//
+//smb:hotpath
 func (d *Deque) grow() {
 	if d.count < len(d.buf) {
 		return
@@ -190,6 +208,7 @@ func (d *Deque) grow() {
 	if f := d.floor(); next < f {
 		next = f
 	}
+	//smb:alloc-ok amortized ring growth, preallocated via Reserve in steady state
 	d.resize(next)
 }
 
@@ -198,8 +217,11 @@ func (d *Deque) grow() {
 // full, shrink at 1/4) is the hysteresis that keeps alternating
 // push/pop sequences from thrashing between resizes; the floor from
 // Reserve (or minCapacity) is never crossed.
+//
+//smb:hotpath
 func (d *Deque) shrink() {
 	if len(d.buf) > d.floor() && d.count <= len(d.buf)/4 {
+		//smb:alloc-ok amortized ring shrink after a burst drains, not the steady state
 		d.resize(len(d.buf) / 2)
 	}
 }

@@ -36,6 +36,8 @@ var harmonicTable = func() [harmonicTableSize]float64 {
 // case), computed by direct summation for mid-range n, and by the
 // asymptotic expansion for large n; the switch points keep absolute
 // error below 1e-12 and the function O(1) for huge n.
+//
+//smb:hotpath
 func Harmonic(n int) float64 {
 	if n <= 0 {
 		return 0

@@ -1,0 +1,15 @@
+package concfence_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/concfence"
+	"smbm/internal/lint/linttest"
+)
+
+// TestConcfence runs the analyzer over a flagged engine-package
+// fixture, a clean annotated engine-package fixture, and an exempt
+// harness-package fixture.
+func TestConcfence(t *testing.T) {
+	linttest.Run(t, "testdata", concfence.Analyzer, "core", "traffic", "sim")
+}

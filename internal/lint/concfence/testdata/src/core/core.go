@@ -1,0 +1,48 @@
+// Package core is a concfence fixture named after a fenced engine
+// package: every concurrency construct is flagged, and an annotation
+// without a reason is itself a violation.
+package core
+
+import "sync" // want `import of sync in deterministic engine package`
+
+// Guard wraps a mutex into engine state.
+type Guard struct {
+	// Mu is the offending primitive.
+	Mu sync.Mutex
+}
+
+// Spawn launches a goroutine per step.
+func Spawn(f func()) {
+	go f() // want `go statement in deterministic engine package`
+}
+
+// Pipe builds and works a channel.
+func Pipe(n int) int {
+	ch := make(chan int, 1) // want `channel type in deterministic engine package`
+	ch <- n                 // want `channel send in deterministic engine package`
+	v := <-ch               // want `channel receive in deterministic engine package`
+	close(ch)               // want `close of a channel in deterministic engine package`
+	return v
+}
+
+// Wait selects over nothing.
+func Wait() {
+	select { // want `select statement in deterministic engine package`
+	default:
+	}
+}
+
+// DrainAll ranges over a channel.
+func DrainAll(ch chan int) int { // want `channel type in deterministic engine package`
+	total := 0
+	for v := range ch { // want `range over a channel in deterministic engine package`
+		total += v
+	}
+	return total
+}
+
+// BadAnnotation exempts a construct without the mandatory reason.
+func BadAnnotation(f func()) {
+	//smb:conc-ok
+	go f() // want `//smb:conc-ok requires a reason`
+}

@@ -1,0 +1,27 @@
+// Package sim is a concfence fixture named after a harness package
+// outside the engine fence: goroutines, channels and sync primitives
+// are its job and pass without annotation.
+package sim
+
+import "sync"
+
+// FanOut runs workers concurrently and merges their results — exactly
+// the shape the fence exists to keep out of the engine, legal here.
+func FanOut(work []func() int) int {
+	results := make(chan int, len(work))
+	var wg sync.WaitGroup
+	for _, w := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- w()
+		}()
+	}
+	wg.Wait()
+	close(results)
+	total := 0
+	for v := range results {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+package escapecheck_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/escapecheck"
+	"smbm/internal/lint/linttest"
+)
+
+// TestEscapecheck runs the analyzer over one flagged and one clean
+// fixture package; the fixtures are compiled with -gcflags=-m=2, so
+// the expectations pin the compiler-diagnostic plumbing end to end.
+func TestEscapecheck(t *testing.T) {
+	linttest.Run(t, "testdata", escapecheck.Analyzer, "hot", "hotclean")
+}

@@ -1,0 +1,62 @@
+package escapecheck_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smbm/internal/lint/gcdiag"
+)
+
+// TestParseGrammar pins the -m=2 message grammar gcdiag depends on
+// against a live compile of the flagged fixture. The parser is
+// deliberately conservative — unknown phrasings are dropped, which
+// degrades escapecheck to missing escapes — so this test is what
+// turns a toolchain grammar drift into a loud failure at the version
+// bump instead of silent rot.
+func TestParseGrammar(t *testing.T) {
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", "hot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := gcdiag.For(dir, []string{"hot.go"})
+	if err != nil {
+		t.Fatalf("compiling fixture: %v", err)
+	}
+
+	// One escape site per conviction shape the fixture stages, all in
+	// hot.go. Lines must match the fixture's `// want` lines exactly —
+	// that is the positional contract escapecheck builds on.
+	wantEscapes := map[int]string{
+		11: "escapes to heap", // make([]int, n) in Grow
+		18: "escapes to heap", // boxing return in Box
+		// The leak convicts twice at the same position — "x escapes to
+		// heap" and "moved to heap: x" — and dedup keeps the first, so
+		// the shared fragment is what's stable here.
+		25: "heap",            // &x leak in Leak
+		33: "escapes to heap", // string concatenation in Concat
+		41: "escapes to heap", // make([]int, n) in BadAnnotation
+		46: "escapes to heap", // make([]int, n) in (cold) Cold
+	}
+	seen := map[int]bool{}
+	for _, esc := range report.Escapes {
+		if esc.File != "hot.go" {
+			t.Errorf("escape attributed to %s, want hot.go", esc.File)
+			continue
+		}
+		frag, ok := wantEscapes[esc.Line]
+		if !ok {
+			t.Errorf("unexpected escape site hot.go:%d: %s", esc.Line, esc.Text)
+			continue
+		}
+		if !strings.Contains(esc.Text, frag) {
+			t.Errorf("escape at hot.go:%d: text %q does not contain %q", esc.Line, esc.Text, frag)
+		}
+		seen[esc.Line] = true
+	}
+	for line := range wantEscapes {
+		if !seen[line] {
+			t.Errorf("no escape parsed at hot.go:%d — the -m=2 grammar may have drifted", line)
+		}
+	}
+}

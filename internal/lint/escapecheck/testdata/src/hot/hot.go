@@ -1,0 +1,47 @@
+// Package hot is an escapecheck fixture: the compiler's own escape
+// analysis convicts every heap allocation inside //smb:hotpath
+// functions, including the shapes hotalloc has no syntactic pattern
+// for (runtime-sized make, string concatenation, address escape).
+package hot
+
+// Grow allocates a runtime-sized slice in the hot path.
+//
+//smb:hotpath
+func Grow(n int) []int {
+	return make([]int, n) // want `heap allocation in //smb:hotpath function Grow`
+}
+
+// Box boxes its argument into an interface on return.
+//
+//smb:hotpath
+func Box(n int) any {
+	return n // want `heap allocation in //smb:hotpath function Box`
+}
+
+// Leak forces its local to the heap by returning its address.
+//
+//smb:hotpath
+func Leak() *int {
+	x := 0 // want `heap allocation in //smb:hotpath function Leak`
+	return &x
+}
+
+// Concat builds a fresh string in the hot path.
+//
+//smb:hotpath
+func Concat(a, b string) string {
+	return a + b // want `heap allocation in //smb:hotpath function Concat`
+}
+
+// BadAnnotation exempts an allocation without the mandatory reason.
+//
+//smb:hotpath
+func BadAnnotation(n int) []int {
+	//smb:alloc-ok
+	return make([]int, n) // want `requires a reason`
+}
+
+// Cold is unannotated: the same allocations pass untouched.
+func Cold(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,46 @@
+// Package hotclean is an escapecheck fixture whose hot paths pass:
+// stack-only work, a fixed-size buffer threaded in by the caller, and
+// an annotated cold exit.
+package hotclean
+
+import "errors"
+
+// Sum walks a caller-owned slice without allocating.
+//
+//smb:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Fill writes into a caller-owned buffer.
+//
+//smb:hotpath
+func Fill(buf []int, v int) {
+	for i := range buf {
+		buf[i] = v
+	}
+}
+
+// ColdExit exempts a provably cold error branch with a reason.
+//
+//smb:hotpath
+func ColdExit(n int) (int, error) {
+	if n < 0 {
+		//smb:alloc-ok once-per-run validation exit, not the steady state
+		return 0, errors.New("negative input")
+	}
+	return n * n, nil
+}
+
+// Cold allocates freely: it is not annotated.
+func Cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

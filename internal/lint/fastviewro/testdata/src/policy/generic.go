@@ -1,0 +1,38 @@
+package policy
+
+// viewRule mirrors the PR 8 generic-kernel shape: type parameters
+// constrained by the view interface, with the accessor call made on a
+// type-param-typed receiver.
+
+// genericDirect writes straight through the accessor of a type-param
+// receiver and is flagged exactly as in monomorphic code.
+func genericDirect[V fastView](f V) {
+	f.QueueLens()[0] = 7 // want `write through the read-only FastView slice QueueLens\(\)`
+}
+
+// genericHoisted hoists through a local inside the generic body.
+func genericHoisted[V fastView](f V) {
+	works := f.PortWorks()
+	works[1]++ // want `write through the read-only FastView slice PortWorks\(\)`
+}
+
+// genericReads is the legal generic kernel: reads, ranges, and copies
+// out into policy-owned scratch.
+func genericReads[V fastView](f V) int {
+	lens := f.QueueLens()
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	scratch := make([]int, len(lens))
+	copy(scratch, lens)
+	return total + scratch[0]
+}
+
+// instantiate pins that explicit instantiation call sites stay legal
+// reads and keep the generic bodies reachable for the type checker.
+func instantiate(f fastView) int {
+	genericDirect[fastView](f)
+	genericHoisted(f)
+	return genericReads[fastView](f)
+}

@@ -173,9 +173,15 @@ func checkValueSpec(pass *lint.Pass, spec *ast.ValueSpec) {
 
 // checkBoxing reports an implicit interface conversion that allocates:
 // destination is an interface, source is a concrete type that is not
-// pointer-shaped.
+// pointer-shaped. A type-parameter destination is not an interface
+// even though its underlying constraint is one: the compiler stencils
+// the generic by GC shape and passes the value directly, so nothing
+// boxes.
 func checkBoxing(pass *lint.Pass, expr ast.Expr, dst types.Type, where string) {
 	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	if _, isTypeParam := dst.(*types.TypeParam); isTypeParam {
 		return
 	}
 	tv, ok := pass.TypesInfo.Types[expr]
@@ -202,10 +208,28 @@ func pointerShaped(t types.Type) bool {
 }
 
 // calleeFunc resolves the called function object, nil for builtins,
-// conversions and anonymous function values.
+// conversions and anonymous function values. Explicit generic
+// instantiations — f[T](…) as *ast.IndexExpr, f[K, V](…) as
+// *ast.IndexListExpr — unwrap to the generic declaration; indexing
+// into a container of function values unwraps to a non-Func object
+// and resolves to nil like any other dynamic call.
 func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+unwrap:
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr:
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		default:
+			break unwrap
+		}
+	}
 	var id *ast.Ident
-	switch fun := call.Fun.(type) {
+	switch fun := fun.(type) {
 	case *ast.SelectorExpr:
 		id = fun.Sel
 	case *ast.Ident:

@@ -1,0 +1,30 @@
+package hot
+
+// sinkAny is a generic-adjacent callee with a real interface
+// parameter: boxing into it is still boxing even when the call site
+// is an explicit instantiation.
+func sinkAny[T any](label any, v T) {}
+
+// HotGenericBox instantiates explicitly; the type-parameter argument
+// is stenciled (clean) but the any-typed argument still boxes.
+//
+//smb:hotpath
+func HotGenericBox(n int) {
+	sinkAny[int](n, n) // want `implicit conversion of int to any at argument`
+}
+
+// HotGenericBody is a generic hot function whose body allocates: the
+// map literal is flagged exactly as in non-generic code.
+//
+//smb:hotpath
+func HotGenericBody[T comparable](k T) map[T]int {
+	return map[T]int{k: 1} // want `map literal allocates`
+}
+
+// HotGenericDefer defers inside a two-parameter instantiation target.
+//
+//smb:hotpath
+func HotGenericDefer[A any, B any](a A, b B) {
+	defer release() // want `defer in hot path`
+	_, _ = a, b
+}

@@ -1,0 +1,73 @@
+package hotclean
+
+// ordered mirrors the engine's generic rule constraints: a small
+// method-set interface used only as a type-parameter bound.
+type ordered interface {
+	less(than int) bool
+}
+
+// intVal is a concrete instantiation argument.
+type intVal int
+
+// less implements ordered for intVal.
+func (v intVal) less(than int) bool { return int(v) < than }
+
+// kernel is a generic hot kernel in the shape of policy's
+// thresholdBatch: the type-parameter argument is stenciled by GC
+// shape, not boxed, so passing a concrete value to it must not be
+// reported as an interface conversion.
+//
+//smb:hotpath
+func kernel[R ordered](xs []int, r R) int {
+	count := 0
+	for _, x := range xs {
+		if r.less(x) {
+			count++
+		}
+	}
+	return count
+}
+
+// passThrough forwards its type parameter to another generic —
+// a type-param source into a type-param destination.
+//
+//smb:hotpath
+func passThrough[R ordered](xs []int, r R) int {
+	return kernel[R](xs, r)
+}
+
+// Explicit instantiates the kernel explicitly (IndexExpr callee) —
+// both the instantiation and the concrete argument stay clean.
+//
+//smb:hotpath
+func Explicit(xs []int) int {
+	return kernel[intVal](xs, intVal(3))
+}
+
+// Inferred lets the compiler infer the instantiation.
+//
+//smb:hotpath
+func Inferred(xs []int) int {
+	return passThrough(xs, intVal(3))
+}
+
+// pair exercises two type parameters (IndexListExpr callee).
+//
+//smb:hotpath
+func pair[A ordered, B ordered](x int, a A, b B) int {
+	n := 0
+	if a.less(x) {
+		n++
+	}
+	if b.less(x) {
+		n++
+	}
+	return n
+}
+
+// Both instantiates pair explicitly with two arguments.
+//
+//smb:hotpath
+func Both(x int) int {
+	return pair[intVal, intVal](x, intVal(1), intVal(2))
+}

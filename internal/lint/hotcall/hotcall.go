@@ -1,0 +1,416 @@
+// Package hotcall closes the transitive hole in the hot-path
+// allocation contract: hotalloc and escapecheck police the *body* of
+// every //smb:hotpath function, but neither stops a hot function from
+// calling an unchecked cold one. hotcall walks every call site inside
+// a //smb:hotpath function and requires the callee to be one of:
+//
+//   - another //smb:hotpath-annotated function or method — same
+//     package or any module-internal package (the annotation is read
+//     from the callee package's source);
+//   - an inlined leaf: the compiler's own `-m` record (via gcdiag)
+//     shows "inlining call to <callee>" at this call site, so the
+//     callee's body is already inside the caller's span where
+//     escapecheck sees it;
+//   - a standard-library (or otherwise extra-module) function —
+//     treated as an intrinsic; actual allocations these introduce
+//     still surface through escapecheck's argument-escape sites and
+//     the dynamic zero-alloc benchmark gate;
+//   - a builtin or a type conversion.
+//
+// Dynamic dispatch is resolved through the *declaration*: a call
+// through an interface method (including methods on generic type
+// parameters, which is how the thresholdBatch[R]/pushOutBatch[R]
+// kernels invoke their rule structs) is hot when the interface method
+// itself carries //smb:hotpath in its doc comment — the annotation on
+// View.Free or thresholdRule.admit extends the hot contract to every
+// implementation wired into the engine, and those implementations are
+// in turn annotated and proven by escapecheck. A devirtualized and
+// inlined dynamic call also passes, per the same -m record. Calls
+// through bare function values cannot be verified and are flagged.
+//
+// //smb:alloc-ok <reason> on the call line exempts it, same as
+// hotalloc: a provably cold line may call cold code.
+package hotcall
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"smbm/internal/lint"
+	"smbm/internal/lint/gcdiag"
+)
+
+// Analyzer is the hotcall analyzer instance.
+var Analyzer = &lint.Analyzer{
+	Name: "hotcall",
+	Doc: "restrict //smb:hotpath functions to calling hotpath-annotated " +
+		"functions, compiler-inlined leaves, or stdlib intrinsics",
+	Run: run,
+}
+
+// run applies hotcall to one package.
+func run(pass *lint.Pass) error {
+	if pass.NeedsTypes() {
+		return nil
+	}
+	var hot []*ast.FuncDecl
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil && lint.FuncAnnotated("hotpath", fn) {
+				hot = append(hot, fn)
+			}
+		}
+	}
+	if len(hot) == 0 {
+		return nil
+	}
+	var files []string
+	for _, f := range pass.Files {
+		files = append(files, filepath.Base(pass.Fset.Position(f.Pos()).Filename))
+	}
+	report, err := gcdiag.For(pass.Dir, files)
+	if err != nil {
+		return err
+	}
+	own := buildIndex(pass.Files)
+	c := &checker{pass: pass, report: report, own: own}
+	for _, fn := range hot {
+		c.checkFunc(fn)
+	}
+	return c.err
+}
+
+// checker carries one package's call-site verification state.
+type checker struct {
+	pass   *lint.Pass
+	report *gcdiag.Report
+	own    *index
+	err    error
+}
+
+// checkFunc verifies every call site in one hot function.
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // hotalloc already flags the closure itself
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.checkCall(fn, call)
+		return true
+	})
+}
+
+// checkCall verifies one call site.
+func (c *checker) checkCall(hot *ast.FuncDecl, call *ast.CallExpr) {
+	pass := c.pass
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if ok && (tv.IsType() || tv.IsBuiltin()) {
+		return // conversion or builtin
+	}
+	obj := callee(pass, call)
+	fnObj, isFunc := obj.(*types.Func)
+	if obj != nil && !isFunc {
+		if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	pos := call.Lparen
+	line := pass.Fset.Position(pos).Line
+	file := filepath.Base(pass.Fset.Position(pos).Filename)
+	exempt := func() bool {
+		ann, ok := pass.AnnotationAt("alloc-ok", call.Pos())
+		if ok && ann.Reason == "" {
+			pass.Reportf(call.Pos(), "//smb:alloc-ok requires a reason explaining why this line is cold")
+		}
+		return ok
+	}
+
+	if !isFunc {
+		// A bare function value (variable, field, call result): nothing
+		// to resolve an annotation against.
+		if c.inlined(file, line, funValueName(call.Fun)) || exempt() {
+			return
+		}
+		pass.Reportf(call.Pos(), "call through a function value in //smb:hotpath function %s cannot be statically verified", hot.Name.Name)
+		return
+	}
+
+	key, dynamic := objKey(fnObj)
+	pkg := fnObj.Pkg()
+	if pkg == nil {
+		return // error.Error, unsafe intrinsics and friends
+	}
+	switch {
+	case pkg.Path() == pass.Path:
+		if c.own.hot(key) || c.inlined(file, line, fnObj.Name()) || exempt() {
+			return
+		}
+	case moduleInternal(pass.Path, pkg.Path()):
+		idx, err := dirIndex(calleeDir(pass.Path, pass.Dir, pkg.Path()))
+		if err != nil {
+			if c.err == nil {
+				c.err = fmt.Errorf("hotcall: indexing %s: %w", pkg.Path(), err)
+			}
+			return
+		}
+		if idx.hot(key) || c.inlined(file, line, fnObj.Name()) || exempt() {
+			return
+		}
+	default:
+		return // stdlib intrinsic
+	}
+	what := "function"
+	if dynamic {
+		what = "interface method"
+	}
+	pass.Reportf(call.Pos(), "hot path calls non-hotpath %s %s.%s: annotate it //smb:hotpath (or keep the call inlined) so the allocation proof covers it", what, pkg.Name(), key)
+}
+
+// inlined reports whether -m recorded an inline of callee on this line
+// (or the line of the call's own position — multi-line calls can
+// differ).
+func (c *checker) inlined(file string, line int, calleeName string) bool {
+	if calleeName == "" {
+		return false
+	}
+	return c.report.InlinedAt(file, line, calleeName)
+}
+
+// callee resolves the called object behind Fun, unwrapping parens and
+// the explicit instantiation forms f[T] / f[T1, T2] that generics
+// introduced.
+func callee(pass *lint.Pass, call *ast.CallExpr) types.Object {
+	fun := call.Fun
+	for {
+		switch f := fun.(type) {
+		case *ast.ParenExpr:
+			fun = f.X
+		case *ast.IndexExpr:
+			// Either an explicit instantiation (base is the generic
+			// function, signature-typed) or indexing into a container of
+			// function values; only the former unwraps to a callee.
+			if t := pass.TypeOf(f.X); t != nil {
+				if _, ok := t.Underlying().(*types.Signature); !ok {
+					return nil // container element: a function value
+				}
+			}
+			fun = f.X
+		case *ast.IndexListExpr:
+			fun = f.X
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[f]
+		case *ast.SelectorExpr:
+			return pass.TypesInfo.Uses[f.Sel]
+		default:
+			return nil
+		}
+	}
+}
+
+// funValueName names a function-value callee well enough for the
+// inline record ("f" for f(), "" when anonymous).
+func funValueName(fun ast.Expr) string {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	case *ast.ParenExpr:
+		return funValueName(f.X)
+	}
+	return ""
+}
+
+// objKey renders a *types.Func as the index key ("Name" or
+// "Recv.Name") and reports whether the call dispatches dynamically
+// (interface or type-parameter receiver).
+func objKey(fn *types.Func) (string, bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name(), false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name() + "." + fn.Name(), types.IsInterface(t)
+	case *types.TypeParam:
+		if named, ok := t.Constraint().(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		return fn.Name(), true
+	case *types.Interface:
+		return fn.Name(), true // anonymous interface: unkeyable
+	}
+	return fn.Name(), false
+}
+
+// moduleInternal reports whether calleePath names a package of the
+// same module as passPath (shared first path element; fixture
+// packages have no slash and thus no module-internal callees).
+func moduleInternal(passPath, calleePath string) bool {
+	if !strings.Contains(passPath, "/") {
+		return false
+	}
+	return firstElem(passPath) == firstElem(calleePath)
+}
+
+// firstElem returns the first element of an import path.
+func firstElem(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// calleeDir maps a module-internal import path to its directory by
+// rebasing against the current package's dir ↔ path correspondence.
+func calleeDir(passPath, passDir, calleePath string) string {
+	rel := strings.TrimPrefix(passPath, firstElem(passPath)) // "/internal/policy"
+	dir := filepath.ToSlash(passDir)
+	if root, ok := strings.CutSuffix(dir, rel); ok {
+		return filepath.FromSlash(root + strings.TrimPrefix(calleePath, firstElem(calleePath)))
+	}
+	return ""
+}
+
+// index records which functions, methods and interface methods of one
+// package carry //smb:hotpath.
+type index struct {
+	funcs map[string]bool // "Name" / "Recv.Name" / "Iface.Method" -> annotated
+}
+
+// hot reports whether key is annotated. Dynamic keys ("Iface.Method")
+// resolve against interface-method entries exactly like static ones —
+// the builder records both forms in one namespace.
+func (ix *index) hot(key string) bool { return ix.funcs[key] }
+
+// buildIndex scans parsed files for hotpath annotations on function
+// declarations and interface method fields.
+func buildIndex(files []*ast.File) *index {
+	ix := &index{funcs: map[string]bool{}}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if lint.FuncAnnotated("hotpath", d) {
+					ix.funcs[funcKey(d)] = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					iface, ok := ts.Type.(*ast.InterfaceType)
+					if !ok {
+						continue
+					}
+					for _, m := range iface.Methods.List {
+						if len(m.Names) == 0 {
+							continue // embedded interface
+						}
+						if commentHas(m.Doc, "hotpath") || commentHas(m.Comment, "hotpath") {
+							for _, name := range m.Names {
+								ix.funcs[ts.Name.Name+"."+name.Name] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// funcKey renders a FuncDecl as its index key.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch r := t.(type) {
+		case *ast.StarExpr:
+			t = r.X
+		case *ast.IndexExpr:
+			t = r.X
+		case *ast.IndexListExpr:
+			t = r.X
+		case *ast.Ident:
+			return r.Name + "." + fn.Name.Name
+		default:
+			return fn.Name.Name
+		}
+	}
+}
+
+// commentHas reports whether a comment group carries //smb:<tag>.
+func commentHas(cg *ast.CommentGroup, tag string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "smb:"+tag || strings.HasPrefix(text, "smb:"+tag+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirCache memoizes cross-package annotation indexes: the policy
+// package resolves core's annotations once, not once per call site.
+var dirCache = map[string]*index{}
+
+// dirIndex parses the non-test Go files of dir and builds its
+// annotation index, memoized.
+func dirIndex(dir string) (*index, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cannot locate callee package directory")
+	}
+	if ix, ok := dirCache[dir]; ok {
+		return ix, nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	ix := buildIndex(files)
+	dirCache[dir] = ix
+	return ix, nil
+}

@@ -1,0 +1,16 @@
+package hotcall_test
+
+import (
+	"testing"
+
+	"smbm/internal/lint/hotcall"
+	"smbm/internal/lint/linttest"
+)
+
+// TestHotcall runs the analyzer over one flagged and one clean fixture
+// package; the clean fixture mirrors the engine's generic admission
+// kernels (explicit and inferred instantiations, type-parameter
+// dispatch through an annotated constraint method).
+func TestHotcall(t *testing.T) {
+	linttest.Run(t, "testdata", hotcall.Analyzer, "hot", "hotclean")
+}

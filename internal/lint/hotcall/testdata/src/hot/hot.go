@@ -1,0 +1,105 @@
+// Package hot is a hotcall fixture: inside a //smb:hotpath function,
+// calls must resolve to hotpath-annotated callees, compiler-inlined
+// leaves, or stdlib intrinsics — anything else is a hole in the
+// transitive allocation proof and is flagged.
+package hot
+
+import "math"
+
+// coldWalk is recursive, so the compiler can never inline it, and it
+// is not annotated: calling it from a hot path is the exact hole
+// hotcall exists to close.
+func coldWalk(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return coldWalk(n-1) + 1
+}
+
+// hotHelper is annotated and callable from hot paths.
+//
+//smb:hotpath
+func hotHelper(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// tiny is small enough that every call site inlines it.
+func tiny(n int) int { return n + 1 }
+
+// Meter is the fixture's dynamic-dispatch surface.
+type Meter interface {
+	// Hot is part of the hot contract: implementations must be
+	// allocation-free.
+	//
+	//smb:hotpath
+	Hot() int
+
+	// Cold is explicitly not part of the hot contract.
+	Cold() int
+}
+
+// CallsCold calls a non-inlinable, unannotated function.
+//
+//smb:hotpath
+func CallsCold(n int) int {
+	return coldWalk(n) // want `hot path calls non-hotpath function hot.coldWalk`
+}
+
+// CallsHot calls an annotated function: fine.
+//
+//smb:hotpath
+func CallsHot(n int) int {
+	return hotHelper(n)
+}
+
+// CallsInlined calls an inlined leaf: fine per the compiler's -m
+// record.
+//
+//smb:hotpath
+func CallsInlined(n int) int {
+	return tiny(n)
+}
+
+// CallsStdlib calls a standard-library intrinsic: fine.
+//
+//smb:hotpath
+func CallsStdlib(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// CallsIface dispatches through an annotated interface method (fine)
+// and an unannotated one (flagged).
+//
+//smb:hotpath
+func CallsIface(m Meter) int {
+	a := m.Hot()
+	b := m.Cold() // want `hot path calls non-hotpath interface method hot.Meter.Cold`
+	return a + b
+}
+
+// CallsFuncValue calls through a bare function value, which cannot be
+// statically verified.
+//
+//smb:hotpath
+func CallsFuncValue(f func(int) int, n int) int {
+	return f(n) // want `call through a function value`
+}
+
+// ColdLine exempts a cold call with a reason.
+//
+//smb:hotpath
+func ColdLine(n int) int {
+	if n < 0 {
+		//smb:alloc-ok once-per-run fallback, not the steady state
+		return coldWalk(n)
+	}
+	return hotHelper(n)
+}
+
+// Cold is unannotated: it may call anything.
+func Cold(n int) int {
+	return coldWalk(n)
+}

@@ -1,0 +1,58 @@
+// Package hotclean is a hotcall fixture whose hot paths pass,
+// modelled on the engine's generic admission kernels: a hot wrapper
+// instantiates a generic hot kernel with a rule struct, the kernel
+// dispatches through its type-parameter constraint, and every link in
+// that chain carries the annotation.
+package hotclean
+
+// rule is the constraint interface of the fixture kernel; its method
+// is part of the hot contract, like thresholdRule.admit.
+type rule interface {
+	// admit is the per-item predicate.
+	//
+	//smb:hotpath
+	admit(x int) bool
+}
+
+// evenRule admits even items.
+type evenRule struct{ parity int }
+
+// admit implements rule.
+//
+//smb:hotpath
+func (r evenRule) admit(x int) bool { return x%2 == r.parity }
+
+// kernel is the generic hot loop, stencilled per rule like
+// thresholdBatch[R].
+//
+//smb:hotpath
+func kernel[R rule](xs []int, r R) int {
+	count := 0
+	for _, x := range xs {
+		if r.admit(x) {
+			count++
+		}
+	}
+	return count
+}
+
+// CountEven drives the kernel through an explicit instantiation.
+//
+//smb:hotpath
+func CountEven(xs []int) int {
+	return kernel[evenRule](xs, evenRule{})
+}
+
+// CountInferred drives the kernel through an inferred instantiation.
+//
+//smb:hotpath
+func CountInferred(xs []int, r evenRule) int {
+	return kernel(xs, r)
+}
+
+// Builtins sticks to builtins and conversions, which are always fine.
+//
+//smb:hotpath
+func Builtins(xs []int) int {
+	return len(xs) + cap(xs) + int(int64(len(xs)))
+}

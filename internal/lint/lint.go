@@ -30,6 +30,11 @@
 //     a lease-ledger package, licenses that function (and only it) to
 //     read the wall clock; checked by leaseclock. The reason is
 //     mandatory.
+//   - //smb:conc-ok <reason> — placed on (or immediately above) a line
+//     in a deterministic engine package, or in a function's doc
+//     comment, exempts that line (or function) from the concfence
+//     concurrency fence (go statements, channel operations,
+//     sync/sync-atomic imports). The reason is mandatory.
 package lint
 
 import (
@@ -37,6 +42,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -81,6 +87,9 @@ type Pass struct {
 	// Path is the package's import path ("smbm/internal/core"; fixture
 	// packages use their bare directory name).
 	Path string
+	// Dir is the package directory on disk. Compiler-diagnostic
+	// analyzers (escapecheck, hotcall) shell out to `go build` here.
+	Dir string
 	// Pkg is the type-checked package, nil in syntax-only mode.
 	Pkg *types.Package
 	// TypesInfo records type and object resolution for Files, nil in
@@ -177,6 +186,44 @@ func (p *Pass) AnnotationAt(tag string, pos token.Pos) (Annotation, bool) {
 	return Annotation{}, false
 }
 
+// AnnotationAtLine is AnnotationAt for positions that arrive as a file
+// base name plus line number instead of a token.Pos — the form
+// compiler diagnostics (`go build -gcflags=-m=2`) report. Filenames
+// are matched on their base name, which is unique within a package.
+func (p *Pass) AnnotationAtLine(tag, fileBase string, line int) (Annotation, bool) {
+	for filename, byLine := range p.annots {
+		if filepath.Base(filename) != fileBase {
+			continue
+		}
+		for _, l := range []int{line, line - 1} {
+			for _, a := range byLine[l] {
+				if a.Tag == tag {
+					return a, true
+				}
+			}
+		}
+	}
+	return Annotation{}, false
+}
+
+// LinePos converts a compiler-diagnostic position (file base name plus
+// line) back into a token.Pos inside one of the pass's files, so
+// diagnostics derived from `go build` output carry real positions. It
+// returns token.NoPos when no parsed file matches.
+func LinePos(p *Pass, fileBase string, line int) token.Pos {
+	for _, f := range p.Files {
+		tf := p.Fset.File(f.Pos())
+		if tf == nil || filepath.Base(tf.Name()) != fileBase {
+			continue
+		}
+		if line < 1 || line > tf.LineCount() {
+			return token.NoPos
+		}
+		return tf.LineStart(line)
+	}
+	return token.NoPos
+}
+
 // FuncAnnotated reports whether fn's doc comment carries //smb:<tag>.
 func FuncAnnotated(tag string, fn *ast.FuncDecl) bool {
 	if fn.Doc == nil {
@@ -225,9 +272,45 @@ var policyPackages = map[string]bool{
 	"policy": true,
 }
 
+// concFencePackages names the packages inside the deterministic-engine
+// fence checked by concfence: the bit-reproducible replay core and the
+// pure data structures it is built from. No goroutines, channel
+// operations or sync primitives may appear there without a
+// //smb:conc-ok <reason> annotation — the fence is what keeps the
+// future sharded runtime's shard boundary auditable (the deterministic
+// engine stays the differential oracle; concurrency lives outside, in
+// sim/lease/cli/obs, which are deliberately absent from this list).
+var concFencePackages = map[string]bool{
+	"core":    true,
+	"policy":  true,
+	"opt":     true,
+	"pkt":     true,
+	"traffic": true,
+	"deque":   true,
+	"bmset":   true,
+	"singleq": true,
+}
+
 // EnginePackage reports whether the import path names one of the
 // deterministic engine packages (matched on the final path element).
 func EnginePackage(path string) bool { return enginePackages[PathBase(path)] }
+
+// ConcFencePackage reports whether the import path names a package
+// inside the deterministic-engine concurrency fence (matched on the
+// final path element), where concfence forbids goroutines, channel
+// operations and sync primitives without an annotation.
+func ConcFencePackage(path string) bool { return concFencePackages[PathBase(path)] }
+
+// ConcFencePackageList returns the sorted fenced package names, for
+// documentation and tests.
+func ConcFencePackageList() []string {
+	out := make([]string, 0, len(concFencePackages))
+	for name := range concFencePackages {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // PolicyPackage reports whether the import path names a policy package
 // (matched on the final path element), whose code is bound by the
@@ -274,6 +357,7 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Path:      pkg.Path,
+		Dir:       pkg.Dir,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.Info,
 		annots:    parseAnnotations(pkg.Fset, pkg.Files),

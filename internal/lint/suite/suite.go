@@ -6,11 +6,14 @@ package suite
 
 import (
 	"smbm/internal/lint"
+	"smbm/internal/lint/concfence"
 	"smbm/internal/lint/cursorerr"
 	"smbm/internal/lint/detmap"
+	"smbm/internal/lint/escapecheck"
 	"smbm/internal/lint/exporteddoc"
 	"smbm/internal/lint/fastviewro"
 	"smbm/internal/lint/hotalloc"
+	"smbm/internal/lint/hotcall"
 	"smbm/internal/lint/leaseclock"
 	"smbm/internal/lint/seedrand"
 	"smbm/internal/lint/wallclock"
@@ -20,11 +23,14 @@ import (
 // order.
 func Analyzers() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		concfence.Analyzer,
 		cursorerr.Analyzer,
 		detmap.Analyzer,
+		escapecheck.Analyzer,
 		exporteddoc.Analyzer,
 		fastviewro.Analyzer,
 		hotalloc.Analyzer,
+		hotcall.Analyzer,
 		leaseclock.Analyzer,
 		seedrand.Analyzer,
 		wallclock.Analyzer,

@@ -1,0 +1,92 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"smbm/internal/lint/suite"
+)
+
+// wantRe matches a linttest expectation comment. A fixture directory
+// containing at least one is a "flagged" fixture; one containing none
+// is a "clean" fixture.
+var wantRe = regexp.MustCompile(`// want ` + "`")
+
+// TestEveryAnalyzerHasFixtures enforces the fixture contract on the
+// roster itself: each registered analyzer ships a testdata/src tree
+// with at least one flagged fixture package (so the diagnostic
+// actually fires) and at least one clean fixture package (so the
+// analyzer's negative space is pinned too). Registering an analyzer
+// without both is how silent regressions start.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	for _, a := range suite.Analyzers() {
+		root := filepath.Join("..", a.Name, "testdata", "src")
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Errorf("analyzer %s: no fixture tree at %s: %v", a.Name, root, err)
+			continue
+		}
+		flagged, clean := 0, 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			has, err := dirHasWant(filepath.Join(root, e.Name()))
+			if err != nil {
+				t.Errorf("analyzer %s: reading fixture %s: %v", a.Name, e.Name(), err)
+				continue
+			}
+			if has {
+				flagged++
+			} else {
+				clean++
+			}
+		}
+		if flagged == 0 {
+			t.Errorf("analyzer %s: no flagged fixture (a package with // want expectations) under %s", a.Name, root)
+		}
+		if clean == 0 {
+			t.Errorf("analyzer %s: no clean fixture (a package with zero // want expectations) under %s", a.Name, root)
+		}
+	}
+}
+
+// TestRosterSortedAndUnique pins the roster's determinism contract:
+// alphabetical order, no duplicate names.
+func TestRosterSortedAndUnique(t *testing.T) {
+	analyzers := suite.Analyzers()
+	if len(analyzers) == 0 {
+		t.Fatal("empty analyzer roster")
+	}
+	for i := 1; i < len(analyzers); i++ {
+		prev, cur := analyzers[i-1].Name, analyzers[i].Name
+		if prev >= cur {
+			t.Errorf("roster out of order: %q before %q", prev, cur)
+		}
+	}
+}
+
+// dirHasWant reports whether any .go file directly in dir contains a
+// linttest expectation comment.
+func dirHasWant(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return false, err
+		}
+		if wantRe.Match(data) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

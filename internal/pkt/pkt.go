@@ -65,13 +65,18 @@ func (p Packet) String() string {
 // Validate reports whether the packet is well-formed for a switch with
 // ports output ports and the per-packet bound maxLabel (k) on work and
 // value.
+//
+//smb:hotpath
 func (p Packet) Validate(ports, maxLabel int) error {
 	switch {
 	case p.Port < 0 || p.Port >= ports:
+		//smb:alloc-ok validation failure path, never taken by well-formed input
 		return fmt.Errorf("pkt: port %d out of range [0,%d)", p.Port, ports)
 	case p.Work < 1 || p.Work > maxLabel:
+		//smb:alloc-ok validation failure path, never taken by well-formed input
 		return fmt.Errorf("pkt: work %d out of range [1,%d]", p.Work, maxLabel)
 	case p.Value < 1 || p.Value > maxLabel:
+		//smb:alloc-ok validation failure path, never taken by well-formed input
 		return fmt.Errorf("pkt: value %d out of range [1,%d]", p.Value, maxLabel)
 	}
 	return nil

@@ -51,6 +51,8 @@ type nhstRule struct {
 }
 
 // newNHSTRule hoists NHST's per-burst constants once.
+//
+//smb:hotpath
 func newNHSTRule(f core.FastView) nhstRule {
 	return nhstRule{f.QueueLens(), f.PortWorks(), f.PortInvWorkSum(), float64(f.Buffer())}
 }

@@ -50,6 +50,8 @@ type rvdRule struct {
 }
 
 // newRVDRule hoists the live slices once.
+//
+//smb:hotpath
 func newRVDRule(f core.FastView) rvdRule {
 	return rvdRule{f.QueueLens(), f.QueueTotalWorks(), f.PortWorks(), f.QueueMinValues(), f.QueueSums()}
 }

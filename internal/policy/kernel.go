@@ -29,7 +29,9 @@ import (
 // packet. memo reports whether congested drops may be memoized in the
 // engine's drop-memo table (profitable only when admit is O(n)).
 type thresholdRule interface {
+	//smb:hotpath
 	admit(p pkt.Packet) bool
+	//smb:hotpath
 	memo() bool
 }
 
@@ -68,7 +70,9 @@ func thresholdBatch[R thresholdRule](b *core.Batch, ps []pkt.Packet, r R) {
 // virtual add of the arrival, own-queue displacement guards. memo as
 // in thresholdRule.
 type victimRule interface {
+	//smb:hotpath
 	victim(p pkt.Packet) int
+	//smb:hotpath
 	memo() bool
 }
 

@@ -176,6 +176,8 @@ type lwdRule struct {
 }
 
 // newLWDRule hoists the live work slices once.
+//
+//smb:hotpath
 func newLWDRule(f core.FastView) lwdRule {
 	return lwdRule{f, f.QueueTotalWorks(), f.PortWorks()}
 }

@@ -31,6 +31,8 @@ type tvdRule struct {
 }
 
 // newTVDRule hoists the live slices once.
+//
+//smb:hotpath
 func newTVDRule(f core.FastView) tvdRule {
 	return tvdRule{f.QueueLens(), f.QueueMinValues(), f.QueueSums()}
 }

@@ -34,6 +34,8 @@ type nhstvRule struct {
 }
 
 // newNHSTVRule hoists NHSTV's per-burst constants once.
+//
+//smb:hotpath
 func newNHSTVRule(f core.FastView) nhstvRule {
 	k := f.MaxLabel()
 	return nhstvRule{f.QueueLens(), k, hmath.Harmonic(k), float64(f.Buffer())}
@@ -94,6 +96,8 @@ type vlqdRule struct {
 }
 
 // newVLQDRule hoists the live slices once.
+//
+//smb:hotpath
 func newVLQDRule(f core.FastView) vlqdRule {
 	return vlqdRule{f.QueueLens(), f.QueueMinValues()}
 }
@@ -189,6 +193,8 @@ type mvdRule struct {
 }
 
 // newMVDRule hoists the live slices once.
+//
+//smb:hotpath
 func newMVDRule(f core.FastView, minLen int) mvdRule {
 	return mvdRule{f.QueueLens(), f.QueueMinValues(), minLen}
 }
@@ -294,6 +300,8 @@ type mrdRule struct {
 }
 
 // newMRDRule hoists the live slices once.
+//
+//smb:hotpath
 func newMRDRule(f core.FastView) mrdRule {
 	return mrdRule{f.QueueLens(), f.QueueMinValues(), f.QueueSums()}
 }

@@ -1,6 +1,7 @@
 package traffic
 
 import (
+	//smb:conc-ok memo cache install guard; replayed streams stay bit-identical
 	"sync"
 
 	"smbm/internal/pkt"
