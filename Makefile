@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet lint chaos bench bench-json bench-assert panels lowerbounds arch faults obs-demo report examples clean
+.PHONY: all build test test-race vet lint chaos smbsimd-smoke bench bench-json bench-assert panels lowerbounds arch faults obs-demo report examples clean
 
 all: build vet lint test test-race
 
@@ -27,9 +27,22 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-sensitive harness packages and
-# the shared-state providers they drive.
+# the shared-state providers they drive, including the sharded runtime
+# and its daemon.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/... ./internal/traffic/... ./internal/adversary/... ./internal/lease
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/cli/... ./internal/traffic/... ./internal/adversary/... ./internal/lease ./internal/shard ./internal/obs ./cmd/smbsimd
+
+# Sharded-runtime smoke (DESIGN.md §17): the shard and daemon suites
+# under the race detector — SPSC rings, pool manager, stream lifecycle,
+# SIGTERM drain, mid-stream disconnect — then the seeded in-process
+# loadgen selftest at 1 and 4 shards, where every shard must be
+# bit-identical to its single-threaded sim.RunTrace oracle. The -race
+# selftest run keeps the wall-clock numbers honest about what the
+# detector costs; scaling assertions (-minscale) are left to operators
+# who know their core count.
+smbsimd-smoke:
+	$(GO) test -race ./internal/shard ./internal/obs ./cmd/smbsimd
+	$(GO) run -race ./cmd/smbsimd -selftest -shards 4 -slots 5000 -reps 2
 
 # Crash-chaos harness for the lease ledger: fork real worker
 # subprocesses, SIGKILL them mid-cell, truncate their journals at random

@@ -52,6 +52,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"expvar"
 	"flag"
@@ -110,9 +112,29 @@ func (v *progressVar) String() string {
 		p.Sweep, p.XLabel, p.X, p.SeedIndex, p.Done, p.Failed, p.Skipped, p.Total, p.CheckpointLag)
 }
 
+// startNonce is drawn once per process start. Hostname plus pid alone
+// is not unique per incarnation: a worker restarted after pid reuse —
+// routine in pid-namespaced containers, where every worker can be
+// pid 1 on its own host-named node twin — would silently reopen the
+// previous incarnation's journal while that identity may still hold
+// live leases elsewhere in the fleet. Eight random hex digits make the
+// derived identity unique per incarnation; lease.Open's live-writer
+// lock then catches whatever collisions remain (e.g. an explicit
+// -worker-id used twice).
+var startNonce = sync.OnceValue(func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// No randomness source: fall back to the bare hostname-pid
+		// identity rather than failing startup.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+})
+
 // defaultWorkerID derives a ledger identity that is unique per live
-// process — hostname plus pid, sanitized to the ledger's worker-ID
-// alphabet — so a fleet launched without -worker-id just works.
+// process incarnation — hostname, pid and a per-start nonce, sanitized
+// to the ledger's worker-ID alphabet — so a fleet launched without
+// -worker-id just works, even across restarts that reuse a pid.
 func defaultWorkerID() string {
 	host, err := os.Hostname()
 	if err != nil || host == "" {
@@ -131,6 +153,9 @@ func defaultWorkerID() string {
 	id := strings.Trim(string(clean), ".-_")
 	if id == "" {
 		id = "worker"
+	}
+	if nonce := startNonce(); nonce != "" {
+		return fmt.Sprintf("%s-%d-%s", id, os.Getpid(), nonce)
 	}
 	return fmt.Sprintf("%s-%d", id, os.Getpid())
 }
@@ -154,7 +179,7 @@ func main() {
 		ledger      = flag.String("ledger", "", "distributed mode: share sweep cells with other smbsim processes through the crash-safe lease ledger in this directory (conflicts with -checkpoint)")
 		workerMode  = flag.Bool("worker", false, "fleet worker: compute leased cells and print one summary line per sweep instead of tables (requires -ledger)")
 		coordinator = flag.Bool("coordinator", false, "fleet coordinator: compute nothing, wait for the workers to finish each sweep, render the merged tables (requires -ledger)")
-		workerID    = flag.String("worker-id", "", "ledger identity of this process (default <hostname>-<pid>); two live processes must never share one")
+		workerID    = flag.String("worker-id", "", "ledger identity of this process (default <hostname>-<pid>-<nonce>, unique per start); two live processes must never share one")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "lease expiry: how long a crashed or hung worker holds a cell before others reclaim it (default 1m)")
 		cellRetries = flag.Int("cell-retries", 0, "failed attempts per cell before it is reported degraded (default 3; negative = no retries)")
 		obsFlag     = flag.Bool("obs", false, "record per-policy decision counters and append them to each report")

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"smbm/internal/core"
+	"smbm/internal/obs"
+	"smbm/internal/shard"
+	"smbm/internal/sim"
+	"smbm/internal/traffic"
+)
+
+// selftestOptions parameterizes the in-process loadgen benchmark.
+type selftestOptions struct {
+	cfg      core.Config
+	policy   string
+	factory  func() core.Policy
+	shards   int
+	ringCap  int
+	slots    int
+	sources  int
+	seed     int64
+	reps     int
+	minScale float64
+}
+
+// labelMode picks the MMPP labeling matching the engine model.
+func labelMode(m core.Model) traffic.LabelMode {
+	switch m {
+	case core.ModelValue:
+		return traffic.LabelValueUniform
+	case core.ModelCombined:
+		return traffic.LabelWorkValue
+	default:
+		return traffic.LabelWorkByPort
+	}
+}
+
+// runSelftest materializes one seeded global MMPP trace, replays it
+// through the sharded runtime at 1 shard and at o.shards shards with
+// one producer goroutine per shard, reports the admission-throughput
+// scaling, and verifies every shard of both runs bit-identical against
+// the single-threaded sim.RunTrace oracle on the same traffic
+// partition. With o.minScale > 0 a scaling factor below it is an
+// error.
+func runSelftest(out io.Writer, o selftestOptions) error {
+	if o.shards < 1 {
+		return fmt.Errorf("selftest: -shards %d < 1", o.shards)
+	}
+	if o.reps < 1 {
+		o.reps = 1
+	}
+	sources := o.sources
+	if sources <= 0 {
+		sources = 2 * o.cfg.Ports
+	}
+	mc := traffic.MMPPConfig{
+		Sources:  sources,
+		LambdaOn: 1.0,
+		POnOff:   0.05,
+		POffOn:   0.2,
+		Label:    labelMode(o.cfg.Model),
+		Ports:    o.cfg.Ports,
+		MaxLabel: o.cfg.MaxLabel,
+		PortWork: o.cfg.PortWork,
+		Seed:     o.seed,
+	}
+	g, err := traffic.NewMMPP(mc)
+	if err != nil {
+		return fmt.Errorf("selftest: %w", err)
+	}
+	tr := traffic.Record(g, o.slots)
+	var packets int64
+	for _, burst := range tr {
+		packets += int64(len(burst))
+	}
+	fmt.Fprintf(out, "smbsimd selftest: policy=%s model=%s ports=%d B=%d k=%d slots=%d packets=%d cores=%d\n",
+		o.policy, o.cfg.Model, o.cfg.Ports, o.cfg.Buffer, o.cfg.MaxLabel, o.slots, packets, runtime.NumCPU())
+
+	rate1, err := measure(out, o, 1, tr, packets)
+	if err != nil {
+		return err
+	}
+	if o.shards == 1 {
+		return nil
+	}
+	rateN, err := measure(out, o, o.shards, tr, packets)
+	if err != nil {
+		return err
+	}
+	scaling := rateN / rate1
+	fmt.Fprintf(out, "smbsimd selftest: scaling %.2fx from 1 to %d shards\n", scaling, o.shards)
+	if o.minScale > 0 && scaling < o.minScale {
+		return fmt.Errorf("selftest: scaling %.2fx below required %.2fx", scaling, o.minScale)
+	}
+	return nil
+}
+
+// measure times o.reps replays of the trace through an n-shard runtime
+// (one producer goroutine per shard over the pre-partitioned trace,
+// so generation cost stays off the timed consumers), returns the best
+// admission rate in packets/second, and checks the final replay's
+// results against the oracle.
+func measure(out io.Writer, o selftestOptions, n int, tr traffic.Trace, packets int64) (float64, error) {
+	rt, err := shard.NewRuntime(o.cfg, n, o.factory, shard.Options{RingCap: o.ringCap})
+	if err != nil {
+		return 0, fmt.Errorf("selftest: %w", err)
+	}
+	locals := make([]traffic.Trace, n)
+	for i := range locals {
+		locals[i] = shard.FilterTrace(tr, rt.Partition(i))
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	var best float64
+	results := make([]shard.Result, n)
+	errs := make([]error, n)
+	for rep := 0; rep < o.reps; rep++ {
+		if err := rt.BeginStream(); err != nil {
+			return 0, fmt.Errorf("selftest: %w", err)
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			f := rt.Feeder(i)
+			local := locals[i]
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for slot, burst := range local {
+					for _, p := range burst {
+						f.Arrive(int64(slot), p)
+					}
+				}
+				results[i], errs[i] = f.Finish(int64(len(local)))
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		rt.EndStream()
+		for i, err := range errs {
+			if err != nil {
+				return 0, fmt.Errorf("selftest: shard %d: %w", i, err)
+			}
+		}
+		if rate := float64(packets) / elapsed.Seconds(); rate > best {
+			best = rate
+		}
+	}
+
+	// Differential oracle over the final replay: every shard must be
+	// bit-identical to the single-threaded harness on its partition.
+	for i := 0; i < n; i++ {
+		cfg := rt.ShardConfig(i)
+		sw, err := core.New(cfg, o.factory())
+		if err != nil {
+			return 0, fmt.Errorf("selftest: oracle shard %d: %w", i, err)
+		}
+		rec := obs.NewRecorder(cfg.Ports, 0)
+		sw.SetRecorder(rec)
+		stats, err := sim.RunTrace(sw, locals[i], 0)
+		if err != nil {
+			return 0, fmt.Errorf("selftest: oracle shard %d: %w", i, err)
+		}
+		if diff := shard.DiffResult(results[i], stats, sw.PortCounters(), rec.SaveCounts(nil)); diff != "" {
+			return 0, fmt.Errorf("selftest: oracle differential failed: %s", diff)
+		}
+	}
+	fmt.Fprintf(out, "smbsimd selftest: shards=%d best=%.0f pkt/s over %d reps, oracle differential: %d/%d shards bit-identical\n",
+		n, best, o.reps, n, n)
+	return best, nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"bufio"
+	"net"
+
+	"smbm/internal/traffic"
+)
+
+// streamOpen wraps one stream connection in the traffic binary-framing
+// cursor ("SMBT1\n" magic, slot-count header, 8-byte records). The
+// returned slot count is the length the client announced; the cursor
+// fails mid-stream if the client disconnects or sends a malformed
+// record, which the stream loop turns into a clean cut at the last
+// complete slot.
+func streamOpen(conn net.Conn) (traffic.Cursor, int, error) {
+	return traffic.StreamBinary(bufio.NewReader(conn))
+}

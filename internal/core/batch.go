@@ -397,6 +397,13 @@ func (b *Batch) DropMemo(p pkt.Packet) {
 // per-port), and the memo epoch advances on every accept and push-out:
 // a stamped drop therefore replays the exact same policy evaluation.
 //
+// The epoch is monotone over the switch's whole lifetime — Reset and
+// SetPolicy leave it in place and the next batch advances past it, so
+// a stamp from before a reset or policy swap can never validate — and
+// its int64 width makes wraparound (the other way a stale stamp could
+// alias a live epoch) infeasible even for an unbounded daemon; see the
+// field docs in switch.go.
+//
 //smb:hotpath
 func (b *Batch) KnownDrop(p pkt.Packet) bool {
 	s := b.s

@@ -111,16 +111,26 @@ type Switch struct {
 	// executor, the policy's optional batch kernel, the undo log and
 	// counter checkpoints backing transactional commit/rollback, the
 	// buffered trace events, and the epoch-stamped drop-decision memo.
-	batchPol    BatchPolicy
-	batch       Batch
-	undo        []uint64
-	undoEv      []evictUndo
-	evBuf       []obs.Event
-	recSnap     []uint64
-	statsSnap   Stats
-	savedPC     []PortCounters
-	dirtyPorts  []int
-	dirtyStamp  []int64
+	batchPol   BatchPolicy
+	batch      Batch
+	undo       []uint64
+	undoEv     []evictUndo
+	evBuf      []obs.Event
+	recSnap    []uint64
+	statsSnap  Stats
+	savedPC    []PortCounters
+	dirtyPorts []int
+	dirtyStamp []int64
+	// batchSerial and memoEpoch are monotone for the lifetime of the
+	// Switch: they only ever increment (beginBatch advances both;
+	// accepts and push-outs advance memoEpoch) and survive Reset and
+	// SetPolicy untouched, so a dirtyStamp or memoStamp written before
+	// either can never alias a stamp issued after — the stamp tables
+	// never need clearing. Overflow is a non-concern by construction:
+	// both are int64, advanced at most a few times per arriving packet,
+	// so even an unbounded daemon (cmd/smbsimd) stepping 10⁹ packets
+	// per second would take centuries to wrap. Do not "economize" by
+	// rezeroing them on Reset; that would revive stale stamps.
 	batchSerial int64
 	memoStamp   []int64
 	memoStride  int

@@ -462,3 +462,35 @@ func TestIntraProcessHeldSet(t *testing.T) {
 		t.Fatal("sibling Acquire never returned")
 	}
 }
+
+// TestOpenRejectsSecondLiveWriter pins the live-writer lock: two live
+// processes (here, two handles — flock binds to the open file
+// description, so the in-process case exercises the same kernel path)
+// must never append to one journal. The second opener under the same
+// identity hard-fails while the first is live, and succeeds once the
+// first closes — so a crashed or exited worker's identity stays
+// reusable.
+func TestOpenRejectsSecondLiveWriter(t *testing.T) {
+	dir := t.TempDir()
+	first := openWorker(t, dir, "dup", nil, time.Minute, 3)
+
+	_, err := Open(Options{Dir: dir, Worker: "dup", Fingerprint: testFP()})
+	if err == nil {
+		t.Fatalf("second Open under a live identity succeeded")
+	}
+	if !strings.Contains(err.Error(), "live writer") {
+		t.Fatalf("second Open error does not name the live writer: %v", err)
+	}
+	// A different identity in the same ledger is unaffected.
+	other := openWorker(t, dir, "dup2", nil, time.Minute, 3)
+	other.Close()
+
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reopened, err := Open(Options{Dir: dir, Worker: "dup", Fingerprint: testFP()})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	reopened.Close()
+}

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
+	"syscall"
 	"time"
 
 	"smbm/internal/obs"
@@ -106,6 +107,15 @@ type Ledger struct {
 // identity — its headers are verified against the fingerprint and a
 // torn final line (the crash artifact of the previous incarnation) is
 // truncated away; the single-writer discipline makes that safe.
+//
+// Open enforces that discipline: it takes an exclusive flock on the
+// journal and hard-fails if another live process already holds it, so
+// two workers that end up with the same identity (pid reuse after a
+// restart, a copy-pasted -worker-id) are detected at startup instead
+// of silently interleaving appends — and instead of the second opener
+// truncating what it mistakes for the first one's torn tail. The lock
+// dies with the process, so a crashed worker's identity is reusable
+// immediately.
 func Open(o Options) (*Ledger, error) {
 	if o.Dir == "" {
 		return nil, fmt.Errorf("lease: ledger directory is empty")
@@ -153,19 +163,30 @@ func Open(o Options) (*Ledger, error) {
 		return nil, err
 	}
 	path := filepath.Join(o.Dir, o.Worker+ledgerExt)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lease: %s: %w", path, err)
+	}
+	l.f = f
+	// The flock must precede the torn-tail scan: a "torn" final line on
+	// a locked journal is another live writer's in-flight append, not a
+	// crash artifact, and truncating it would corrupt their journal.
+	if err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		l.f.Close()
+		return nil, fmt.Errorf("lease: %s: worker ID %q already has a live writer (%v); two live processes must never share an identity", path, o.Worker, err)
+	}
 	fs, err := scanFile(path, o.Fingerprint)
 	if err != nil {
+		l.f.Close()
 		return nil, err
 	}
 	if fs.torn {
 		// Our own file, our own torn tail: drop it so the journal stays
 		// one-record-per-line before we append.
-		if err := os.Truncate(path, fs.validSize); err != nil {
+		if err := l.f.Truncate(fs.validSize); err != nil {
+			l.f.Close()
 			return nil, fmt.Errorf("lease: %s: dropping torn final record: %w", path, err)
 		}
-	}
-	if l.f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
-		return nil, fmt.Errorf("lease: %s: %w", path, err)
 	}
 	if !fs.hasHeader {
 		fp := o.Fingerprint
@@ -177,8 +198,9 @@ func Open(o Options) (*Ledger, error) {
 	return l, nil
 }
 
-// Close releases the worker's journal file. Held leases are left to
-// expire; call Abandon first for a prompt release.
+// Close releases the worker's journal file and with it the live-writer
+// lock, making the identity reusable. Held leases are left to expire;
+// call Abandon first for a prompt release.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

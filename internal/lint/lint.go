@@ -257,12 +257,14 @@ var enginePackages = map[string]bool{
 }
 
 // wallclockExempt names the packages where reading the wall clock is
-// the point: operator-facing progress reporting and benchmark
-// timestamping. Everything else must not observe real time.
+// the point: operator-facing progress reporting, benchmark
+// timestamping, and the smbsimd selftest's throughput measurement.
+// Everything else must not observe real time.
 var wallclockExempt = map[string]bool{
 	"cli":       true,
 	"report":    true,
 	"benchjson": true,
+	"smbsimd":   true,
 }
 
 // policyPackages names the packages that hold buffer-management
@@ -277,9 +279,11 @@ var policyPackages = map[string]bool{
 // pure data structures it is built from. No goroutines, channel
 // operations or sync primitives may appear there without a
 // //smb:conc-ok <reason> annotation — the fence is what keeps the
-// future sharded runtime's shard boundary auditable (the deterministic
-// engine stays the differential oracle; concurrency lives outside, in
-// sim/lease/cli/obs, which are deliberately absent from this list).
+// sharded runtime's shard boundary auditable: each shard of
+// internal/shard steps a fenced core.Switch single-threaded, and the
+// deterministic engine stays the differential oracle. Concurrency
+// lives outside, in shard/sim/lease/cli/obs and cmd/smbsimd, which
+// are deliberately absent from this list.
 var concFencePackages = map[string]bool{
 	"core":    true,
 	"policy":  true,

@@ -1,0 +1,83 @@
+package obs
+
+import "sync/atomic"
+
+// Mirror is an atomically readable copy of a Recorder's counter slab
+// for cross-goroutine observation. The Recorder itself stays
+// single-owner and lock-free on the admission hot path; the owning
+// goroutine calls Publish at slot granularity (off the per-packet
+// path) to copy the slab into the mirror with atomic stores, and any
+// number of reader goroutines snapshot it with atomic loads.
+//
+// Reads are per-counter atomic, not slab-consistent: a reader may
+// observe lane A from a newer publish than lane B. Every individual
+// counter is monotone between resets, which is the guarantee live
+// dashboards and expvar need; bit-exact cross-lane consistency comes
+// from reading the Recorder itself once its owner has quiesced (the
+// sharded runtime reads final results only after a drain barrier).
+type Mirror struct {
+	ports  int
+	counts []uint64
+}
+
+// NewMirror builds a mirror for recorders sized to the given port
+// count.
+func NewMirror(ports int) *Mirror {
+	return &Mirror{
+		ports:  ports,
+		counts: make([]uint64, ports*int(NumKinds)),
+	}
+}
+
+// Ports returns the port count the mirror was sized for.
+func (m *Mirror) Ports() int { return m.ports }
+
+// Publish copies r's counter slab into the mirror with atomic stores.
+// Only the recorder's owning goroutine may call it, and r must be
+// sized to the same port count (it panics otherwise).
+func (m *Mirror) Publish(r *Recorder) {
+	if len(r.counts) != len(m.counts) {
+		panic("obs: Mirror.Publish recorder size mismatch")
+	}
+	for i, v := range r.counts {
+		atomic.StoreUint64(&m.counts[i], v)
+	}
+}
+
+// Count returns one port's mirrored counter for lane k.
+func (m *Mirror) Count(port int, k Kind) uint64 {
+	return atomic.LoadUint64(&m.counts[port*int(NumKinds)+int(k)])
+}
+
+// Total sums lane k across all ports from the mirror.
+func (m *Mirror) Total(k Kind) uint64 {
+	var t uint64
+	for p := 0; p < m.ports; p++ {
+		t += atomic.LoadUint64(&m.counts[p*int(NumKinds)+int(k)])
+	}
+	return t
+}
+
+// Snapshot renders the mirrored counters into the JSON-serializable
+// export form. Events are never mirrored (the trace ring stays with
+// the recorder's owner), so the snapshot carries counters only.
+func (m *Mirror) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Ports:   m.ports,
+		PerPort: make([]KindCounts, m.ports),
+	}
+	for p := 0; p < m.ports; p++ {
+		base := p * int(NumKinds)
+		s.PerPort[p] = KindCounts{
+			Admits:         atomic.LoadUint64(&m.counts[base+int(KindAdmit)]),
+			TailDrops:      atomic.LoadUint64(&m.counts[base+int(KindTailDrop)]),
+			PushOuts:       atomic.LoadUint64(&m.counts[base+int(KindPushOut)]),
+			PushedOutWork:  atomic.LoadUint64(&m.counts[base+int(KindPushedOutWork)]),
+			PushedOutValue: atomic.LoadUint64(&m.counts[base+int(KindPushedOutValue)]),
+			HOLTransmits:   atomic.LoadUint64(&m.counts[base+int(KindHOLTransmit)]),
+			FaultEvents:    atomic.LoadUint64(&m.counts[base+int(KindFaultEvent)]),
+		}
+		s.Totals.Accumulate(s.PerPort[p])
+	}
+	return s
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestMirrorConcurrentReads publishes from the owning goroutine while
+// a reader snapshots continuously; under -race this checks the
+// atomic-store/atomic-load pairing, and the assertions pin per-counter
+// monotonicity between resets.
+func TestMirrorConcurrentReads(t *testing.T) {
+	const ports, rounds = 4, 2000
+	rec := NewRecorder(ports, 0)
+	m := NewMirror(ports)
+
+	stop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	go func() {
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				readerDone <- nil
+				return
+			default:
+			}
+			total := m.Total(KindAdmit)
+			if total < last {
+				readerDone <- errNonMonotone(last, total)
+				return
+			}
+			last = total
+			_ = m.Snapshot()
+		}
+	}()
+
+	for i := 0; i < rounds; i++ {
+		rec.Inc(i%ports, KindAdmit)
+		rec.Add(i%ports, KindTailDrop, 2)
+		m.Publish(rec)
+	}
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	for p := 0; p < ports; p++ {
+		for k := Kind(0); k < NumKinds; k++ {
+			if m.Count(p, k) != rec.Count(p, k) {
+				t.Fatalf("port %d kind %v: mirror %d != recorder %d", p, k, m.Count(p, k), rec.Count(p, k))
+			}
+		}
+	}
+	snap := m.Snapshot()
+	if snap.Totals.Admits != rounds || snap.Totals.TailDrops != 2*rounds {
+		t.Fatalf("snapshot totals = %+v", snap.Totals)
+	}
+}
+
+type monotoneErr struct{ last, got uint64 }
+
+func (e monotoneErr) Error() string { return "mirror total went backwards" }
+
+func errNonMonotone(last, got uint64) error { return monotoneErr{last, got} }
+
+func TestMirrorSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Publish with mismatched recorder did not panic")
+		}
+	}()
+	NewMirror(2).Publish(NewRecorder(3, 0))
+}

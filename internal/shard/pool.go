@@ -1,0 +1,264 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smbm/internal/pkt"
+)
+
+// Budget is the shared staging-capacity account, in packets, that all
+// shards' slab pools draw from. It is the compare-and-swap
+// allocate/release accounting of a shared packet buffer lifted to the
+// runtime's staging memory: acquisition races are resolved by CAS on a
+// single atomic free counter, never by a lock, so the admission hot
+// path never blocks on another shard's allocation.
+//
+// The budget bounds pool memory, not admission: admission decisions
+// are made by each shard's deterministic switch against its own
+// per-shard Buffer, so budget contention can delay a slab grow but can
+// never change which packets are admitted — that is what keeps the
+// sharded runtime bit-identical to the single-threaded oracle.
+type Budget struct {
+	capacity int64
+	free     atomic.Int64
+	// emergencies counts allocations that proceeded without budget
+	// after reclaim failed; see Pool.Get.
+	emergencies atomic.Int64
+}
+
+// NewBudget builds a budget with the given capacity in packets.
+func NewBudget(capacity int64) *Budget {
+	b := &Budget{capacity: capacity}
+	b.free.Store(capacity)
+	return b
+}
+
+// Cap returns the budget's total capacity in packets.
+func (b *Budget) Cap() int64 { return b.capacity }
+
+// Free returns the packets currently unallocated.
+func (b *Budget) Free() int64 { return b.free.Load() }
+
+// Emergencies returns how many slab allocations bypassed the budget
+// because it was exhausted even after reclaiming local free slabs.
+// A nonzero value means the budget is undersized for the offered load.
+func (b *Budget) Emergencies() int64 { return b.emergencies.Load() }
+
+// TryAcquire claims n packets of budget, failing without blocking if
+// fewer than n are free.
+func (b *Budget) TryAcquire(n int64) bool {
+	for {
+		free := b.free.Load()
+		if free < n {
+			return false
+		}
+		if b.free.CompareAndSwap(free, free-n) {
+			return true
+		}
+	}
+}
+
+// Release returns n packets of budget, clamped at the capacity:
+// slabs allocated on the emergency path (past an exhausted budget)
+// were never drawn from the account, so releasing them must not push
+// the free count above what the budget actually owns.
+func (b *Budget) Release(n int64) {
+	for {
+		free := b.free.Load()
+		next := free + n
+		if next > b.capacity {
+			next = b.capacity
+		}
+		if b.free.CompareAndSwap(free, next) {
+			return
+		}
+	}
+}
+
+// minSlab is the smallest slab capacity a pool hands out; larger
+// demands are served from geometrically larger size classes.
+const minSlab = 64
+
+// poolClasses is the number of slab size classes: minSlab << class,
+// topping out at minSlab<<(poolClasses-1) packets per slab.
+const poolClasses = 13
+
+// Pool is one shard's staging-slab allocator. Get and Put serve the
+// shard's event loop; Shrink runs from the runtime's pool-manager
+// goroutine, off the admission hot path, returning surplus free slabs
+// to the shared Budget. The mutex only guards the free lists — the
+// steady state (one staging slab reused every slot) touches the pool
+// not at all.
+type Pool struct {
+	budget *Budget
+
+	mu sync.Mutex
+	// frees[c] holds free slabs of capacity minSlab<<c.
+	frees [poolClasses][][]pkt.Packet
+	// held is the budget currently attributed to this pool, both free
+	// and handed-out slabs.
+	held int64
+	// hiWater is the free-packet threshold above which the pool asks
+	// the manager for a shrink.
+	hiWater int64
+	// freePkts is the packet capacity sitting on the free lists.
+	freePkts int64
+	// wantShrink signals the manager; see NeedShrink.
+	wantShrink atomic.Bool
+	// kick, when set, receives a non-blocking token whenever
+	// wantShrink is raised, waking the manager goroutine.
+	kick chan<- struct{}
+}
+
+// NewPool builds a pool drawing from budget, asking for a shrink once
+// more than hiWater packets of slab capacity sit unused (0 applies a
+// default of four maximum-demand slabs).
+func NewPool(budget *Budget, hiWater int64) *Pool {
+	if hiWater <= 0 {
+		hiWater = 4 * minSlab << (poolClasses - 1)
+	}
+	return &Pool{budget: budget, hiWater: hiWater}
+}
+
+// classFor returns the smallest size class holding need packets.
+func classFor(need int) int {
+	c, size := 0, minSlab
+	for size < need && c < poolClasses-1 {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+// Get returns an empty slab with capacity at least need (clamped to
+// the largest size class). It prefers a free slab, then budgeted
+// allocation, then reclaiming this pool's own free slabs; if the
+// budget is exhausted even after reclaim it allocates anyway and
+// counts an emergency, because stalling the shard would back-pressure
+// the ingress ring without bounding memory any better — the budget is
+// capacity accounting, not an admission gate.
+func (p *Pool) Get(need int) []pkt.Packet {
+	c := classFor(need)
+	size := minSlab << c
+
+	p.mu.Lock()
+	if n := len(p.frees[c]); n > 0 {
+		s := p.frees[c][n-1]
+		p.frees[c][n-1] = nil
+		p.frees[c] = p.frees[c][:n-1]
+		p.freePkts -= int64(size)
+		p.mu.Unlock()
+		return s[:0]
+	}
+	p.mu.Unlock()
+
+	if p.budget.TryAcquire(int64(size)) {
+		p.noteHeld(int64(size))
+		return make([]pkt.Packet, 0, size)
+	}
+	// Budget exhausted: return our own idle capacity and retry once.
+	p.reclaim()
+	if p.budget.TryAcquire(int64(size)) {
+		p.noteHeld(int64(size))
+		return make([]pkt.Packet, 0, size)
+	}
+	p.budget.emergencies.Add(1)
+	p.noteHeld(int64(size))
+	return make([]pkt.Packet, 0, size)
+}
+
+// noteHeld bumps the held accounting under the lock.
+func (p *Pool) noteHeld(n int64) {
+	p.mu.Lock()
+	p.held += n
+	p.mu.Unlock()
+}
+
+// Put returns a slab to the free lists. Slabs whose capacity is not a
+// pool size class (foreign slices) are dropped on the floor with their
+// budget released.
+func (p *Pool) Put(s []pkt.Packet) {
+	size := cap(s)
+	c := classFor(size)
+	if minSlab<<c != size {
+		p.mu.Lock()
+		p.held -= int64(size)
+		p.mu.Unlock()
+		p.budget.Release(int64(size))
+		return
+	}
+	p.mu.Lock()
+	p.frees[c] = append(p.frees[c], s[:0])
+	p.freePkts += int64(size)
+	want := p.freePkts > p.hiWater
+	p.mu.Unlock()
+	if want {
+		p.wantShrink.Store(true)
+		if p.kick != nil {
+			select {
+			case p.kick <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// NeedShrink reports and clears the pool's shrink request. The
+// runtime's manager polls it after ring activity and on stream
+// boundaries.
+func (p *Pool) NeedShrink() bool {
+	return p.wantShrink.Swap(false)
+}
+
+// Shrink returns free slabs to the budget until at most hiWater
+// packets of free capacity remain, largest classes first, and returns
+// the packets released. Called from the manager goroutine.
+func (p *Pool) Shrink() int64 {
+	var released int64
+	p.mu.Lock()
+	for c := poolClasses - 1; c >= 0 && p.freePkts > p.hiWater; c-- {
+		size := int64(minSlab << c)
+		for len(p.frees[c]) > 0 && p.freePkts > p.hiWater {
+			n := len(p.frees[c])
+			p.frees[c][n-1] = nil
+			p.frees[c] = p.frees[c][:n-1]
+			p.freePkts -= size
+			p.held -= size
+			released += size
+		}
+	}
+	p.mu.Unlock()
+	p.budget.Release(released)
+	return released
+}
+
+// reclaim returns every free slab to the budget regardless of
+// watermark. Used when the budget runs dry.
+func (p *Pool) reclaim() {
+	var released int64
+	p.mu.Lock()
+	for c := range p.frees {
+		size := int64(minSlab << c)
+		released += size * int64(len(p.frees[c]))
+		p.held -= size * int64(len(p.frees[c]))
+		p.frees[c] = nil
+	}
+	p.freePkts = 0
+	p.mu.Unlock()
+	p.budget.Release(released)
+}
+
+// Held returns the budget currently attributed to this pool.
+func (p *Pool) Held() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.held
+}
+
+// FreePackets returns the packet capacity sitting on the free lists.
+func (p *Pool) FreePackets() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freePkts
+}

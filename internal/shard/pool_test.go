@@ -1,0 +1,93 @@
+package shard
+
+import "testing"
+
+func TestBudgetAcquireRelease(t *testing.T) {
+	b := NewBudget(100)
+	if b.Cap() != 100 || b.Free() != 100 {
+		t.Fatalf("fresh budget cap=%d free=%d", b.Cap(), b.Free())
+	}
+	if !b.TryAcquire(60) {
+		t.Fatalf("acquire 60 of 100 failed")
+	}
+	if b.TryAcquire(50) {
+		t.Fatalf("acquire 50 with 40 free succeeded")
+	}
+	b.Release(60)
+	if b.Free() != 100 {
+		t.Fatalf("free = %d after release, want 100", b.Free())
+	}
+}
+
+func TestPoolGetPutReuse(t *testing.T) {
+	b := NewBudget(1 << 20)
+	p := NewPool(b, 0)
+
+	s := p.Get(10)
+	if cap(s) != minSlab {
+		t.Fatalf("small demand slab cap = %d, want %d", cap(s), minSlab)
+	}
+	if got := b.Cap() - b.Free(); got != minSlab {
+		t.Fatalf("budget drawn = %d, want %d", got, minSlab)
+	}
+	p.Put(s)
+	s2 := p.Get(10)
+	if got := b.Cap() - b.Free(); got != minSlab {
+		t.Fatalf("budget drawn after reuse = %d, want %d (no new draw)", got, minSlab)
+	}
+	p.Put(s2)
+
+	big := p.Get(3 * minSlab)
+	if cap(big) != 4*minSlab {
+		t.Fatalf("size-class cap = %d, want %d", cap(big), 4*minSlab)
+	}
+	p.Put(big)
+}
+
+func TestPoolShrinkReleasesBudget(t *testing.T) {
+	b := NewBudget(1 << 20)
+	p := NewPool(b, minSlab) // tiny watermark: one slab of free capacity allowed
+
+	s1, s2, s3 := p.Get(1), p.Get(1), p.Get(1)
+	p.Put(s1)
+	p.Put(s2)
+	p.Put(s3)
+	if !p.NeedShrink() {
+		t.Fatalf("pool above watermark did not request a shrink")
+	}
+	released := p.Shrink()
+	if released != 2*minSlab {
+		t.Fatalf("shrink released %d, want %d", released, 2*minSlab)
+	}
+	if p.FreePackets() != minSlab {
+		t.Fatalf("free capacity after shrink = %d, want %d", p.FreePackets(), minSlab)
+	}
+	if got := b.Cap() - b.Free(); got != p.Held() {
+		t.Fatalf("budget drawn %d != pool held %d", got, p.Held())
+	}
+}
+
+func TestPoolEmergencyWhenBudgetExhausted(t *testing.T) {
+	b := NewBudget(minSlab) // room for exactly one small slab
+	p := NewPool(b, 0)
+
+	s1 := p.Get(1)
+	// Budget dry and nothing free to reclaim: Get must still make
+	// progress, counting an emergency instead of stalling the shard.
+	s2 := p.Get(1)
+	if s2 == nil || cap(s2) != minSlab {
+		t.Fatalf("emergency Get returned cap %d", cap(s2))
+	}
+	if b.Emergencies() != 1 {
+		t.Fatalf("emergencies = %d, want 1", b.Emergencies())
+	}
+	// With a free slab available, reclaim satisfies the retry without
+	// a second emergency.
+	p.Put(s1)
+	s3 := p.Get(1)
+	if b.Emergencies() != 1 {
+		t.Fatalf("emergencies after reclaim path = %d, want 1", b.Emergencies())
+	}
+	p.Put(s2)
+	p.Put(s3)
+}

@@ -1,0 +1,338 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"smbm/internal/core"
+	"smbm/internal/obs"
+	"smbm/internal/pkt"
+)
+
+// drainCeiling is the absolute per-drain slot cap, matching the sim
+// harness's DefaultDrainMax: any correct switch empties in at most
+// B·MaxLabel slots, so hitting the ceiling means a wedged shard, not a
+// slow one. The bound only turns a hang into an error — it can never
+// change a correct drain's outcome, so it does not affect oracle
+// bit-identity.
+const drainCeiling = 1 << 20
+
+// drainSlack pads the configuration-derived drain bound, mirroring the
+// sim harness's slack for boundary effects.
+const drainSlack = 64
+
+// drainBound returns the drain-slot budget for one shard's
+// configuration: B·MaxLabel plus slack, under the absolute ceiling.
+func drainBound(cfg core.Config) int {
+	b := cfg.Buffer * cfg.MaxLabel
+	if cfg.Buffer > 0 && cfg.MaxLabel > 0 && b/cfg.Buffer != cfg.MaxLabel {
+		return drainCeiling
+	}
+	if b <= 0 || b > drainCeiling-drainSlack {
+		return drainCeiling
+	}
+	return b + drainSlack
+}
+
+// Live is a shard's atomically readable progress gauge, published by
+// the shard goroutine at slot granularity and safe to read from any
+// goroutine. It is the coarse companion of the per-port obs.Mirror:
+// enough for expvar and dashboards, while bit-exact results come from
+// Result after a drain barrier.
+type Live struct {
+	arrived, accepted, dropped, pushedOut atomic.Int64
+	transmitted, transmittedValue, slots  atomic.Int64
+	occupancy                             atomic.Int64
+}
+
+// LiveSnapshot is one consistent-enough read of a Live gauge: each
+// field is individually atomic, monotone between stream resets except
+// Occupancy.
+type LiveSnapshot struct {
+	// Arrived counts packets offered to the shard's policy.
+	Arrived int64 `json:"arrived"`
+	// Accepted counts admissions.
+	Accepted int64 `json:"accepted"`
+	// Dropped counts rejections on arrival.
+	Dropped int64 `json:"dropped"`
+	// PushedOut counts push-out evictions.
+	PushedOut int64 `json:"pushed_out"`
+	// Transmitted counts completed packets.
+	Transmitted int64 `json:"transmitted"`
+	// TransmittedValue is the delivered intrinsic value.
+	TransmittedValue int64 `json:"transmitted_value"`
+	// Slots counts completed time slots, drains included.
+	Slots int64 `json:"slots"`
+	// Occupancy is the buffered-packet gauge at the last publish.
+	Occupancy int64 `json:"occupancy"`
+}
+
+// publish stores one stats snapshot; shard goroutine only.
+func (l *Live) publish(s core.Stats, occ int) {
+	l.arrived.Store(s.Arrived)
+	l.accepted.Store(s.Accepted)
+	l.dropped.Store(s.Dropped)
+	l.pushedOut.Store(s.PushedOut)
+	l.transmitted.Store(s.Transmitted)
+	l.transmittedValue.Store(s.TransmittedValue)
+	l.slots.Store(s.Slots)
+	l.occupancy.Store(int64(occ))
+}
+
+// Snapshot reads the gauge from any goroutine.
+func (l *Live) Snapshot() LiveSnapshot {
+	return LiveSnapshot{
+		Arrived:          l.arrived.Load(),
+		Accepted:         l.accepted.Load(),
+		Dropped:          l.dropped.Load(),
+		PushedOut:        l.pushedOut.Load(),
+		Transmitted:      l.transmitted.Load(),
+		TransmittedValue: l.transmittedValue.Load(),
+		Slots:            l.slots.Load(),
+		Occupancy:        l.occupancy.Load(),
+	}
+}
+
+// Add accumulates o into the snapshot, for aggregating across shards.
+func (s *LiveSnapshot) Add(o LiveSnapshot) {
+	s.Arrived += o.Arrived
+	s.Accepted += o.Accepted
+	s.Dropped += o.Dropped
+	s.PushedOut += o.PushedOut
+	s.Transmitted += o.Transmitted
+	s.TransmittedValue += o.TransmittedValue
+	s.Slots += o.Slots
+	s.Occupancy += o.Occupancy
+}
+
+// Result is one shard's bit-exact outcome after a drain barrier: the
+// same triple the single-threaded oracle produces for the shard's
+// traffic partition, so equality is byte-for-byte.
+type Result struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Slots is the number of slots the shard stepped before draining.
+	Slots int64 `json:"slots"`
+	// Stats is the shard switch's conservation-checked counters.
+	Stats core.Stats `json:"stats"`
+	// Ports is the per-local-port counter table.
+	Ports []core.PortCounters `json:"ports"`
+	// Counts is the obs recorder's flat counter slab (port-major,
+	// obs.NumKinds lanes per port).
+	Counts []uint64 `json:"counts"`
+}
+
+// DiffResult compares a shard result against an oracle run of the same
+// traffic partition and returns a description of the first mismatch,
+// or "" when the results are bit-identical.
+func DiffResult(got Result, wantStats core.Stats, wantPorts []core.PortCounters, wantCounts []uint64) string {
+	if got.Stats != wantStats {
+		return fmt.Sprintf("shard %d stats diverge: got %+v want %+v", got.Shard, got.Stats, wantStats)
+	}
+	if len(got.Ports) != len(wantPorts) {
+		return fmt.Sprintf("shard %d port-counter length: got %d want %d", got.Shard, len(got.Ports), len(wantPorts))
+	}
+	for i := range got.Ports {
+		if got.Ports[i] != wantPorts[i] {
+			return fmt.Sprintf("shard %d port %d counters diverge: got %+v want %+v", got.Shard, i, got.Ports[i], wantPorts[i])
+		}
+	}
+	if len(got.Counts) != len(wantCounts) {
+		return fmt.Sprintf("shard %d obs slab length: got %d want %d", got.Shard, len(got.Counts), len(wantCounts))
+	}
+	for i := range got.Counts {
+		if got.Counts[i] != wantCounts[i] {
+			return fmt.Sprintf("shard %d obs counter %d diverges: got %d want %d", got.Shard, i, got.Counts[i], wantCounts[i])
+		}
+	}
+	return ""
+}
+
+// Shard is one port-partition worker: a private deterministic
+// core.Switch stepped single-threaded by the shard goroutine, fed
+// packed entries through an SPSC ingress ring. All mutable switch
+// state is confined to the shard goroutine; the only cross-goroutine
+// surfaces are the ring, the Live gauge, the obs.Mirror, and the ack
+// channel that publishes drain barriers.
+type Shard struct {
+	id   int
+	cfg  core.Config
+	ring *Ring
+	pool *Pool
+
+	sw     *core.Switch
+	rec    *obs.Recorder
+	mirror *obs.Mirror
+	live   *Live
+
+	// batch stages the current slot's arrivals; always belongs to
+	// slot `slot` (arrivals are non-decreasing in slot).
+	batch []pkt.Packet
+	// slot is the number of slots stepped so far == the next slot to
+	// execute.
+	slot int64
+	// err is the first protocol or engine failure; after it is set the
+	// shard keeps consuming (so producers never block forever) but
+	// discards arrivals.
+	err error
+
+	// ack delivers one error (nil on success) per OpDrain barrier.
+	ack chan error
+	// done closes when the shard goroutine exits on OpStop.
+	done chan struct{}
+}
+
+// newShard builds a shard over its partition-local configuration.
+func newShard(id int, cfg core.Config, pol core.Policy, ringCap int, pool *Pool) (*Shard, error) {
+	sw, err := core.New(cfg, pol)
+	if err != nil {
+		return nil, fmt.Errorf("shard %d: %w", id, err)
+	}
+	rec := obs.NewRecorder(cfg.Ports, 0)
+	sw.SetRecorder(rec)
+	sh := &Shard{
+		id:     id,
+		cfg:    cfg,
+		ring:   NewRing(ringCap),
+		pool:   pool,
+		sw:     sw,
+		rec:    rec,
+		mirror: obs.NewMirror(cfg.Ports),
+		live:   &Live{},
+		ack:    make(chan error, 1),
+		done:   make(chan struct{}),
+	}
+	sh.batch = pool.Get(minSlab)
+	return sh, nil
+}
+
+// ID returns the shard index.
+func (sh *Shard) ID() int { return sh.id }
+
+// Config returns the shard's partition-local configuration.
+func (sh *Shard) Config() core.Config { return sh.cfg }
+
+// Mirror returns the shard's atomically readable per-port counters.
+func (sh *Shard) Mirror() *obs.Mirror { return sh.mirror }
+
+// Live returns the shard's atomically readable progress gauge.
+func (sh *Shard) Live() *Live { return sh.live }
+
+// run is the shard event loop; exactly one goroutine executes it.
+func (sh *Shard) run() {
+	defer close(sh.done)
+	for {
+		e := sh.ring.Pop()
+		if !e.IsControl() {
+			sh.stage(e)
+			continue
+		}
+		switch e.Op() {
+		case OpAdvance:
+			sh.advanceTo(e.Slot())
+			sh.publish()
+		case OpDrain:
+			sh.advanceTo(e.Slot())
+			sh.drain()
+			sh.publish()
+			sh.ack <- sh.err
+		case OpStop:
+			return
+		}
+	}
+}
+
+// stage buffers one arrival for its slot, stepping forward first if
+// the arrival opens a later slot.
+func (sh *Shard) stage(e Entry) {
+	if sh.err != nil {
+		return
+	}
+	slot := e.Slot()
+	if slot < sh.slot {
+		sh.err = fmt.Errorf("shard %d: arrival for slot %d after slot %d was stepped", sh.id, slot, sh.slot)
+		return
+	}
+	if slot > sh.slot {
+		sh.advanceTo(slot)
+		if sh.err != nil {
+			return
+		}
+	}
+	if len(sh.batch) == cap(sh.batch) {
+		grown := sh.pool.Get(2 * cap(sh.batch))
+		grown = grown[:len(sh.batch)]
+		copy(grown, sh.batch)
+		sh.pool.Put(sh.batch)
+		sh.batch = grown
+	}
+	sh.batch = append(sh.batch, e.Packet())
+}
+
+// advanceTo steps the switch until the slot counter reaches target:
+// the staged batch feeds the current slot, every further slot is
+// empty. On engine failure the shard records the error and fast-forwards
+// its counter so the producer protocol stays in sync.
+func (sh *Shard) advanceTo(target int64) {
+	for sh.slot < target {
+		if sh.err != nil {
+			sh.batch = sh.batch[:0]
+			sh.slot = target
+			return
+		}
+		if err := sh.sw.Step(sh.batch); err != nil {
+			sh.err = fmt.Errorf("shard %d at slot %d: %w", sh.id, sh.slot, err)
+		}
+		sh.batch = sh.batch[:0]
+		sh.slot++
+	}
+}
+
+// drain empties the switch, bounded the same way the sim harness
+// bounds drains so a wedged shard errors instead of spinning.
+func (sh *Shard) drain() {
+	if sh.err != nil {
+		return
+	}
+	if len(sh.batch) > 0 {
+		// A drain with staged arrivals means the producer skipped the
+		// advance past the last armed slot; step it first.
+		sh.advanceTo(sh.slot + 1)
+		if sh.err != nil {
+			return
+		}
+	}
+	if slots, ok := sh.sw.DrainMax(drainBound(sh.cfg)); !ok {
+		sh.err = fmt.Errorf("shard %d: drain did not empty the buffer within %d slots", sh.id, slots)
+	}
+}
+
+// publish refreshes the cross-goroutine gauges; shard goroutine only.
+func (sh *Shard) publish() {
+	sh.live.publish(sh.sw.Stats(), sh.sw.Occupancy())
+	sh.mirror.Publish(sh.rec)
+}
+
+// result snapshots the shard's bit-exact outcome. Only safe after a
+// drain barrier's ack (or before Start), when the shard goroutine is
+// parked and the ack receive established the happens-before edge.
+func (sh *Shard) result() Result {
+	return Result{
+		Shard:  sh.id,
+		Slots:  sh.slot,
+		Stats:  sh.sw.Stats(),
+		Ports:  sh.sw.PortCounters(),
+		Counts: sh.rec.SaveCounts(nil),
+	}
+}
+
+// reset restores the shard to its initial empty state for a new
+// stream. Same safety contract as result.
+func (sh *Shard) reset() {
+	sh.sw.Reset()
+	sh.rec.Reset()
+	sh.batch = sh.batch[:0]
+	sh.slot = 0
+	sh.err = nil
+	sh.publish()
+}

@@ -81,11 +81,15 @@ type Sweep struct {
 	// it claims no cells, waits for the worker fleet to finish the grid,
 	// and merges the ledger into the final result.
 	LedgerObserver bool
-	// Progress, when non-nil, is called from the fold goroutine after
-	// every cell outcome (completed or failed) with a running progress
-	// snapshot — the hook smbsim's expvar publication and per-cell
-	// trace dumping hang off. It must be fast and must not retain
-	// Results beyond the call.
+	// Progress, when non-nil, is called after every cell outcome
+	// (completed or failed) with a running progress snapshot — the hook
+	// smbsim's expvar publication and per-cell trace dumping hang off.
+	// Deliveries are serialized no matter how the sweep executes: a
+	// single-process run calls it from the fold goroutine, and a leased
+	// run (Ledger set) serializes delivery across its worker
+	// goroutines, so the callback may touch state of its own without
+	// synchronization. It must be fast — a slow callback stalls cell
+	// completion — and must not retain Results beyond the call.
 	Progress func(SweepProgress)
 	// Obs, when non-nil, is copied into every built instance that does
 	// not configure observability itself, attaching decision-counter

@@ -103,10 +103,18 @@ func (s *Sweep) runLeased(ctx context.Context) (*SweepResult, error) {
 		mu.Unlock()
 		stopRun()
 	}
+	// progressMu serializes Progress deliveries: Sweep.Progress promises
+	// the callback never runs concurrently with itself, and the leased
+	// path has N worker goroutines reaching cell outcomes. Holding the
+	// lock across both the snapshot and the callback also keeps the
+	// delivered Done/Failed counters monotone in delivery order.
+	var progressMu sync.Mutex
 	notify := func(c lease.Cell, err error, results []Result) {
 		if s.Progress == nil {
 			return
 		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
 		mu.Lock()
 		p := SweepProgress{
 			Sweep: s.Name, XLabel: s.XLabel,
